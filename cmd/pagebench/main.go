@@ -1,0 +1,94 @@
+// Command pagebench regenerates the paper's figures on the simulator.
+//
+// Usage:
+//
+//	pagebench -figure fig1            # one figure
+//	pagebench -figure fig1,fig2      # several
+//	pagebench -figure all            # the whole evaluation
+//	pagebench -trials 25 -scale 1.0  # methodology knobs
+//
+// Each figure prints a plain-text table whose rows correspond to the
+// series plotted in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mglrusim/internal/experiments"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "figure id (fig1..fig12), comma list, or 'all'")
+		trials   = flag.Int("trials", 25, "trials per configuration (paper: 25)")
+		scale    = flag.Float64("scale", 1.0, "workload footprint scale factor")
+		seed     = flag.Uint64("seed", 0x5EED, "base seed")
+		parallel = flag.Int("parallel", 0, "concurrent trials (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "print per-series progress")
+		csvDir   = flag.String("csv", "", "also write each figure's data points as CSV into this directory")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pagebench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	opts := experiments.Options{
+		Trials:      *trials,
+		Scale:       *scale,
+		Seed:        *seed,
+		Parallelism: *parallel,
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	runner := experiments.NewRunner(opts)
+
+	var ids []string
+	if *figure == "all" {
+		ids = experiments.FigureIDs()
+	} else {
+		for _, id := range strings.Split(*figure, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments.Figures[id]; !ok {
+				fmt.Fprintf(os.Stderr, "pagebench: unknown figure %q (known: %s)\n",
+					id, strings.Join(experiments.FigureIDs(), ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	start := time.Now()
+	for _, id := range ids {
+		figStart := time.Now()
+		res, err := experiments.Figures[id](runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pagebench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		if *csvDir != "" {
+			if c, ok := res.(experiments.CSVer); ok {
+				path := filepath.Join(*csvDir, id+".csv")
+				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "pagebench: write %s: %v\n", path, err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(figStart).Round(time.Millisecond))
+		}
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

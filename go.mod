@@ -1,0 +1,3 @@
+module mglrusim
+
+go 1.22

@@ -1,0 +1,97 @@
+// Package bloom implements the split bloom filter MG-LRU uses to decide
+// which page-table regions the aging scan should visit. The kernel keeps
+// two filters per lruvec — the one consulted for the current aging walk
+// and the one being populated for the next — and swaps them each
+// generation; package policy/mglru owns that double-buffering, this
+// package provides the filter itself.
+//
+// Filters are seeded: two simulator trials with different system seeds
+// hash region numbers differently, so collision patterns — and therefore
+// which cold regions get scanned by accident — vary across trials. This is
+// one of the seed-dependent mechanisms behind MG-LRU's run-to-run
+// variance in the paper.
+package bloom
+
+// Filter is a fixed-size bloom filter over uint64 keys.
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+	salt1 uint64
+	salt2 uint64
+	adds  int
+}
+
+// New creates a filter with nbits bits (rounded up to a multiple of 64)
+// and k hash functions, salted from seed.
+func New(nbits int, k int, seed uint64) *Filter {
+	if nbits <= 0 || k <= 0 {
+		panic("bloom: nbits and k must be positive")
+	}
+	words := (nbits + 63) / 64
+	return &Filter{
+		bits:  make([]uint64, words),
+		nbits: uint64(words * 64),
+		k:     k,
+		salt1: mix(seed ^ 0x9e3779b97f4a7c15),
+		salt2: mix(seed ^ 0xc2b2ae3d27d4eb4f),
+	}
+}
+
+// NewForItems sizes a filter for n expected items at roughly 1% false
+// positive rate (about 10 bits per item, 3 hashes — matching the kernel's
+// small fixed filters in spirit).
+func NewForItems(n int, seed uint64) *Filter {
+	if n < 16 {
+		n = 16
+	}
+	return New(n*10, 3, seed)
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}
+
+// indexes derives the k bit positions for key by double hashing.
+func (f *Filter) index(key uint64, i int) uint64 {
+	h1 := mix(key ^ f.salt1)
+	h2 := mix(key^f.salt2) | 1 // odd stride
+	return (h1 + uint64(i)*h2) % f.nbits
+}
+
+// Add inserts key.
+func (f *Filter) Add(key uint64) {
+	for i := 0; i < f.k; i++ {
+		b := f.index(key, i)
+		f.bits[b/64] |= 1 << (b % 64)
+	}
+	f.adds++
+}
+
+// MayContain reports whether key might have been added. False positives
+// are possible; false negatives are not.
+func (f *Filter) MayContain(key uint64) bool {
+	for i := 0; i < f.k; i++ {
+		b := f.index(key, i)
+		if f.bits[b/64]&(1<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties the filter, retaining its sizing and salts.
+func (f *Filter) Clear() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.adds = 0
+}
+
+// Adds reports how many keys have been inserted since the last Clear.
+func (f *Filter) Adds() int { return f.adds }
+
+// Bits reports the filter capacity in bits.
+func (f *Filter) Bits() int { return int(f.nbits) }

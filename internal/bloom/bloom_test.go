@@ -1,0 +1,106 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1024, 3, 42)
+	for k := uint64(0); k < 60; k++ {
+		f.Add(k * 7)
+	}
+	for k := uint64(0); k < 60; k++ {
+		if !f.MayContain(k * 7) {
+			t.Fatalf("false negative for key %d", k*7)
+		}
+	}
+}
+
+// Property: anything added is always found, regardless of seed and sizing.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	fn := func(seed uint64, keys []uint64) bool {
+		f := NewForItems(len(keys)+1, seed)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := NewForItems(1000, 7)
+	for k := uint64(0); k < 1000; k++ {
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 10000
+	for k := uint64(1 << 32); k < 1<<32+probes; k++ {
+		if f.MayContain(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := New(256, 3, 1)
+	f.Add(123)
+	if f.Adds() != 1 {
+		t.Fatal("adds counter")
+	}
+	f.Clear()
+	if f.MayContain(123) {
+		t.Fatal("cleared filter should not contain key")
+	}
+	if f.Adds() != 0 {
+		t.Fatal("adds not reset")
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(512, 4, 9)
+	for k := uint64(0); k < 100; k++ {
+		if f.MayContain(k) {
+			t.Fatalf("empty filter claims to contain %d", k)
+		}
+	}
+}
+
+func TestSeedsChangeCollisionPattern(t *testing.T) {
+	// Two filters with different seeds should disagree on at least some
+	// non-member probes once loaded.
+	a := New(512, 2, 1)
+	b := New(512, 2, 2)
+	for k := uint64(0); k < 200; k++ {
+		a.Add(k)
+		b.Add(k)
+	}
+	diff := 0
+	for k := uint64(10000); k < 11000; k++ {
+		if a.MayContain(k) != b.MayContain(k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical false-positive patterns")
+	}
+}
+
+func TestBitsRounding(t *testing.T) {
+	f := New(65, 1, 0)
+	if f.Bits() != 128 {
+		t.Fatalf("bits = %d, want 128", f.Bits())
+	}
+}

@@ -1,0 +1,261 @@
+// Package core assembles complete simulated systems — engine, physical
+// memory, page table, swap device, replacement policy, memory manager,
+// workload threads — and runs single characterization trials. It is the
+// heart of the reproduction: everything the experiment harness and the
+// public API do goes through RunTrial.
+package core
+
+import (
+	"fmt"
+
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/stats"
+	"mglrusim/internal/swap"
+	"mglrusim/internal/vmm"
+	"mglrusim/internal/workload"
+)
+
+// SwapKind selects the swap medium.
+type SwapKind int
+
+const (
+	// SwapSSD is the paper's millisecond-class SSD.
+	SwapSSD SwapKind = iota
+	// SwapZRAM is the paper's compressed in-memory device, a proxy for
+	// remote/disaggregated memory tiers.
+	SwapZRAM
+)
+
+// String implements fmt.Stringer.
+func (k SwapKind) String() string {
+	if k == SwapZRAM {
+		return "zram"
+	}
+	return "ssd"
+}
+
+// SystemConfig describes the machine surrounding the workload.
+type SystemConfig struct {
+	// CPUs is the number of hardware contexts (the paper's testbed
+	// exposes 12).
+	CPUs int
+	// Ratio is memory capacity as a fraction of the workload footprint
+	// (the paper sweeps 0.5, 0.75, 0.9).
+	Ratio float64
+	// Swap selects the medium.
+	Swap SwapKind
+	// SSD and ZRAM parameterize the respective devices.
+	SSD swap.SSDConfig
+	// ZRAM parameterizes the compressed device.
+	ZRAM swap.ZRAMConfig
+	// VMM tunes the memory manager.
+	VMM vmm.Config
+	// FlushCPU is the workload interpreter's CPU accumulation threshold:
+	// accumulated per-access compute is charged to the engine in batches
+	// of roughly this size.
+	FlushCPU sim.Duration
+}
+
+// DefaultSystemConfig mirrors the paper's testbed at 50% capacity with
+// SSD swap.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		CPUs:     12,
+		Ratio:    0.5,
+		Swap:     SwapSSD,
+		SSD:      swap.DefaultSSDConfig(),
+		ZRAM:     swap.DefaultZRAMConfig(),
+		VMM:      vmm.DefaultConfig(),
+		FlushCPU: 50 * sim.Microsecond,
+	}
+}
+
+// PolicyFactory builds a fresh policy instance for one trial.
+type PolicyFactory func() policy.Policy
+
+// Metrics is everything measured in one trial.
+type Metrics struct {
+	// Runtime is the virtual wall-clock of the whole execution.
+	Runtime sim.Time
+	// AppCPU is total CPU work charged by workload threads.
+	AppCPU sim.Duration
+	// Counters are the memory manager's fault-path counters.
+	Counters vmm.Counters
+	// Policy are the replacement policy's counters.
+	Policy policy.Stats
+	// Device are the swap device's counters.
+	Device swap.Stats
+	// ReadLat / WriteLat hold per-request latencies (request-marking
+	// workloads only).
+	ReadLat, WriteLat *stats.LatencyRecorder
+	// FootprintPages and CapacityPages record the memory geometry.
+	FootprintPages, CapacityPages int
+	// SegmentFaults attributes major faults to address-space segments
+	// (populated when the workload implements workload.Segmented).
+	SegmentFaults map[string]uint64
+}
+
+// Faults is the headline fault count the paper plots.
+func (m Metrics) Faults() float64 { return float64(m.Counters.TotalFaults()) }
+
+// RuntimeSeconds is the headline runtime the paper plots.
+func (m Metrics) RuntimeSeconds() float64 { return m.Runtime.Seconds() }
+
+// RunTrial executes one complete trial: a fresh system (the simulator
+// analogue of the paper's reboot-per-execution), the full workload, and a
+// metrics harvest. workloadSeed fixes the request/plan content (identical
+// across trials of a configuration); systemSeed varies per trial and
+// drives everything nondeterministic in the surrounding system —
+// scheduling interleave, bloom hashing, device jitter.
+func RunTrial(w workload.Workload, mk PolicyFactory, sys SystemConfig, workloadSeed, systemSeed uint64) (Metrics, error) {
+	return RunTrialObserved(w, mk, sys, workloadSeed, systemSeed, 0, nil)
+}
+
+// Observer receives periodic samples of the live system during a trial;
+// visualization tools use it to watch list/generation occupancy evolve.
+type Observer func(now sim.Time, pol policy.Policy, mgr *vmm.Manager)
+
+// RunTrialObserved is RunTrial with a sampling hook invoked every
+// sampleEvery of virtual time (0 or nil observer disables sampling).
+func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
+	workloadSeed, systemSeed uint64, sampleEvery sim.Duration, obs Observer) (Metrics, error) {
+	if sys.CPUs <= 0 {
+		return Metrics{}, fmt.Errorf("core: CPUs must be positive")
+	}
+	if sys.Ratio <= 0 || sys.Ratio > 1.5 {
+		return Metrics{}, fmt.Errorf("core: implausible capacity ratio %v", sys.Ratio)
+	}
+	if sys.FlushCPU <= 0 {
+		sys.FlushCPU = 50 * sim.Microsecond
+	}
+
+	eng := sim.NewEngine(sys.CPUs)
+	sysRNG := sim.NewRNG(systemSeed)
+
+	table := pagetable.NewWithRegionSize(w.TableRegions(), w.RegionPTEs())
+	w.Layout(table)
+	footprint := w.FootprintPages()
+	capacity := int(float64(footprint) * sys.Ratio)
+	if capacity < 16 {
+		capacity = 16
+	}
+	memory := mem.New(capacity)
+
+	var dev swap.Device
+	switch sys.Swap {
+	case SwapZRAM:
+		dev = swap.NewZRAM(sys.ZRAM, sysRNG.Stream(1), w.ContentClass)
+	default:
+		dev = swap.NewSSD(sys.SSD, eng, sysRNG.Stream(1))
+	}
+
+	pol := mk()
+	mgr := vmm.New(sys.VMM, eng, memory, table, dev, pol, sysRNG.Stream(2))
+
+	// The plan RNG is fixed per configuration ("otherwise identical
+	// executions"); the trial RNG drives dynamic task scheduling.
+	streams := w.Threads(sim.NewRNG(workloadSeed), sysRNG.Stream(3))
+	barrier := sim.NewBarrier(len(streams))
+	readLat := stats.NewLatencyRecorder(1024)
+	writeLat := stats.NewLatencyRecorder(1024)
+
+	procs := make([]*sim.Proc, len(streams))
+	for i, st := range streams {
+		st := st
+		procs[i] = eng.Spawn(fmt.Sprintf("app-%d", i), false, func(v *sim.Env) {
+			runThread(v, st, mgr, barrier, sys.FlushCPU, readLat, writeLat)
+		})
+	}
+
+	if obs != nil && sampleEvery > 0 {
+		eng.Spawn("observer", true, func(v *sim.Env) {
+			for {
+				obs(v.Now(), pol, mgr)
+				v.Sleep(sampleEvery)
+			}
+		})
+	}
+
+	if err := eng.Run(); err != nil {
+		return Metrics{}, err
+	}
+
+	m := Metrics{
+		Runtime:        eng.Now(),
+		Counters:       mgr.Counters(),
+		Policy:         mgr.PolicyStats(),
+		Device:         mgr.DeviceStats(),
+		ReadLat:        readLat,
+		WriteLat:       writeLat,
+		FootprintPages: footprint,
+		CapacityPages:  capacity,
+	}
+	for _, p := range procs {
+		m.AppCPU += p.CPUTime()
+	}
+	if seg, ok := w.(workload.Segmented); ok {
+		m.SegmentFaults = map[string]uint64{}
+		for _, s := range seg.Segments() {
+			var total uint64
+			for i := 0; i < s.Pages; i++ {
+				total += mgr.MajorFaultsAt(s.Page(i))
+			}
+			m.SegmentFaults[s.Name] = total
+		}
+	}
+	return m, nil
+}
+
+// runThread interprets one workload op stream against the memory manager.
+// Per-access CPU is accumulated and charged in batches so the hot path
+// (resident accesses) touches the engine only at flush points — faults,
+// barriers, request boundaries, or when the accumulator fills.
+func runThread(v *sim.Env, st workload.Stream, mgr *vmm.Manager, barrier *sim.Barrier,
+	flushAt sim.Duration, readLat, writeLat *stats.LatencyRecorder) {
+	var acc sim.Duration
+	var reqStart sim.Time
+	var reqClass workload.ReqClass
+	flush := func() {
+		if acc > 0 {
+			v.Charge(acc)
+			acc = 0
+		}
+	}
+	var op workload.Op
+	for st.Next(&op) {
+		switch op.Kind {
+		case workload.OpAccess:
+			acc += op.CPU
+			if !mgr.TryTouch(op.VPN, op.Write) {
+				flush()
+				mgr.Fault(v, op.VPN, op.Write)
+			} else if acc >= flushAt {
+				flush()
+			}
+		case workload.OpCompute:
+			acc += op.CPU
+			if acc >= flushAt {
+				flush()
+			}
+		case workload.OpBarrier:
+			flush()
+			barrier.Await(v)
+		case workload.OpReqStart:
+			flush()
+			reqStart = v.Now()
+			reqClass = op.Class
+		case workload.OpReqEnd:
+			flush()
+			lat := int64(v.Now() - reqStart)
+			if reqClass == workload.ReqRead {
+				readLat.Record(lat)
+			} else {
+				writeLat.Record(lat)
+			}
+		}
+	}
+	flush()
+}

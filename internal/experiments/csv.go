@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mglrusim/internal/stats"
+)
+
+// CSVer is implemented by figure results that can serialize their data
+// points as CSV for external plotting.
+type CSVer interface {
+	CSV() string
+}
+
+type csvBuilder struct{ b strings.Builder }
+
+func (c *csvBuilder) row(cells ...any) {
+	for i, cell := range cells {
+		if i > 0 {
+			c.b.WriteByte(',')
+		}
+		fmt.Fprintf(&c.b, "%v", cell)
+	}
+	c.b.WriteByte('\n')
+}
+
+func (c *csvBuilder) String() string { return c.b.String() }
+
+// CSV implements CSVer for Figure 1.
+func (r *Fig1Result) CSV() string {
+	var c csvBuilder
+	c.row("workload", "mglru_perf_norm", "mglru_faults_norm", "clock_perf_cv", "mglru_perf_cv")
+	for _, row := range r.Rows {
+		c.row(row.Workload, row.MGLRUPerfNorm, row.MGLRUFaultsNorm, row.ClockPerfCV, row.MGLRUPerfCV)
+	}
+	return c.String()
+}
+
+func jointCSV(series []JointSeries) string {
+	var c csvBuilder
+	c.row("workload", "policy", "trial", "runtime_s", "faults")
+	for _, s := range series {
+		for i := range s.Runtimes {
+			c.row(s.Workload, s.Policy, i, s.Runtimes[i], s.Faults[i])
+		}
+	}
+	return c.String()
+}
+
+// CSV implements CSVer for Figure 2 (per-trial scatter points).
+func (r *Fig2Result) CSV() string { return jointCSV(r.Series) }
+
+// CSV implements CSVer for Figure 5 (per-trial scatter points).
+func (r *Fig5Result) CSV() string { return jointCSV(r.Series) }
+
+// CSV implements CSVer for tail-latency figures (3, 8, 12).
+func (r *TailResult) CSV() string {
+	var c csvBuilder
+	c.row("workload", "class", "percentile", "clock_ns", "mglru_ns")
+	for _, row := range r.Rows {
+		for i, p := range stats.TailPoints {
+			c.row(row.Workload, row.Class, p, row.Clock[i], row.MGLRU[i])
+		}
+	}
+	return c.String()
+}
+
+// CSV implements CSVer for normalized matrices (Figures 4, 6, 9, 10).
+func (m *NormMatrix) CSV() string {
+	var c csvBuilder
+	c.row("workload", "policy", "perf_norm", "faults_norm")
+	for _, w := range m.Workloads {
+		for _, p := range m.Policies {
+			faults := ""
+			if m.Faults != nil {
+				faults = fmt.Sprintf("%v", m.Faults[w][p])
+			}
+			c.row(w, p, m.Perf[w][p], faults)
+		}
+	}
+	return c.String()
+}
+
+// CSV implements CSVer for Figure 7 (fault five-number summaries).
+func (r *Fig7Result) CSV() string {
+	var c csvBuilder
+	c.row("ratio", "workload", "policy", "min", "q1", "median", "q3", "max")
+	for _, row := range r.Rows {
+		s := row.Summary
+		c.row(row.Ratio, row.Workload, row.Policy, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+	}
+	return c.String()
+}
+
+// CSV implements CSVer for Figure 11 (medium deltas).
+func (r *Fig11Result) CSV() string {
+	var c csvBuilder
+	c.row("workload", "policy", "runtime_zram_over_ssd", "faults_zram_over_ssd")
+	for _, row := range r.Rows {
+		c.row(row.Workload, row.Policy, row.RuntimeRatio, row.FaultRatio)
+	}
+	return c.String()
+}
+
+// CSV implements CSVer for multi-part results by concatenating parts
+// that themselves support CSV, separated by blank lines.
+func (m *MultiResult) CSV() string {
+	var parts []string
+	for _, p := range m.Parts {
+		if c, ok := p.(CSVer); ok {
+			parts = append(parts, c.CSV())
+		}
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mglrusim/internal/core"
+)
+
+// tinyOpts keep harness tests fast: few trials, small footprints.
+func tinyOpts() Options {
+	return Options{Trials: 2, Scale: 0.25, Seed: 0xABC}
+}
+
+func TestPolicyRegistryComplete(t *testing.T) {
+	all := AllPolicies()
+	if len(all) != 6 {
+		t.Fatalf("policies = %d, want 6", len(all))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if p.Make == nil {
+			t.Fatalf("policy %s has no factory", p.Name)
+		}
+		pol := p.Make()
+		if pol == nil {
+			t.Fatalf("policy %s factory returned nil", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, want := range []string{PolClock, PolMGLRU, PolGen14, PolScanAll, PolScanNone, PolScanRand} {
+		if !seen[want] {
+			t.Fatalf("missing policy %s", want)
+		}
+	}
+}
+
+func TestPolicyFactoriesAreFresh(t *testing.T) {
+	spec := PolicyByName(PolMGLRU)
+	if spec.Make() == spec.Make() {
+		t.Fatal("factory must return fresh instances")
+	}
+}
+
+func TestUnknownPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PolicyByName("nope")
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	ws := Workloads(0.25)
+	if len(ws) != 5 {
+		t.Fatalf("workloads = %d, want 5", len(ws))
+	}
+	for _, w := range ws {
+		wl := w.Make()
+		if wl.FootprintPages() <= 0 {
+			t.Fatalf("%s has no footprint", w.Name)
+		}
+		if strings.HasPrefix(w.Name, "ycsb") != w.Latency {
+			t.Fatalf("%s latency flag wrong", w.Name)
+		}
+	}
+}
+
+func TestWorkloadScaleShrinksFootprint(t *testing.T) {
+	big := WorkloadByName("tpch", 1.0).Make().FootprintPages()
+	small := WorkloadByName("tpch", 0.25).Make().FootprintPages()
+	if small >= big {
+		t.Fatalf("scale had no effect: %d vs %d", small, big)
+	}
+}
+
+func TestRunnerCachesSeries(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	w := WorkloadByName("ycsb-c", 0.25)
+	p := PolicyByName(PolClock)
+	sys := SystemAt(0.5, core.SwapSSD)
+	a, err := r.Run(w, p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(w, p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Run should return the cached series")
+	}
+	if len(a.Trials) != 2 {
+		t.Fatalf("trials = %d", len(a.Trials))
+	}
+}
+
+func TestSeriesAccessors(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	s, err := r.Run(WorkloadByName("ycsb-c", 0.25), PolicyByName(PolClock), SystemAt(0.5, core.SwapSSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Runtimes()) != 2 || len(s.Faults()) != 2 {
+		t.Fatal("per-trial slices wrong length")
+	}
+	for _, rt := range s.Runtimes() {
+		if rt <= 0 {
+			t.Fatal("non-positive runtime")
+		}
+	}
+	lat := s.MeanRequestNS()
+	for _, l := range lat {
+		if l <= 0 {
+			t.Fatal("non-positive latency for latency workload")
+		}
+	}
+	tail := s.MergedReadTail()
+	for i := 1; i < len(tail); i++ {
+		if tail[i] < tail[i-1] {
+			t.Fatal("tail not monotone")
+		}
+	}
+	// Read-only: write tail all zeros.
+	for _, v := range s.MergedWriteTail() {
+		if v != 0 {
+			t.Fatal("ycsb-c should have no write latencies")
+		}
+	}
+}
+
+func TestTrialSeedsDifferButAreStable(t *testing.T) {
+	a := trialSeed(1, "k", 0)
+	b := trialSeed(1, "k", 1)
+	c := trialSeed(1, "other", 0)
+	if a == b || a == c {
+		t.Fatal("seeds collide")
+	}
+	if a != trialSeed(1, "k", 0) {
+		t.Fatal("seed not stable")
+	}
+}
+
+func TestFigureIDsOrdered(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 12 {
+		t.Fatalf("figures = %d, want 12", len(ids))
+	}
+	if ids[0] != "fig1" || ids[11] != "fig12" {
+		t.Fatalf("order wrong: %v", ids)
+	}
+}
+
+// TestEveryFigureRunsTiny executes all 12 figures end-to-end at toy scale
+// and checks every rendering is non-empty and mentions its data.
+func TestEveryFigureRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs all figures")
+	}
+	r := NewRunner(tinyOpts())
+	for _, id := range FigureIDs() {
+		res, err := Figures[id](r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res.ID() != id {
+			t.Fatalf("%s: result reports id %s", id, res.ID())
+		}
+		out := res.Render()
+		if len(out) < 40 {
+			t.Fatalf("%s: render too short:\n%s", id, out)
+		}
+		if !strings.Contains(out, "tpch") && !strings.Contains(out, "ycsb") {
+			t.Fatalf("%s: render mentions no workloads:\n%s", id, out)
+		}
+	}
+}
+
+func TestFig1ShapesAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := NewRunner(tinyOpts())
+	res, err := Fig1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := res.(*Fig1Result)
+	if len(f1.Rows) != 5 {
+		t.Fatalf("rows = %d", len(f1.Rows))
+	}
+	for _, row := range f1.Rows {
+		if row.MGLRUPerfNorm <= 0 || row.MGLRUFaultsNorm <= 0 {
+			t.Fatalf("non-positive normalized values: %+v", row)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := newTable("a", "bb")
+	tb.row("1", "2")
+	out := tb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "--") {
+		t.Fatalf("table render: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if safeDiv(4, 2) != 2 || safeDiv(1, 0) != 0 {
+		t.Fatal("safeDiv wrong")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := NewRunner(tinyOpts())
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig7", "fig11"} {
+		res, err := Figures[id](r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		c, ok := res.(CSVer)
+		if !ok {
+			t.Fatalf("%s: no CSV support", id)
+		}
+		out := c.CSV()
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: CSV has no data rows:\n%s", id, out)
+		}
+		header := strings.Split(lines[0], ",")
+		for i, line := range lines[1:] {
+			if got := len(strings.Split(line, ",")); got != len(header) {
+				t.Fatalf("%s: row %d has %d cells, header has %d", id, i, got, len(header))
+			}
+		}
+	}
+}

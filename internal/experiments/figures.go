@@ -1,0 +1,570 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/stats"
+)
+
+// Result is a figure reproduction: typed data plus a text rendering.
+type Result interface {
+	// ID is the figure identifier ("fig1" ... "fig12").
+	ID() string
+	// Render produces the plain-text table(s) for the figure.
+	Render() string
+}
+
+// FigureFunc reproduces one figure.
+type FigureFunc func(*Runner) (Result, error)
+
+// Figures maps figure IDs to their reproduction functions, in paper
+// order.
+var Figures = map[string]FigureFunc{
+	"fig1":  Fig1,
+	"fig2":  Fig2,
+	"fig3":  Fig3,
+	"fig4":  Fig4,
+	"fig5":  Fig5,
+	"fig6":  Fig6,
+	"fig7":  Fig7,
+	"fig8":  Fig8,
+	"fig9":  Fig9,
+	"fig10": Fig10,
+	"fig11": Fig11,
+	"fig12": Fig12,
+}
+
+// FigureIDs returns all figure IDs in order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(Figures))
+	for id := range Figures {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return figOrder(ids[i]) < figOrder(ids[j])
+	})
+	return ids
+}
+
+func figOrder(id string) int {
+	var n int
+	fmt.Sscanf(id, "fig%d", &n)
+	return n
+}
+
+// --- Fig 1: mean runtime & faults, MG-LRU vs Clock, SSD @50% ---
+
+// Fig1Row is one workload's normalized comparison.
+type Fig1Row struct {
+	Workload string
+	// ClockPerf is the raw mean headline metric (seconds, or ns for
+	// latency workloads); MGLRUNorm values are normalized to Clock.
+	ClockPerf, ClockFaults   float64
+	MGLRUPerfNorm            float64
+	MGLRUFaultsNorm          float64
+	ClockPerfCV, MGLRUPerfCV float64
+}
+
+// Fig1Result reproduces Figure 1.
+type Fig1Result struct{ Rows []Fig1Row }
+
+// ID implements Result.
+func (r *Fig1Result) ID() string { return "fig1" }
+
+// Render implements Result.
+func (r *Fig1Result) Render() string {
+	t := newTable("workload", "perf(mglru/clock)", "faults(mglru/clock)", "cv-clock", "cv-mglru")
+	for _, row := range r.Rows {
+		t.row(row.Workload, f3(row.MGLRUPerfNorm), f3(row.MGLRUFaultsNorm),
+			f3(row.ClockPerfCV), f3(row.MGLRUPerfCV))
+	}
+	return "Fig 1: mean performance & faults normalized to Clock (SSD, 50% ratio)\n" + t.String()
+}
+
+// Fig1 runs the Figure 1 experiment.
+func Fig1(r *Runner) (Result, error) {
+	sys := SystemAt(0.5, core.SwapSSD)
+	res := &Fig1Result{}
+	for _, w := range Workloads(r.opts.Scale) {
+		cs, err := r.Run(w, PolicyByName(PolClock), sys)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := r.Run(w, PolicyByName(PolMGLRU), sys)
+		if err != nil {
+			return nil, err
+		}
+		cp := stats.Mean(cs.Performance(w.Latency))
+		mp := stats.Mean(ms.Performance(w.Latency))
+		cf := stats.Mean(cs.Faults())
+		mf := stats.Mean(ms.Faults())
+		res.Rows = append(res.Rows, Fig1Row{
+			Workload:        w.Name,
+			ClockPerf:       cp,
+			ClockFaults:     cf,
+			MGLRUPerfNorm:   safeDiv(mp, cp),
+			MGLRUFaultsNorm: safeDiv(mf, cf),
+			ClockPerfCV:     stats.CV(cs.Performance(w.Latency)),
+			MGLRUPerfCV:     stats.CV(ms.Performance(w.Latency)),
+		})
+	}
+	return res, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// --- Fig 2: joint (runtime, faults) distributions ---
+
+// JointSeries is one (workload, policy) scatter with its linear fit.
+type JointSeries struct {
+	Workload, Policy string
+	Runtimes         []float64 // seconds, per trial
+	Faults           []float64 // per trial
+	Fit              stats.Regression
+	RuntimeSummary   stats.Summary
+}
+
+// Fig2Result reproduces Figure 2.
+type Fig2Result struct{ Series []JointSeries }
+
+// ID implements Result.
+func (r *Fig2Result) ID() string { return "fig2" }
+
+// Render implements Result.
+func (r *Fig2Result) Render() string {
+	t := newTable("workload", "policy", "mean-rt(s)", "rt-spread(max/min)", "rt-cv", "faults-cv", "r2(rt~faults)")
+	for _, s := range r.Series {
+		t.row(s.Workload, s.Policy, f2(s.RuntimeSummary.Mean), f2(s.RuntimeSummary.Spread()),
+			f3(stats.CV(s.Runtimes)), f3(stats.CV(s.Faults)), f3(s.Fit.R2))
+	}
+	return "Fig 2: joint runtime/fault distributions (SSD, 50% ratio)\n" + t.String()
+}
+
+func jointSeries(r *Runner, ws []WorkloadSpec, ps []PolicySpec, sys core.SystemConfig) ([]JointSeries, error) {
+	var out []JointSeries
+	for _, w := range ws {
+		for _, p := range ps {
+			s, err := r.Run(w, p, sys)
+			if err != nil {
+				return nil, err
+			}
+			rt, fl := s.Runtimes(), s.Faults()
+			out = append(out, JointSeries{
+				Workload: w.Name, Policy: p.Name,
+				Runtimes: rt, Faults: fl,
+				Fit:            stats.LinearFit(fl, rt),
+				RuntimeSummary: stats.Summarize(rt),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig2 runs the Figure 2 experiment.
+func Fig2(r *Runner) (Result, error) {
+	series, err := jointSeries(r, batchWorkloads(r.opts.Scale), BaselinePair(), SystemAt(0.5, core.SwapSSD))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Series: series}, nil
+}
+
+// --- Fig 3: YCSB tail latencies, SSD @50% ---
+
+// TailRow is one workload's tail comparison between two policies.
+type TailRow struct {
+	Workload string
+	Class    string // "read" or "write"
+	// Points are the stats.TailPoints percentiles for each policy, ns.
+	Clock, MGLRU []float64
+}
+
+// TailResult renders tail-latency comparisons (Figs. 3, 8, 12 share it).
+type TailResult struct {
+	FigID string
+	Label string
+	Rows  []TailRow
+}
+
+// ID implements Result.
+func (r *TailResult) ID() string { return r.FigID }
+
+// Render implements Result.
+func (r *TailResult) Render() string {
+	t := newTable("workload", "class", "pct", "clock", "mglru", "mglru/clock")
+	for _, row := range r.Rows {
+		for i, p := range stats.TailPoints {
+			if row.Clock[i] == 0 && row.MGLRU[i] == 0 {
+				continue
+			}
+			t.row(row.Workload, row.Class, fmt.Sprintf("p%g", p),
+				nsToMs(row.Clock[i]), nsToMs(row.MGLRU[i]), f2(safeDiv(row.MGLRU[i], row.Clock[i])))
+		}
+	}
+	return r.Label + "\n" + t.String()
+}
+
+func tailFigure(r *Runner, figID, label string, sys core.SystemConfig) (Result, error) {
+	res := &TailResult{FigID: figID, Label: label}
+	for _, w := range ycsbWorkloads(r.opts.Scale) {
+		cs, err := r.Run(w, PolicyByName(PolClock), sys)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := r.Run(w, PolicyByName(PolMGLRU), sys)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TailRow{
+			Workload: w.Name, Class: "read",
+			Clock: cs.MergedReadTail(), MGLRU: ms.MergedReadTail(),
+		})
+		if w.Name != "ycsb-c" { // C is read-only; no write tail
+			res.Rows = append(res.Rows, TailRow{
+				Workload: w.Name, Class: "write",
+				Clock: cs.MergedWriteTail(), MGLRU: ms.MergedWriteTail(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig3 runs the Figure 3 experiment.
+func Fig3(r *Runner) (Result, error) {
+	return tailFigure(r, "fig3", "Fig 3: YCSB tail latencies (SSD, 50% ratio)", SystemAt(0.5, core.SwapSSD))
+}
+
+// --- Fig 4: MG-LRU variant means normalized to default ---
+
+// NormMatrix holds per-workload, per-policy values normalized to a base
+// policy (Figs. 4, 6, 9, 10 share this shape).
+type NormMatrix struct {
+	FigID    string
+	Label    string
+	Base     string
+	Policies []string
+	// Perf[workload][policy] and Faults[workload][policy], normalized.
+	Workloads []string
+	Perf      map[string]map[string]float64
+	Faults    map[string]map[string]float64
+	// PValues[workload] is the Welch p-value for clock-vs-mglru means
+	// when both are present (Fig 6's significance claims).
+	PValues map[string]float64
+}
+
+// ID implements Result.
+func (m *NormMatrix) ID() string { return m.FigID }
+
+// Render implements Result.
+func (m *NormMatrix) Render() string {
+	cols := append([]string{"workload"}, m.Policies...)
+	var b strings.Builder
+	b.WriteString(m.Label + "\n")
+	b.WriteString(fmt.Sprintf("(values normalized to %s; perf)\n", m.Base))
+	t := newTable(cols...)
+	for _, w := range m.Workloads {
+		cells := []string{w}
+		for _, p := range m.Policies {
+			cells = append(cells, f3(m.Perf[w][p]))
+		}
+		t.row(cells...)
+	}
+	b.WriteString(t.String())
+	if m.Faults != nil {
+		b.WriteString("(faults)\n")
+		t = newTable(cols...)
+		for _, w := range m.Workloads {
+			cells := []string{w}
+			for _, p := range m.Policies {
+				cells = append(cells, f3(m.Faults[w][p]))
+			}
+			t.row(cells...)
+		}
+		b.WriteString(t.String())
+	}
+	if len(m.PValues) > 0 {
+		b.WriteString("(Welch p-values, clock vs mglru)\n")
+		t = newTable("workload", "p")
+		for _, w := range m.Workloads {
+			if p, ok := m.PValues[w]; ok {
+				t.row(w, fmt.Sprintf("%.4f", p))
+			}
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+func normMatrix(r *Runner, figID, label, base string, ws []WorkloadSpec, ps []PolicySpec,
+	sys core.SystemConfig, withTTest bool) (*NormMatrix, error) {
+	m := &NormMatrix{
+		FigID: figID, Label: label, Base: base,
+		Perf:    map[string]map[string]float64{},
+		Faults:  map[string]map[string]float64{},
+		PValues: map[string]float64{},
+	}
+	for _, p := range ps {
+		m.Policies = append(m.Policies, p.Name)
+	}
+	for _, w := range ws {
+		m.Workloads = append(m.Workloads, w.Name)
+		bs, err := r.Run(w, PolicyByName(base), sys)
+		if err != nil {
+			return nil, err
+		}
+		basePerf := stats.Mean(bs.Performance(w.Latency))
+		baseFaults := stats.Mean(bs.Faults())
+		m.Perf[w.Name] = map[string]float64{}
+		m.Faults[w.Name] = map[string]float64{}
+		var clockPerf, mglruPerf []float64
+		for _, p := range ps {
+			s, err := r.Run(w, p, sys)
+			if err != nil {
+				return nil, err
+			}
+			perf := s.Performance(w.Latency)
+			m.Perf[w.Name][p.Name] = safeDiv(stats.Mean(perf), basePerf)
+			m.Faults[w.Name][p.Name] = safeDiv(stats.Mean(s.Faults()), baseFaults)
+			switch p.Name {
+			case PolClock:
+				clockPerf = perf
+			case PolMGLRU:
+				mglruPerf = perf
+			}
+		}
+		if withTTest && len(clockPerf) >= 2 && len(mglruPerf) >= 2 {
+			m.PValues[w.Name] = stats.WelchTTest(clockPerf, mglruPerf).P
+		}
+	}
+	return m, nil
+}
+
+// Fig4 runs the Figure 4 experiment.
+func Fig4(r *Runner) (Result, error) {
+	return normMatrix(r, "fig4",
+		"Fig 4: MG-LRU variant means (SSD, 50% ratio)", PolMGLRU,
+		Workloads(r.opts.Scale), MGLRUVariants(), SystemAt(0.5, core.SwapSSD), false)
+}
+
+// --- Fig 5: joint distributions for variants ---
+
+// Fig5Result reproduces Figure 5.
+type Fig5Result struct{ Series []JointSeries }
+
+// ID implements Result.
+func (r *Fig5Result) ID() string { return "fig5" }
+
+// Render implements Result.
+func (r *Fig5Result) Render() string {
+	t := newTable("workload", "policy", "mean-rt(s)", "mean-faults", "r2(rt~faults)", "slope(ms/fault)")
+	for _, s := range r.Series {
+		t.row(s.Workload, s.Policy, f2(s.RuntimeSummary.Mean), f2(stats.Mean(s.Faults)),
+			f3(s.Fit.R2), f3(s.Fit.Slope*1000))
+	}
+	return "Fig 5: variant joint runtime/fault distributions (SSD, 50% ratio)\n" + t.String()
+}
+
+// Fig5 runs the Figure 5 experiment.
+func Fig5(r *Runner) (Result, error) {
+	series, err := jointSeries(r, batchWorkloads(r.opts.Scale), MGLRUVariants(), SystemAt(0.5, core.SwapSSD))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Series: series}, nil
+}
+
+// --- Fig 6: capacity sweep ---
+
+// MultiResult bundles sub-results (per capacity ratio / per medium).
+type MultiResult struct {
+	FigID string
+	Parts []Result
+}
+
+// ID implements Result.
+func (m *MultiResult) ID() string { return m.FigID }
+
+// Render implements Result.
+func (m *MultiResult) Render() string {
+	parts := make([]string, len(m.Parts))
+	for i, p := range m.Parts {
+		parts[i] = p.Render()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Fig6 runs the Figure 6 experiment.
+func Fig6(r *Runner) (Result, error) {
+	out := &MultiResult{FigID: "fig6"}
+	for _, ratio := range []float64{0.75, 0.9} {
+		m, err := normMatrix(r, "fig6",
+			fmt.Sprintf("Fig 6: mean performance at %.0f%% capacity-footprint ratio (SSD)", ratio*100),
+			PolMGLRU, Workloads(r.opts.Scale), AllPolicies(), SystemAt(ratio, core.SwapSSD), true)
+		if err != nil {
+			return nil, err
+		}
+		m.Faults = nil // Fig 6 plots performance only
+		out.Parts = append(out.Parts, m)
+	}
+	return out, nil
+}
+
+// --- Fig 7: fault distributions at higher capacities ---
+
+// Fig7Row is one (ratio, workload, policy) fault five-number summary,
+// normalized to the default-MGLRU mean fault count.
+type Fig7Row struct {
+	Ratio            float64
+	Workload, Policy string
+	Summary          stats.Summary // normalized
+}
+
+// Fig7Result reproduces Figure 7.
+type Fig7Result struct{ Rows []Fig7Row }
+
+// ID implements Result.
+func (r *Fig7Result) ID() string { return "fig7" }
+
+// Render implements Result.
+func (r *Fig7Result) Render() string {
+	t := newTable("ratio", "workload", "policy", "min", "q1", "med", "q3", "max")
+	for _, row := range r.Rows {
+		s := row.Summary
+		t.row(fmt.Sprintf("%.0f%%", row.Ratio*100), row.Workload, row.Policy,
+			f2(s.Min), f2(s.Q1), f2(s.Median), f2(s.Q3), f2(s.Max))
+	}
+	return "Fig 7: fault distributions normalized to mean MG-LRU faults (SSD)\n" + t.String()
+}
+
+// Fig7 runs the Figure 7 experiment.
+func Fig7(r *Runner) (Result, error) {
+	res := &Fig7Result{}
+	for _, ratio := range []float64{0.75, 0.9} {
+		sys := SystemAt(ratio, core.SwapSSD)
+		for _, w := range batchWorkloads(r.opts.Scale) {
+			base, err := r.Run(w, PolicyByName(PolMGLRU), sys)
+			if err != nil {
+				return nil, err
+			}
+			baseMean := stats.Mean(base.Faults())
+			if baseMean == 0 {
+				baseMean = 1
+			}
+			for _, p := range AllPolicies() {
+				s, err := r.Run(w, p, sys)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Fig7Row{
+					Ratio: ratio, Workload: w.Name, Policy: p.Name,
+					Summary: stats.Summarize(stats.Normalize(s.Faults(), baseMean)),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig8 runs the Figure 8 experiment (tails at 75% and 90% capacity).
+func Fig8(r *Runner) (Result, error) {
+	out := &MultiResult{FigID: "fig8"}
+	for _, ratio := range []float64{0.75, 0.9} {
+		t, err := tailFigure(r, "fig8",
+			fmt.Sprintf("Fig 8: YCSB tail latencies at %.0f%% capacity (SSD)", ratio*100),
+			SystemAt(ratio, core.SwapSSD))
+		if err != nil {
+			return nil, err
+		}
+		out.Parts = append(out.Parts, t)
+	}
+	return out, nil
+}
+
+// Fig9 runs the Figure 9 experiment (ZRAM mean performance).
+func Fig9(r *Runner) (Result, error) {
+	m, err := normMatrix(r, "fig9", "Fig 9: mean performance with ZRAM swap (50% ratio)",
+		PolMGLRU, Workloads(r.opts.Scale), AllPolicies(), SystemAt(0.5, core.SwapZRAM), false)
+	if err != nil {
+		return nil, err
+	}
+	m.Faults = nil
+	return m, nil
+}
+
+// Fig10 runs the Figure 10 experiment (ZRAM mean faults).
+func Fig10(r *Runner) (Result, error) {
+	m, err := normMatrix(r, "fig10", "Fig 10: mean faults with ZRAM swap (50% ratio)",
+		PolMGLRU, Workloads(r.opts.Scale), AllPolicies(), SystemAt(0.5, core.SwapZRAM), false)
+	if err != nil {
+		return nil, err
+	}
+	m.Perf, m.Faults = m.Faults, nil // render the fault matrix as the payload
+	return m, nil
+}
+
+// --- Fig 11: ZRAM vs SSD deltas ---
+
+// Fig11Row is one workload's medium comparison for one policy.
+type Fig11Row struct {
+	Workload, Policy     string
+	RuntimeRatio         float64 // zram/ssd
+	FaultRatio           float64 // zram/ssd
+	SSDRuntime, ZRuntime float64 // seconds
+}
+
+// Fig11Result reproduces Figure 11.
+type Fig11Result struct{ Rows []Fig11Row }
+
+// ID implements Result.
+func (r *Fig11Result) ID() string { return "fig11" }
+
+// Render implements Result.
+func (r *Fig11Result) Render() string {
+	t := newTable("workload", "policy", "runtime(zram/ssd)", "faults(zram/ssd)", "rt-ssd(s)", "rt-zram(s)")
+	for _, row := range r.Rows {
+		t.row(row.Workload, row.Policy, f3(row.RuntimeRatio), f3(row.FaultRatio),
+			f2(row.SSDRuntime), f2(row.ZRuntime))
+	}
+	return "Fig 11: change in runtime and faults, ZRAM vs SSD (50% ratio)\n" + t.String()
+}
+
+// Fig11 runs the Figure 11 experiment.
+func Fig11(r *Runner) (Result, error) {
+	res := &Fig11Result{}
+	ssd := SystemAt(0.5, core.SwapSSD)
+	zr := SystemAt(0.5, core.SwapZRAM)
+	for _, w := range Workloads(r.opts.Scale) {
+		for _, p := range BaselinePair() {
+			ss, err := r.Run(w, p, ssd)
+			if err != nil {
+				return nil, err
+			}
+			zs, err := r.Run(w, p, zr)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig11Row{
+				Workload: w.Name, Policy: p.Name,
+				RuntimeRatio: safeDiv(stats.Mean(zs.Runtimes()), stats.Mean(ss.Runtimes())),
+				FaultRatio:   safeDiv(stats.Mean(zs.Faults()), stats.Mean(ss.Faults())),
+				SSDRuntime:   stats.Mean(ss.Runtimes()),
+				ZRuntime:     stats.Mean(zs.Runtimes()),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig12 runs the Figure 12 experiment (ZRAM tails).
+func Fig12(r *Runner) (Result, error) {
+	return tailFigure(r, "fig12", "Fig 12: YCSB tail latencies with ZRAM swap (50% ratio)",
+		SystemAt(0.5, core.SwapZRAM))
+}

@@ -1,0 +1,167 @@
+// Package experiments is the characterization harness: it defines the
+// policy and workload matrices the paper sweeps, runs multi-trial series
+// (25 executions per configuration, fresh system per trial), and
+// regenerates every figure of the evaluation as a typed result with a
+// plain-text rendering.
+package experiments
+
+import (
+	"fmt"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/policy/clock"
+	"mglrusim/internal/policy/mglru"
+	"mglrusim/internal/policy/simple"
+	"mglrusim/internal/workload"
+	"mglrusim/internal/workload/pagerank"
+	"mglrusim/internal/workload/tpch"
+	"mglrusim/internal/workload/ycsb"
+)
+
+// PolicySpec names a replacement-policy configuration.
+type PolicySpec struct {
+	Name string
+	Make core.PolicyFactory
+}
+
+// Canonical policy names, matching the paper's labels, plus the
+// scan-free baselines (not part of the paper's matrix).
+const (
+	PolClock    = "clock"
+	PolMGLRU    = "mglru"
+	PolGen14    = "gen14"
+	PolScanAll  = "scan-all"
+	PolScanNone = "scan-none"
+	PolScanRand = "scan-rand"
+	PolFIFO     = "fifo"
+	PolRandom   = "random"
+)
+
+// Policies returns specs for the requested policy names.
+func Policies(names ...string) []PolicySpec {
+	out := make([]PolicySpec, 0, len(names))
+	for _, n := range names {
+		out = append(out, PolicyByName(n))
+	}
+	return out
+}
+
+// PolicyByName resolves one policy spec; it panics on unknown names.
+func PolicyByName(name string) PolicySpec {
+	switch name {
+	case PolClock:
+		return PolicySpec{Name: name, Make: func() policy.Policy { return clock.New(clock.DefaultConfig()) }}
+	case PolMGLRU:
+		return PolicySpec{Name: name, Make: func() policy.Policy { return mglru.New(mglru.Default()) }}
+	case PolGen14:
+		return PolicySpec{Name: name, Make: func() policy.Policy { return mglru.New(mglru.Gen14()) }}
+	case PolScanAll:
+		return PolicySpec{Name: name, Make: func() policy.Policy { return mglru.New(mglru.ScanAll()) }}
+	case PolScanNone:
+		return PolicySpec{Name: name, Make: func() policy.Policy { return mglru.New(mglru.ScanNone()) }}
+	case PolScanRand:
+		return PolicySpec{Name: name, Make: func() policy.Policy { return mglru.New(mglru.ScanRand(0.5)) }}
+	case PolFIFO:
+		return PolicySpec{Name: name, Make: func() policy.Policy { return simple.NewFIFO() }}
+	case PolRandom:
+		return PolicySpec{Name: name, Make: func() policy.Policy { return simple.NewRandom() }}
+	}
+	panic(fmt.Sprintf("experiments: unknown policy %q", name))
+}
+
+// BaselinePair is the Clock-vs-MGLRU comparison of §V-A.
+func BaselinePair() []PolicySpec { return Policies(PolClock, PolMGLRU) }
+
+// AllPolicies is the full §V-B matrix.
+func AllPolicies() []PolicySpec {
+	return Policies(PolClock, PolMGLRU, PolGen14, PolScanAll, PolScanNone, PolScanRand)
+}
+
+// MGLRUVariants is the §V-B parameter study (normalized to default MG-LRU).
+func MGLRUVariants() []PolicySpec {
+	return Policies(PolMGLRU, PolGen14, PolScanAll, PolScanNone, PolScanRand)
+}
+
+// WorkloadSpec names a workload configuration. Make must return a fresh
+// (or reusable, stateless-across-trials) workload.
+type WorkloadSpec struct {
+	Name string
+	// Latency reports whether the workload's headline metric is request
+	// latency (YCSB) rather than runtime.
+	Latency bool
+	Make    func() workload.Workload
+}
+
+// Workloads returns the paper's five workloads, scaled by scale (1.0 =
+// the calibrated default footprint; larger values grow tables, graphs,
+// item counts, and request volumes proportionally).
+func Workloads(scale float64) []WorkloadSpec {
+	if scale <= 0 {
+		scale = 1
+	}
+	sc := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return []WorkloadSpec{
+		{Name: "tpch", Make: func() workload.Workload {
+			cfg := tpch.DefaultConfig()
+			cfg.LineitemPages = sc(cfg.LineitemPages)
+			cfg.OrdersPages = sc(cfg.OrdersPages)
+			cfg.CustomerPages = sc(cfg.CustomerPages)
+			cfg.HashPages = sc(cfg.HashPages)
+			cfg.InputPages = sc(cfg.InputPages)
+			return tpch.New(cfg)
+		}},
+		{Name: "pagerank", Make: func() workload.Workload {
+			cfg := pagerank.DefaultConfig()
+			cfg.Graph.Vertices = sc(cfg.Graph.Vertices)
+			return pagerank.New(cfg)
+		}},
+		{Name: "ycsb-a", Latency: true, Make: func() workload.Workload {
+			cfg := ycsb.DefaultConfig(ycsb.MixA)
+			cfg.Items = sc(cfg.Items)
+			cfg.Requests = sc(cfg.Requests)
+			return ycsb.New(cfg)
+		}},
+		{Name: "ycsb-b", Latency: true, Make: func() workload.Workload {
+			cfg := ycsb.DefaultConfig(ycsb.MixB)
+			cfg.Items = sc(cfg.Items)
+			cfg.Requests = sc(cfg.Requests)
+			return ycsb.New(cfg)
+		}},
+		{Name: "ycsb-c", Latency: true, Make: func() workload.Workload {
+			cfg := ycsb.DefaultConfig(ycsb.MixC)
+			cfg.Items = sc(cfg.Items)
+			cfg.Requests = sc(cfg.Requests)
+			return ycsb.New(cfg)
+		}},
+	}
+}
+
+// WorkloadByName resolves a single workload spec at the given scale.
+func WorkloadByName(name string, scale float64) WorkloadSpec {
+	for _, w := range Workloads(scale) {
+		if w.Name == name {
+			return w
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown workload %q", name))
+}
+
+// batchWorkloads returns the non-latency (runtime-metric) workloads the
+// joint-distribution figures use.
+func batchWorkloads(scale float64) []WorkloadSpec {
+	all := Workloads(scale)
+	return []WorkloadSpec{all[0], all[1]} // tpch, pagerank
+}
+
+// ycsbWorkloads returns the latency-metric workloads.
+func ycsbWorkloads(scale float64) []WorkloadSpec {
+	all := Workloads(scale)
+	return all[2:]
+}

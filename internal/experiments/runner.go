@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/stats"
+)
+
+// Series is the result of running one (workload, policy, system)
+// configuration for N independent trials.
+type Series struct {
+	Workload string
+	Policy   string
+	System   core.SystemConfig
+	Trials   []core.Metrics
+}
+
+// Runtimes returns per-trial runtimes in seconds.
+func (s *Series) Runtimes() []float64 {
+	out := make([]float64, len(s.Trials))
+	for i, m := range s.Trials {
+		out[i] = m.RuntimeSeconds()
+	}
+	return out
+}
+
+// Faults returns per-trial total fault counts.
+func (s *Series) Faults() []float64 {
+	out := make([]float64, len(s.Trials))
+	for i, m := range s.Trials {
+		out[i] = m.Faults()
+	}
+	return out
+}
+
+// MeanRequestNS returns per-trial mean request latencies (YCSB-style
+// workloads), in nanoseconds.
+func (s *Series) MeanRequestNS() []float64 {
+	out := make([]float64, len(s.Trials))
+	for i, m := range s.Trials {
+		n := m.ReadLat.Count() + m.WriteLat.Count()
+		if n == 0 {
+			continue
+		}
+		sum := m.ReadLat.Mean()*float64(m.ReadLat.Count()) + m.WriteLat.Mean()*float64(m.WriteLat.Count())
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// Performance returns the workload's headline metric per trial: mean
+// request latency for latency workloads, runtime otherwise.
+func (s *Series) Performance(latency bool) []float64 {
+	if latency {
+		return s.MeanRequestNS()
+	}
+	return s.Runtimes()
+}
+
+// MergedReadTail aggregates all trials' read latencies at the paper's
+// tail points.
+func (s *Series) MergedReadTail() []float64 {
+	agg := stats.NewLatencyRecorder(0)
+	for _, m := range s.Trials {
+		agg.Merge(m.ReadLat)
+	}
+	return agg.Tail()
+}
+
+// MergedWriteTail aggregates all trials' write latencies.
+func (s *Series) MergedWriteTail() []float64 {
+	agg := stats.NewLatencyRecorder(0)
+	for _, m := range s.Trials {
+		agg.Merge(m.WriteLat)
+	}
+	if agg.Count() == 0 {
+		return make([]float64, len(stats.TailPoints))
+	}
+	return agg.Tail()
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Trials per configuration (the paper uses 25).
+	Trials int
+	// Scale multiplies workload footprints (1.0 = calibrated default).
+	Scale float64
+	// Seed is the base seed; trial i of a series derives its system
+	// seed from it. The workload seed is fixed so trials are "otherwise
+	// identical executions".
+	Seed uint64
+	// Parallelism bounds concurrent trials (0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed series.
+	Progress io.Writer
+}
+
+// DefaultOptions mirrors the paper's methodology.
+func DefaultOptions() Options {
+	return Options{Trials: 25, Scale: 1.0, Seed: 0x5EED, Parallelism: 0}
+}
+
+func (o Options) normalized() Options {
+	if o.Trials <= 0 {
+		o.Trials = 25
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5EED
+	}
+	return o
+}
+
+// Runner executes series with caching, so figures that share a
+// configuration (for example Fig 1 and Fig 2) reuse trials within one
+// harness invocation.
+type Runner struct {
+	opts  Options
+	mu    sync.Mutex
+	cache map[string]*Series
+}
+
+// NewRunner creates a Runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts.normalized(), cache: map[string]*Series{}}
+}
+
+// Options returns the normalized options.
+func (r *Runner) Options() Options { return r.opts }
+
+// sysKey captures the parts of a system config that identify a series.
+func sysKey(sys core.SystemConfig) string {
+	return fmt.Sprintf("cpus=%d ratio=%.3f swap=%s", sys.CPUs, sys.Ratio, sys.Swap)
+}
+
+// Run executes (or returns the cached) series for the triple.
+func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Series, error) {
+	key := w.Name + "|" + p.Name + "|" + sysKey(sys)
+	r.mu.Lock()
+	if s, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	s := &Series{Workload: w.Name, Policy: p.Name, System: sys,
+		Trials: make([]core.Metrics, r.opts.Trials)}
+
+	// The workload seed is fixed per configuration; the system seed
+	// varies per trial. Workload construction can be expensive (graph
+	// generation), so build once and share: workloads are stateless
+	// across Threads calls.
+	wl := w.Make()
+	workloadSeed := r.opts.Seed ^ 0xABCD
+
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		err   error
+	)
+	sem := make(chan struct{}, r.opts.Parallelism)
+	for i := 0; i < r.opts.Trials; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sysSeed := trialSeed(r.opts.Seed, key, i)
+			m, e := core.RunTrial(wl, p.Make, sys, workloadSeed, sysSeed)
+			if e != nil {
+				errMu.Lock()
+				if err == nil {
+					err = fmt.Errorf("%s trial %d: %w", key, i, e)
+				}
+				errMu.Unlock()
+				return
+			}
+			s.Trials[i] = m
+		}()
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	r.cache[key] = s
+	r.mu.Unlock()
+	if r.opts.Progress != nil {
+		mean := stats.Mean(s.Runtimes())
+		fmt.Fprintf(r.opts.Progress, "series %-40s %d trials, mean runtime %.2fs\n", key, r.opts.Trials, mean)
+	}
+	return s, nil
+}
+
+// trialSeed derives a per-trial system seed that differs across series
+// and trials but is stable for a given base seed.
+func trialSeed(base uint64, key string, trial int) uint64 {
+	h := base
+	for _, c := range key {
+		h = h*1099511628211 + uint64(c)
+	}
+	return h*2654435761 + uint64(trial)*0x9E3779B97F4A7C15 + 1
+}
+
+// RunMatrix executes every (workload, policy) combination under sys.
+func (r *Runner) RunMatrix(ws []WorkloadSpec, ps []PolicySpec, sys core.SystemConfig) (map[string]map[string]*Series, error) {
+	out := map[string]map[string]*Series{}
+	for _, w := range ws {
+		out[w.Name] = map[string]*Series{}
+		for _, p := range ps {
+			s, err := r.Run(w, p, sys)
+			if err != nil {
+				return nil, err
+			}
+			out[w.Name][p.Name] = s
+		}
+	}
+	return out, nil
+}
+
+// SystemAt returns the default system with the given ratio and medium.
+func SystemAt(ratio float64, swapKind core.SwapKind) core.SystemConfig {
+	sys := core.DefaultSystemConfig()
+	sys.Ratio = ratio
+	sys.Swap = swapKind
+	return sys
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mglrusim/internal/sim"
+)
+
+func TestGenerateValidCSR(t *testing.T) {
+	g := Generate(Config{Vertices: 1000, AvgDegree: 8, Alpha: 0.8}, sim.NewRNG(1))
+	if !g.Validate() {
+		t.Fatal("generated CSR invalid")
+	}
+	if g.N != 1000 || g.Edges() != 8000 {
+		t.Fatalf("N=%d E=%d", g.N, g.Edges())
+	}
+}
+
+func TestDegreeSkew(t *testing.T) {
+	g := Generate(Config{Vertices: 4096, AvgDegree: 10, Alpha: 0.9}, sim.NewRNG(2))
+	max := g.MaxDegree()
+	avg := float64(g.Edges()) / float64(g.N)
+	if float64(max) < 10*avg {
+		t.Fatalf("max degree %d not hub-like vs avg %.1f", max, avg)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := Generate(DefaultConfig(), sim.NewRNG(7))
+	b := Generate(DefaultConfig(), sim.NewRNG(7))
+	if a.Edges() != b.Edges() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("graphs differ for same seed")
+		}
+	}
+	c := Generate(DefaultConfig(), sim.NewRNG(8))
+	same := true
+	for i := range a.Col {
+		if a.Col[i] != c.Col[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestHubsScatteredAcrossIDSpace(t *testing.T) {
+	g := Generate(Config{Vertices: 4096, AvgDegree: 10, Alpha: 0.9}, sim.NewRNG(3))
+	// Find the top-degree vertex; over a few seeds it should not always
+	// be in the first quartile of IDs.
+	inFirstQuartile := 0
+	for seed := uint64(0); seed < 8; seed++ {
+		g = Generate(Config{Vertices: 4096, AvgDegree: 10, Alpha: 0.9}, sim.NewRNG(seed))
+		best, bestDeg := 0, -1
+		for v := 0; v < g.N; v++ {
+			if d := g.Degree(v); d > bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		if best < g.N/4 {
+			inFirstQuartile++
+		}
+	}
+	if inFirstQuartile == 8 {
+		t.Fatal("hubs always in first ID quartile; scattering broken")
+	}
+}
+
+// Property: CSR validity holds across sizes and seeds.
+func TestGenerateValidProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int(nRaw)%500 + 2
+		d := int(dRaw)%8 + 1
+		g := Generate(Config{Vertices: n, AvgDegree: d, Alpha: 0.7}, sim.NewRNG(seed))
+		return g.Validate() && g.Edges() == n*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

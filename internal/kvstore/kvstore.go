@@ -1,0 +1,122 @@
+// Package kvstore models a memcached-like in-memory key-value cache at
+// the page level: a bucketed hash index plus slab-allocated item storage.
+// It answers the only question the simulator needs — which pages does a
+// GET or SET touch — while preserving the structural properties that
+// matter for replacement: the index is small and uniformly hot, the slab
+// space is large with popularity-skewed access.
+package kvstore
+
+import (
+	"mglrusim/internal/pagetable"
+)
+
+// Config sizes the store.
+type Config struct {
+	// Items is the number of cached items.
+	Items int
+	// ItemSize is the per-item byte footprint (key + value + header).
+	ItemSize int
+	// BucketsPerItem controls index density; memcached defaults to a
+	// hash table sized near the item count.
+	BucketsPerItem float64
+	// BucketSize is the byte cost of one bucket (pointer + chain).
+	BucketSize int
+}
+
+// DefaultConfig returns a memcached-like sizing with 1 KiB items.
+func DefaultConfig(items int) Config {
+	return Config{Items: items, ItemSize: 1024, BucketsPerItem: 1.0, BucketSize: 8}
+}
+
+// Store is the page-level model.
+type Store struct {
+	cfg           Config
+	indexBase     pagetable.VPN
+	indexPages    int
+	slabBase      pagetable.VPN
+	slabPages     int
+	itemsPerPage  int
+	bucketsPerPag int
+	buckets       int
+}
+
+// New lays the store out starting at base and returns it. Layout order:
+// hash index, then slabs.
+func New(cfg Config, base pagetable.VPN) *Store {
+	if cfg.Items <= 0 || cfg.ItemSize <= 0 {
+		panic("kvstore: invalid config")
+	}
+	if cfg.ItemSize > pagetable.PageSize {
+		panic("kvstore: items larger than a page are not modeled")
+	}
+	s := &Store{cfg: cfg}
+	s.buckets = int(float64(cfg.Items) * cfg.BucketsPerItem)
+	if s.buckets < 1 {
+		s.buckets = 1
+	}
+	s.bucketsPerPag = pagetable.PageSize / cfg.BucketSize
+	s.indexPages = (s.buckets + s.bucketsPerPag - 1) / s.bucketsPerPag
+	s.itemsPerPage = pagetable.PageSize / cfg.ItemSize
+	s.slabPages = (cfg.Items + s.itemsPerPage - 1) / s.itemsPerPage
+	s.indexBase = base
+	s.slabBase = base + pagetable.VPN(s.indexPages)
+	return s
+}
+
+// Pages reports the total mapped footprint in pages.
+func (s *Store) Pages() int { return s.indexPages + s.slabPages }
+
+// IndexPages reports the hash-index page count.
+func (s *Store) IndexPages() int { return s.indexPages }
+
+// SlabPages reports the item-storage page count.
+func (s *Store) SlabPages() int { return s.slabPages }
+
+// End reports the first VPN after the store.
+func (s *Store) End() pagetable.VPN { return s.slabBase + pagetable.VPN(s.slabPages) }
+
+// hash mixes a key for bucket selection.
+func hash(key int64) uint64 {
+	z := uint64(key) * 0x9e3779b97f4a7c15
+	z ^= z >> 29
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 32
+	return z
+}
+
+// IndexPage returns the index page a key's bucket lives on.
+func (s *Store) IndexPage(key int64) pagetable.VPN {
+	b := int(hash(key) % uint64(s.buckets))
+	return s.indexBase + pagetable.VPN(b/s.bucketsPerPag)
+}
+
+// ItemPage returns the slab page holding the item for key. Items are
+// placed by insertion order hashing, so popular keys scatter uniformly
+// over the slab space (as with memcached slab allocation).
+func (s *Store) ItemPage(key int64) pagetable.VPN {
+	slotIdx := int(hash(key^0x5bf03635) % uint64(s.cfg.Items))
+	return s.slabBase + pagetable.VPN(slotIdx/s.itemsPerPage)
+}
+
+// PageAccess describes one page touch of a request.
+type PageAccess struct {
+	VPN   pagetable.VPN
+	Write bool
+}
+
+// Get returns the page accesses of a GET: bucket lookup, then item read.
+func (s *Store) Get(key int64) [2]PageAccess {
+	return [2]PageAccess{
+		{VPN: s.IndexPage(key)},
+		{VPN: s.ItemPage(key)},
+	}
+}
+
+// Set returns the page accesses of a SET/UPDATE: bucket lookup (read),
+// then item write.
+func (s *Store) Set(key int64) [2]PageAccess {
+	return [2]PageAccess{
+		{VPN: s.IndexPage(key)},
+		{VPN: s.ItemPage(key), Write: true},
+	}
+}

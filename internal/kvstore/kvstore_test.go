@@ -1,0 +1,99 @@
+package kvstore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mglrusim/internal/pagetable"
+)
+
+func TestLayoutSizing(t *testing.T) {
+	s := New(DefaultConfig(4096), 100)
+	// 4096 items at 1 KiB, 4 per page -> 1024 slab pages.
+	if s.SlabPages() != 1024 {
+		t.Fatalf("slab pages = %d, want 1024", s.SlabPages())
+	}
+	// 4096 buckets at 8 B, 512 per page -> 8 index pages.
+	if s.IndexPages() != 8 {
+		t.Fatalf("index pages = %d, want 8", s.IndexPages())
+	}
+	if s.Pages() != 1032 {
+		t.Fatalf("total = %d", s.Pages())
+	}
+	if s.End() != 100+1032 {
+		t.Fatalf("end = %d", s.End())
+	}
+}
+
+func TestGetTouchesIndexThenItem(t *testing.T) {
+	s := New(DefaultConfig(1000), 0)
+	acc := s.Get(42)
+	if acc[0].Write || acc[1].Write {
+		t.Fatal("GET must not write")
+	}
+	if acc[0].VPN >= pagetable.VPN(s.IndexPages()) {
+		t.Fatalf("first access %d outside index", acc[0].VPN)
+	}
+	if acc[1].VPN < pagetable.VPN(s.IndexPages()) {
+		t.Fatalf("second access %d inside index", acc[1].VPN)
+	}
+}
+
+func TestSetWritesItemOnly(t *testing.T) {
+	s := New(DefaultConfig(1000), 0)
+	acc := s.Set(42)
+	if acc[0].Write {
+		t.Fatal("bucket lookup should be a read")
+	}
+	if !acc[1].Write {
+		t.Fatal("item store should be a write")
+	}
+}
+
+func TestSameKeySamePages(t *testing.T) {
+	s := New(DefaultConfig(1000), 0)
+	a, b := s.Get(7), s.Get(7)
+	if a != b {
+		t.Fatal("GET not deterministic per key")
+	}
+}
+
+func TestKeysSpreadOverSlabs(t *testing.T) {
+	s := New(DefaultConfig(10000), 0)
+	pages := map[pagetable.VPN]bool{}
+	for k := int64(0); k < 2000; k++ {
+		pages[s.ItemPage(k)] = true
+	}
+	if len(pages) < s.SlabPages()/4 {
+		t.Fatalf("keys concentrated on %d pages of %d", len(pages), s.SlabPages())
+	}
+}
+
+func TestOversizeItemPanics(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.ItemSize = 8192
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversize items")
+		}
+	}()
+	New(cfg, 0)
+}
+
+// Property: every access of every key stays inside the store's extent.
+func TestAccessesInBoundsProperty(t *testing.T) {
+	s := New(DefaultConfig(5000), 1234)
+	f := func(key int64) bool {
+		for _, acc := range [][2]PageAccess{s.Get(key), s.Set(key)} {
+			for _, a := range acc {
+				if a.VPN < 1234 || a.VPN >= s.End() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

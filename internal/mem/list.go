@@ -1,0 +1,164 @@
+package mem
+
+// List is an intrusive doubly-linked list of frames, threaded through the
+// Next/Prev fields of Frame metadata. All operations are O(1) except
+// iteration. A frame may be on at most one list at a time; each List has an
+// ID recorded in the frame so cross-list bugs fail fast.
+//
+// Orientation follows kernel convention: pages are added at the head
+// (most recently classified) and reclaimed from the tail (least recently
+// classified).
+type List struct {
+	mem  *Memory
+	id   int16
+	head FrameID
+	tail FrameID
+	n    int
+}
+
+// NewList creates a list with identity id over memory m. IDs must be
+// non-negative and unique among lists that can share frames.
+func NewList(m *Memory, id int16) *List {
+	if id < 0 {
+		panic("mem: list id must be non-negative")
+	}
+	return &List{mem: m, id: id, head: NilFrame, tail: NilFrame}
+}
+
+// ID reports the list identity.
+func (l *List) ID() int16 { return l.id }
+
+// Len reports the number of frames on the list.
+func (l *List) Len() int { return l.n }
+
+// Empty reports whether the list has no frames.
+func (l *List) Empty() bool { return l.n == 0 }
+
+// Head returns the most recently added frame, or NilFrame.
+func (l *List) Head() FrameID { return l.head }
+
+// Tail returns the oldest frame, or NilFrame.
+func (l *List) Tail() FrameID { return l.tail }
+
+// PushHead inserts f at the head. f must not be on any list.
+func (l *List) PushHead(f FrameID) {
+	fr := l.mem.Frame(f)
+	if fr.ListID != ListNone {
+		panic("mem: frame already on a list")
+	}
+	fr.ListID = l.id
+	fr.Prev = NilFrame
+	fr.Next = l.head
+	if l.head != NilFrame {
+		l.mem.Frame(l.head).Prev = f
+	}
+	l.head = f
+	if l.tail == NilFrame {
+		l.tail = f
+	}
+	l.n++
+}
+
+// PushTail inserts f at the tail. f must not be on any list.
+func (l *List) PushTail(f FrameID) {
+	fr := l.mem.Frame(f)
+	if fr.ListID != ListNone {
+		panic("mem: frame already on a list")
+	}
+	fr.ListID = l.id
+	fr.Next = NilFrame
+	fr.Prev = l.tail
+	if l.tail != NilFrame {
+		l.mem.Frame(l.tail).Next = f
+	}
+	l.tail = f
+	if l.head == NilFrame {
+		l.head = f
+	}
+	l.n++
+}
+
+// Remove unlinks f from this list. It panics if f is on a different list.
+func (l *List) Remove(f FrameID) {
+	fr := l.mem.Frame(f)
+	if fr.ListID != l.id {
+		panic("mem: removing frame from wrong list")
+	}
+	if fr.Prev != NilFrame {
+		l.mem.Frame(fr.Prev).Next = fr.Next
+	} else {
+		l.head = fr.Next
+	}
+	if fr.Next != NilFrame {
+		l.mem.Frame(fr.Next).Prev = fr.Prev
+	} else {
+		l.tail = fr.Prev
+	}
+	fr.ListID = ListNone
+	fr.Next, fr.Prev = NilFrame, NilFrame
+	l.n--
+}
+
+// PopTail removes and returns the tail frame, or NilFrame when empty.
+func (l *List) PopTail() FrameID {
+	f := l.tail
+	if f != NilFrame {
+		l.Remove(f)
+	}
+	return f
+}
+
+// PopHead removes and returns the head frame, or NilFrame when empty.
+func (l *List) PopHead() FrameID {
+	f := l.head
+	if f != NilFrame {
+		l.Remove(f)
+	}
+	return f
+}
+
+// MoveToHead rotates f (already on this list) to the head.
+func (l *List) MoveToHead(f FrameID) {
+	l.Remove(f)
+	l.PushHead(f)
+}
+
+// MoveTo removes f from this list and pushes it onto the head of dst.
+func (l *List) MoveTo(f FrameID, dst *List) {
+	l.Remove(f)
+	dst.PushHead(f)
+}
+
+// Each calls fn for every frame from tail to head (reclaim order),
+// stopping early if fn returns false. It is safe for fn to remember frames
+// but not to mutate the list during iteration.
+func (l *List) Each(fn func(FrameID) bool) {
+	for f := l.tail; f != NilFrame; {
+		fr := l.mem.Frame(f)
+		next := fr.Prev
+		if !fn(f) {
+			return
+		}
+		f = next
+	}
+}
+
+// Validate checks structural invariants (used by tests and the property
+// suite): length agrees with links, no cycles, consistent back-pointers,
+// and every member carries this list's ID.
+func (l *List) Validate() bool {
+	count := 0
+	prev := NilFrame
+	for f := l.head; f != NilFrame; f = l.mem.Frame(f).Next {
+		fr := l.mem.Frame(f)
+		if fr.ListID != l.id || fr.Prev != prev {
+			return false
+		}
+		prev = f
+		count++
+		if count > l.mem.Size() {
+			return false // cycle
+		}
+	}
+	return count == l.n && prev == l.tail
+}

@@ -1,0 +1,161 @@
+// Package mem models physical memory: a fixed array of page frames with
+// per-frame metadata (the simulator's analogue of the kernel's struct
+// page), a free list, and reclaim watermarks.
+//
+// Frame metadata includes intrusive doubly-linked list hooks so replacement
+// policies can move pages between LRU lists in O(1), exactly as the kernel
+// does — the paper notes that generation moves being O(1) is what makes
+// large generation counts (Gen-14) viable.
+package mem
+
+// FrameID indexes a physical frame. NilFrame means "no frame".
+type FrameID int32
+
+// NilFrame is the absent-frame sentinel.
+const NilFrame FrameID = -1
+
+// PageFlags describe frame state relevant to replacement.
+type PageFlags uint16
+
+const (
+	// FlagDirty marks content modified since load; eviction must write it
+	// to swap rather than just dropping it.
+	FlagDirty PageFlags = 1 << iota
+	// FlagFile marks a page backed by a file descriptor (page cache), which
+	// MG-LRU promotes by tier rather than to the youngest generation.
+	FlagFile
+	// FlagWorkingset marks a page that refaulted soon after eviction.
+	FlagWorkingset
+	// FlagPrefetch marks a page brought in speculatively by swap
+	// readahead rather than by a demand fault; policies give such pages
+	// less protection.
+	FlagPrefetch
+)
+
+// Frame is the metadata for one physical page frame.
+type Frame struct {
+	// VPN is the virtual page mapped into this frame, or -1 when free.
+	VPN int64
+	// Flags holds replacement-relevant state bits.
+	Flags PageFlags
+	// Gen is the MG-LRU generation sequence number of the page.
+	Gen uint64
+	// Tier is the MG-LRU tier within the generation (log2 of references).
+	Tier uint8
+	// Refs counts accesses through file descriptors since the last
+	// generation move; Tier = log2(Refs+1) capped at MaxTier.
+	Refs uint8
+	// ListID identifies which policy list the frame is on (policy-defined),
+	// or ListNone.
+	ListID int16
+	// Next and Prev are intrusive list linkage, managed by List.
+	Next, Prev FrameID
+}
+
+// ListNone marks a frame that is on no policy list.
+const ListNone int16 = -1
+
+// Reset returns the frame metadata to its freshly-freed state.
+func (f *Frame) Reset() {
+	f.VPN = -1
+	f.Flags = 0
+	f.Gen = 0
+	f.Tier = 0
+	f.Refs = 0
+	f.ListID = ListNone
+	f.Next, f.Prev = NilFrame, NilFrame
+}
+
+// Memory is a physical memory of a fixed number of frames.
+type Memory struct {
+	frames []Frame
+	free   []FrameID
+
+	// Watermarks, in pages. Reclaim is triggered when free pages drop
+	// below Low, and background reclaim aims to restore High. Direct
+	// reclaim (the faulting thread reclaims synchronously) kicks in
+	// below Min.
+	Min, Low, High int
+}
+
+// New creates a Memory with n frames, all free, with Linux-style default
+// watermarks derived from capacity.
+func New(n int) *Memory {
+	if n <= 0 {
+		panic("mem: capacity must be positive")
+	}
+	m := &Memory{
+		frames: make([]Frame, n),
+		free:   make([]FrameID, 0, n),
+	}
+	for i := range m.frames {
+		m.frames[i].Reset()
+	}
+	// Free list in descending order so allocation hands out low frames
+	// first; deterministic.
+	for i := n - 1; i >= 0; i-- {
+		m.free = append(m.free, FrameID(i))
+	}
+	// Watermark defaults: min ~0.8%, low 1%, high 3% of capacity, with
+	// floors so tiny test memories still behave.
+	m.Min = maxInt(2, n*8/1000)
+	m.Low = maxInt(4, n/100)
+	m.High = maxInt(8, n*3/100)
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Size reports total frames.
+func (m *Memory) Size() int { return len(m.frames) }
+
+// FreePages reports how many frames are currently free.
+func (m *Memory) FreePages() int { return len(m.free) }
+
+// UsedPages reports how many frames are allocated.
+func (m *Memory) UsedPages() int { return len(m.frames) - len(m.free) }
+
+// Frame returns the metadata for frame f. The pointer stays valid for the
+// lifetime of the Memory.
+func (m *Memory) Frame(f FrameID) *Frame {
+	return &m.frames[f]
+}
+
+// Alloc takes a free frame, or returns NilFrame when none is available.
+// The returned frame's metadata has been Reset.
+func (m *Memory) Alloc() FrameID {
+	if len(m.free) == 0 {
+		return NilFrame
+	}
+	f := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	return f
+}
+
+// Free returns frame f to the free list and clears its metadata.
+// Freeing a frame that is still on a policy list is a bug and panics.
+func (m *Memory) Free(f FrameID) {
+	fr := &m.frames[f]
+	if fr.ListID != ListNone {
+		panic("mem: freeing frame still on a policy list")
+	}
+	fr.Reset()
+	m.free = append(m.free, f)
+}
+
+// BelowMin reports whether free memory is under the direct-reclaim
+// watermark.
+func (m *Memory) BelowMin() bool { return len(m.free) < m.Min }
+
+// BelowLow reports whether free memory is under the background-reclaim
+// wakeup watermark.
+func (m *Memory) BelowLow() bool { return len(m.free) < m.Low }
+
+// BelowHigh reports whether free memory is under the background-reclaim
+// target watermark.
+func (m *Memory) BelowHigh() bool { return len(m.free) < m.High }

@@ -1,0 +1,303 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	m := New(8)
+	if m.FreePages() != 8 {
+		t.Fatalf("free = %d, want 8", m.FreePages())
+	}
+	f := m.Alloc()
+	if f == NilFrame {
+		t.Fatal("alloc failed")
+	}
+	if m.FreePages() != 7 || m.UsedPages() != 1 {
+		t.Fatalf("free = %d used = %d", m.FreePages(), m.UsedPages())
+	}
+	m.Frame(f).VPN = 42
+	m.Frame(f).VPN = -1
+	m.Free(f)
+	if m.FreePages() != 8 {
+		t.Fatalf("free after Free = %d", m.FreePages())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := New(3)
+	for i := 0; i < 3; i++ {
+		if m.Alloc() == NilFrame {
+			t.Fatal("premature exhaustion")
+		}
+	}
+	if m.Alloc() != NilFrame {
+		t.Fatal("alloc should fail when empty")
+	}
+}
+
+func TestFreeResetsMetadata(t *testing.T) {
+	m := New(2)
+	f := m.Alloc()
+	fr := m.Frame(f)
+	fr.VPN = 7
+	fr.Flags = FlagDirty | FlagFile
+	fr.Gen = 9
+	fr.Tier = 3
+	m.Free(f)
+	g := m.Alloc() // may be a different frame; alloc both to find f
+	h := m.Alloc()
+	for _, id := range []FrameID{g, h} {
+		if id == f {
+			fr := m.Frame(id)
+			if fr.VPN != -1 || fr.Flags != 0 || fr.Gen != 0 || fr.Tier != 0 {
+				t.Fatalf("metadata not reset: %+v", *fr)
+			}
+		}
+	}
+}
+
+func TestFreeOnListPanics(t *testing.T) {
+	m := New(2)
+	l := NewList(m, 0)
+	f := m.Alloc()
+	l.PushHead(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when freeing listed frame")
+		}
+	}()
+	m.Free(f)
+}
+
+func TestWatermarks(t *testing.T) {
+	m := New(1000)
+	if m.Min >= m.Low || m.Low >= m.High {
+		t.Fatalf("watermark ordering violated: %d %d %d", m.Min, m.Low, m.High)
+	}
+	for m.FreePages() > m.High {
+		m.Alloc()
+	}
+	if !m.BelowHigh() && m.FreePages() >= m.High {
+		// boundary: below-high means strictly under
+		t.Log("at high watermark boundary")
+	}
+	for m.FreePages() >= m.Low {
+		m.Alloc()
+	}
+	if !m.BelowLow() {
+		t.Fatal("BelowLow should be true")
+	}
+	for m.FreePages() >= m.Min {
+		m.Alloc()
+	}
+	if !m.BelowMin() {
+		t.Fatal("BelowMin should be true")
+	}
+}
+
+func TestListPushPopOrder(t *testing.T) {
+	m := New(10)
+	l := NewList(m, 0)
+	var fs []FrameID
+	for i := 0; i < 4; i++ {
+		f := m.Alloc()
+		fs = append(fs, f)
+		l.PushHead(f)
+	}
+	// Tail should be the first pushed (oldest).
+	if got := l.PopTail(); got != fs[0] {
+		t.Fatalf("PopTail = %d, want %d", got, fs[0])
+	}
+	if got := l.PopHead(); got != fs[3] {
+		t.Fatalf("PopHead = %d, want %d", got, fs[3])
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l.Len())
+	}
+	if !l.Validate() {
+		t.Fatal("list invalid")
+	}
+}
+
+func TestListMoveToHead(t *testing.T) {
+	m := New(10)
+	l := NewList(m, 0)
+	a, b, c := m.Alloc(), m.Alloc(), m.Alloc()
+	l.PushHead(a)
+	l.PushHead(b)
+	l.PushHead(c)
+	l.MoveToHead(a)
+	if l.Head() != a || l.Tail() != b {
+		t.Fatalf("head=%d tail=%d, want head=%d tail=%d", l.Head(), l.Tail(), a, b)
+	}
+	if !l.Validate() {
+		t.Fatal("list invalid after rotation")
+	}
+}
+
+func TestListMoveBetweenLists(t *testing.T) {
+	m := New(10)
+	src := NewList(m, 0)
+	dst := NewList(m, 1)
+	f := m.Alloc()
+	src.PushHead(f)
+	src.MoveTo(f, dst)
+	if src.Len() != 0 || dst.Len() != 1 {
+		t.Fatalf("src=%d dst=%d", src.Len(), dst.Len())
+	}
+	if m.Frame(f).ListID != dst.ID() {
+		t.Fatal("frame list id not updated")
+	}
+	if !src.Validate() || !dst.Validate() {
+		t.Fatal("lists invalid")
+	}
+}
+
+func TestListDoublePushPanics(t *testing.T) {
+	m := New(4)
+	l := NewList(m, 0)
+	f := m.Alloc()
+	l.PushHead(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double push")
+		}
+	}()
+	l.PushTail(f)
+}
+
+func TestListRemoveFromWrongListPanics(t *testing.T) {
+	m := New(4)
+	a := NewList(m, 0)
+	b := NewList(m, 1)
+	f := m.Alloc()
+	a.PushHead(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic removing from wrong list")
+		}
+	}()
+	b.Remove(f)
+}
+
+func TestListEachVisitsTailToHead(t *testing.T) {
+	m := New(10)
+	l := NewList(m, 0)
+	var fs []FrameID
+	for i := 0; i < 5; i++ {
+		f := m.Alloc()
+		fs = append(fs, f)
+		l.PushHead(f)
+	}
+	var visited []FrameID
+	l.Each(func(f FrameID) bool {
+		visited = append(visited, f)
+		return true
+	})
+	for i, f := range visited {
+		if f != fs[i] {
+			t.Fatalf("visit order %v, want %v", visited, fs)
+		}
+	}
+}
+
+func TestListEachEarlyStop(t *testing.T) {
+	m := New(10)
+	l := NewList(m, 0)
+	for i := 0; i < 5; i++ {
+		l.PushHead(m.Alloc())
+	}
+	n := 0
+	l.Each(func(FrameID) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("visited %d, want 2", n)
+	}
+}
+
+// Property: a random sequence of list operations keeps every list valid
+// and every frame on at most one list.
+func TestListOperationsInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New(32)
+		lists := []*List{NewList(m, 0), NewList(m, 1), NewList(m, 2)}
+		var owned []FrameID // allocated frames
+		onList := map[FrameID]int{}
+		for _, op := range ops {
+			switch op % 5 {
+			case 0: // alloc + push to random list
+				fid := m.Alloc()
+				if fid == NilFrame {
+					continue
+				}
+				li := int(op/5) % 3
+				lists[li].PushHead(fid)
+				owned = append(owned, fid)
+				onList[fid] = li
+			case 1: // pop tail from a list and free
+				li := int(op/5) % 3
+				fid := lists[li].PopTail()
+				if fid == NilFrame {
+					continue
+				}
+				delete(onList, fid)
+				m.Free(fid)
+				for i, v := range owned {
+					if v == fid {
+						owned = append(owned[:i], owned[i+1:]...)
+						break
+					}
+				}
+			case 2: // rotate a list's tail to head
+				li := int(op/5) % 3
+				if tail := lists[li].Tail(); tail != NilFrame {
+					lists[li].MoveToHead(tail)
+				}
+			case 3: // move tail to another list
+				li := int(op/5) % 3
+				dst := (li + 1) % 3
+				if tail := lists[li].Tail(); tail != NilFrame {
+					lists[li].MoveTo(tail, lists[dst])
+					onList[tail] = dst
+				}
+			case 4: // push tail instead of head
+				fid := m.Alloc()
+				if fid == NilFrame {
+					continue
+				}
+				li := int(op/5) % 3
+				lists[li].PushTail(fid)
+				owned = append(owned, fid)
+				onList[fid] = li
+			}
+		}
+		total := 0
+		for li, l := range lists {
+			if !l.Validate() {
+				return false
+			}
+			total += l.Len()
+			// every frame claiming membership must be mapped to this list
+			count := 0
+			l.Each(func(fid FrameID) bool {
+				if onList[fid] != li {
+					count = -1 << 30
+					return false
+				}
+				count++
+				return true
+			})
+			if count != l.Len() {
+				return false
+			}
+		}
+		return total == len(owned)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

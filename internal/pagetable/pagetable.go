@@ -1,0 +1,255 @@
+// Package pagetable models a process page table at the granularity the
+// replacement policies care about: PTEs carrying Present/Accessed/Dirty
+// bits, grouped into PMD-sized regions of 512 entries (2 MB of virtual
+// address space with 4 KB pages).
+//
+// Hardware behaviour is mimicked by Walk, which sets the Accessed (and
+// Dirty) bits exactly as a page walk would; policies later harvest and
+// clear those bits, either through the reverse map (Clock, MG-LRU
+// eviction) or through linear region scans (MG-LRU aging).
+//
+// The table can contain holes — regions that are mapped into the address
+// space layout but never populated. Those are what make naive linear scans
+// wasteful and motivate MG-LRU's bloom filter.
+package pagetable
+
+import "mglrusim/internal/mem"
+
+// VPN is a virtual page number within a process address space.
+type VPN int64
+
+// Layout constants (4 KB pages, x86-64-style PMD grouping).
+const (
+	// PTEsPerRegion is the real PMD fanout (512 PTEs = 2 MB regions) and
+	// the default region size. Simulations with scaled-down footprints
+	// pass a smaller region size to New so that region counts — and with
+	// them the bloom-filter dynamics — stay in proportion.
+	PTEsPerRegion = 512
+	// PTEsPerCacheLine is how many 8-byte PTEs share a cache line; the
+	// bloom-filter density rule is expressed in these units.
+	PTEsPerCacheLine = 8
+	// PageSize in bytes.
+	PageSize = 4096
+)
+
+// PTE bit positions.
+const (
+	BitMapped   uint8 = 1 << iota // VA is valid (backed by the process layout)
+	BitPresent                    // page resident in a frame
+	BitAccessed                   // set by hardware walk since last clear
+	BitDirty                      // written since load
+	BitFile                       // backed by a file descriptor
+)
+
+// NilSwap marks a PTE with no swap slot assigned.
+const NilSwap int32 = -1
+
+// PTE is one page-table entry.
+type PTE struct {
+	Frame mem.FrameID // valid when BitPresent
+	Swap  int32       // swap slot when swapped out, else NilSwap
+	Bits  uint8
+}
+
+// Present reports whether the PTE maps a resident page.
+func (p *PTE) Present() bool { return p.Bits&BitPresent != 0 }
+
+// Mapped reports whether the VA is valid at all.
+func (p *PTE) Mapped() bool { return p.Bits&BitMapped != 0 }
+
+// Accessed reports the A bit.
+func (p *PTE) Accessed() bool { return p.Bits&BitAccessed != 0 }
+
+// Dirty reports the D bit.
+func (p *PTE) Dirty() bool { return p.Bits&BitDirty != 0 }
+
+// File reports whether the page is file-backed.
+func (p *PTE) File() bool { return p.Bits&BitFile != 0 }
+
+// Table is a process page table over a contiguous span of regions.
+type Table struct {
+	ptes          []PTE
+	regionPresent []int32 // resident pages per region
+	perRegion     int
+	present       int
+	mapped        int
+}
+
+// New creates a table spanning regions PMD regions of PTEsPerRegion
+// entries each, all holes initially.
+func New(regions int) *Table { return NewWithRegionSize(regions, PTEsPerRegion) }
+
+// NewWithRegionSize creates a table with a custom region fanout, used by
+// scaled-down simulations to keep region counts proportional.
+func NewWithRegionSize(regions, perRegion int) *Table {
+	if regions <= 0 {
+		panic("pagetable: need at least one region")
+	}
+	if perRegion < PTEsPerCacheLine {
+		panic("pagetable: region smaller than a cache line")
+	}
+	t := &Table{
+		ptes:          make([]PTE, regions*perRegion),
+		regionPresent: make([]int32, regions),
+		perRegion:     perRegion,
+	}
+	for i := range t.ptes {
+		t.ptes[i].Frame = mem.NilFrame
+		t.ptes[i].Swap = NilSwap
+	}
+	return t
+}
+
+// RegionPTEs reports the region fanout of this table.
+func (t *Table) RegionPTEs() int { return t.perRegion }
+
+// Regions reports the number of PMD regions.
+func (t *Table) Regions() int { return len(t.regionPresent) }
+
+// Pages reports the total VA span in pages (including holes).
+func (t *Table) Pages() int { return len(t.ptes) }
+
+// PresentPages reports resident pages.
+func (t *Table) PresentPages() int { return t.present }
+
+// MappedPages reports valid (non-hole) pages.
+func (t *Table) MappedPages() int { return t.mapped }
+
+// RegionOf returns the region index containing vpn.
+func (t *Table) RegionOf(vpn VPN) int { return int(vpn) / t.perRegion }
+
+// RegionStart returns the first VPN of region r.
+func (t *Table) RegionStart(r int) VPN { return VPN(r * t.perRegion) }
+
+// PTE returns the entry for vpn. The pointer stays valid for the table's
+// lifetime; callers must go through Table methods for state transitions
+// that affect counters.
+func (t *Table) PTE(vpn VPN) *PTE { return &t.ptes[vpn] }
+
+// MapRange marks n pages starting at start as valid addresses (anonymous
+// by default); file marks them file-backed.
+func (t *Table) MapRange(start VPN, n int, file bool) {
+	for i := 0; i < n; i++ {
+		p := &t.ptes[start+VPN(i)]
+		if p.Bits&BitMapped == 0 {
+			t.mapped++
+		}
+		p.Bits |= BitMapped
+		if file {
+			p.Bits |= BitFile
+		}
+	}
+}
+
+// Walk simulates a hardware page walk for vpn: if the page is present it
+// sets the Accessed bit (and Dirty on writes) and returns its frame with
+// ok=true; otherwise it returns ok=false (a fault). Walking an unmapped
+// address panics — that is a workload bug, not a simulated condition.
+func (t *Table) Walk(vpn VPN, write bool) (f mem.FrameID, ok bool) {
+	p := &t.ptes[vpn]
+	if p.Bits&BitMapped == 0 {
+		panic("pagetable: access to unmapped address")
+	}
+	if p.Bits&BitPresent == 0 {
+		return mem.NilFrame, false
+	}
+	p.Bits |= BitAccessed
+	if write {
+		p.Bits |= BitDirty
+	}
+	return p.Frame, true
+}
+
+// Insert makes vpn resident in frame f. Any swap-slot association is
+// preserved (the swap-cache copy stays valid until the page is dirtied),
+// so clean re-evictions need no writeback. The new PTE starts with the
+// Accessed bit set (the faulting access) and Dirty if write.
+func (t *Table) Insert(vpn VPN, f mem.FrameID, write bool) {
+	p := &t.ptes[vpn]
+	if p.Bits&BitMapped == 0 {
+		panic("pagetable: inserting into unmapped address")
+	}
+	if p.Bits&BitPresent != 0 {
+		panic("pagetable: double insert")
+	}
+	p.Frame = f
+	p.Bits |= BitPresent | BitAccessed
+	if write {
+		p.Bits |= BitDirty
+	}
+	t.present++
+	t.regionPresent[t.RegionOf(vpn)]++
+}
+
+// InsertPrefetch makes vpn resident without an access: the Accessed and
+// Dirty bits stay clear, as for pages pulled in by swap readahead. The
+// swap association is preserved (the swap copy remains valid).
+func (t *Table) InsertPrefetch(vpn VPN, f mem.FrameID) {
+	p := &t.ptes[vpn]
+	if p.Bits&BitMapped == 0 {
+		panic("pagetable: inserting into unmapped address")
+	}
+	if p.Bits&BitPresent != 0 {
+		panic("pagetable: double insert")
+	}
+	p.Frame = f
+	p.Bits |= BitPresent
+	t.present++
+	t.regionPresent[t.RegionOf(vpn)]++
+}
+
+// Evict clears residency for vpn, recording the swap slot it now lives in,
+// and returns whether the page was dirty (needing a writeback).
+func (t *Table) Evict(vpn VPN, swapSlot int32) (dirty bool) {
+	p := &t.ptes[vpn]
+	if p.Bits&BitPresent == 0 {
+		panic("pagetable: evicting non-present page")
+	}
+	dirty = p.Bits&BitDirty != 0
+	p.Frame = mem.NilFrame
+	p.Swap = swapSlot
+	p.Bits &^= BitPresent | BitAccessed | BitDirty
+	t.present--
+	t.regionPresent[t.RegionOf(vpn)]--
+	return dirty
+}
+
+// TestAndClearAccessed clears the A bit for vpn and reports whether it was
+// set — the primitive both policies' scans are built on.
+func (t *Table) TestAndClearAccessed(vpn VPN) bool {
+	p := &t.ptes[vpn]
+	was := p.Bits&BitAccessed != 0
+	p.Bits &^= BitAccessed
+	return was
+}
+
+// RegionPresent reports how many pages of region r are resident; linear
+// scans use it to skip empty regions cheaply.
+func (t *Table) RegionPresent(r int) int { return int(t.regionPresent[r]) }
+
+// ScanRegion calls fn for every PTE in region r, passing the VPN and the
+// entry. fn must not insert or evict pages.
+func (t *Table) ScanRegion(r int, fn func(VPN, *PTE)) {
+	start := t.RegionStart(r)
+	for i := 0; i < t.perRegion; i++ {
+		vpn := start + VPN(i)
+		fn(vpn, &t.ptes[vpn])
+	}
+}
+
+// AccessedDensity scans region r counting present and accessed PTEs.
+// Policies use it for the bloom-filter density rule ("at least one
+// accessed PTE per cache line").
+func (t *Table) AccessedDensity(r int) (present, accessed int) {
+	start := int(t.RegionStart(r))
+	for i := 0; i < t.perRegion; i++ {
+		b := t.ptes[start+i].Bits
+		if b&BitPresent != 0 {
+			present++
+			if b&BitAccessed != 0 {
+				accessed++
+			}
+		}
+	}
+	return present, accessed
+}

@@ -1,0 +1,140 @@
+package pidctl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProportionalOnly(t *testing.T) {
+	c := Controller{Kp: 2}
+	if out := c.Update(3, 1); out != 6 {
+		t.Fatalf("out = %v, want 6", out)
+	}
+}
+
+func TestIntegralAccumulates(t *testing.T) {
+	c := Controller{Ki: 1}
+	c.Update(1, 1)
+	c.Update(1, 1)
+	if out := c.Update(1, 1); out != 3 {
+		t.Fatalf("integral out = %v, want 3", out)
+	}
+}
+
+func TestIntegralClamp(t *testing.T) {
+	c := Controller{Ki: 1, IntegralClamp: 2}
+	for i := 0; i < 10; i++ {
+		c.Update(5, 1)
+	}
+	if out := c.Update(0, 1); out != 2 {
+		t.Fatalf("clamped out = %v, want 2", out)
+	}
+}
+
+func TestDerivativeRespondsToChange(t *testing.T) {
+	c := Controller{Kd: 1}
+	c.Update(0, 1)
+	if out := c.Update(4, 1); out != 4 {
+		t.Fatalf("derivative out = %v, want 4", out)
+	}
+}
+
+func TestDerivativeNotPrimedFirstStep(t *testing.T) {
+	c := Controller{Kd: 100}
+	if out := c.Update(5, 1); out != 0 {
+		t.Fatalf("first-step derivative should be 0, got %v", out)
+	}
+}
+
+func TestNonPositiveTimestepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dt <= 0")
+		}
+	}()
+	var c Controller
+	c.Update(1, 0)
+}
+
+func TestReset(t *testing.T) {
+	c := Controller{Ki: 1, Kd: 1}
+	c.Update(3, 1)
+	c.Reset()
+	if out := c.Update(0, 1); out != 0 {
+		t.Fatalf("after reset out = %v, want 0", out)
+	}
+}
+
+// A PID loop driving a simple first-order plant should converge to the
+// setpoint.
+func TestClosedLoopConverges(t *testing.T) {
+	c := Controller{Kp: 0.8, Ki: 0.3}
+	state := 0.0
+	target := 10.0
+	for i := 0; i < 200; i++ {
+		u := c.Update(target-state, 1)
+		state += 0.5 * u
+	}
+	if math.Abs(state-target) > 0.1 {
+		t.Fatalf("state = %v, want ~%v", state, target)
+	}
+}
+
+func TestPosRateSmoothing(t *testing.T) {
+	var p Pos
+	if r := p.Rate(); r != 0.5 {
+		t.Fatalf("empty rate = %v, want 0.5 (Laplace prior)", r)
+	}
+	p = Pos{Evicted: 98, Refaulted: 0}
+	if r := p.Rate(); r >= 0.05 {
+		t.Fatalf("rarely-refaulting rate = %v, want small", r)
+	}
+	p = Pos{Evicted: 0, Refaulted: 98}
+	if r := p.Rate(); r <= 0.95 {
+		t.Fatalf("always-refaulting rate = %v, want large", r)
+	}
+}
+
+func TestTierSetNoImbalanceAllowsAllTiers(t *testing.T) {
+	ts := NewTierSet(4, 1, 0)
+	// Balanced refault rates: nothing protected.
+	for tier := 0; tier < 4; tier++ {
+		for i := 0; i < 50; i++ {
+			ts.RecordEviction(tier)
+		}
+		for i := 0; i < 5; i++ {
+			ts.RecordRefault(tier)
+		}
+	}
+	if got := ts.ProtectedTier(1); got != 3 {
+		t.Fatalf("allow tier = %d, want 3 (all evictable)", got)
+	}
+}
+
+func TestTierSetProtectsHotUpperTier(t *testing.T) {
+	ts := NewTierSet(4, 1, 0)
+	// Base tier rarely refaults; tier 1 refaults constantly.
+	for i := 0; i < 100; i++ {
+		ts.RecordEviction(0)
+	}
+	for i := 0; i < 50; i++ {
+		ts.RecordEviction(1)
+		ts.RecordRefault(1)
+	}
+	if got := ts.ProtectedTier(1); got != 0 {
+		t.Fatalf("allow tier = %d, want 0 (tier 1+ protected)", got)
+	}
+}
+
+func TestTierSetDecayHalvesCounters(t *testing.T) {
+	ts := NewTierSet(2, 1, 0)
+	for i := 0; i < 10; i++ {
+		ts.RecordEviction(1)
+		ts.RecordRefault(1)
+	}
+	ts.Decay()
+	p := ts.Snapshot(1)
+	if p.Evicted != 5 || p.Refaulted != 5 {
+		t.Fatalf("post-decay pos = %+v", p)
+	}
+}

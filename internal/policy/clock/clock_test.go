@@ -1,0 +1,180 @@
+package clock
+
+import (
+	"testing"
+
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/policy/policytest"
+	"mglrusim/internal/sim"
+)
+
+func newClock(t *testing.T, frames int) (*Clock, *policytest.Kernel) {
+	t.Helper()
+	c := New(DefaultConfig())
+	k := policytest.New(frames, 1, 42)
+	c.Attach(k)
+	return c, k
+}
+
+func TestPageInGoesToInactive(t *testing.T) {
+	c, k := newClock(t, 16)
+	policytest.Run(func(v *sim.Env) {
+		k.FaultIn(v, c, 0, false, false)
+		k.FaultIn(v, c, 1, false, false)
+	})
+	if c.InactiveLen() != 2 || c.ActiveLen() != 0 {
+		t.Fatalf("inactive=%d active=%d", c.InactiveLen(), c.ActiveLen())
+	}
+}
+
+func TestReclaimEvictsColdOldestFirst(t *testing.T) {
+	c, k := newClock(t, 16)
+	policytest.Run(func(v *sim.Env) {
+		for vpn := pagetable.VPN(0); vpn < 4; vpn++ {
+			k.FaultIn(v, c, vpn, false, false)
+			k.T.TestAndClearAccessed(vpn) // cool them all down
+		}
+		if n := c.Reclaim(v, 2); n != 2 {
+			t.Errorf("reclaimed %d, want 2", n)
+		}
+	})
+	if len(k.EvictOrder) != 2 || k.EvictOrder[0] != 0 || k.EvictOrder[1] != 1 {
+		t.Fatalf("evict order = %v, want [0 1]", k.EvictOrder)
+	}
+}
+
+func TestSecondChancePromotesAccessed(t *testing.T) {
+	c, k := newClock(t, 16)
+	policytest.Run(func(v *sim.Env) {
+		for vpn := pagetable.VPN(0); vpn < 3; vpn++ {
+			k.FaultIn(v, c, vpn, false, false)
+			k.T.TestAndClearAccessed(vpn)
+		}
+		k.Touch(0, false) // re-reference the oldest inactive page
+		c.Reclaim(v, 1)
+	})
+	// Page 0 was accessed: it must have been activated, and page 1
+	// evicted instead.
+	if len(k.EvictOrder) != 1 || k.EvictOrder[0] != 1 {
+		t.Fatalf("evict order = %v, want [1]", k.EvictOrder)
+	}
+	if c.ActiveLen() != 1 {
+		t.Fatalf("active = %d, want 1 (second chance)", c.ActiveLen())
+	}
+	if c.Stats().Promoted != 1 {
+		t.Fatalf("promoted = %d", c.Stats().Promoted)
+	}
+}
+
+func TestBalanceDemotesColdActivePages(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	k := policytest.New(32, 1, 1)
+	c.Attach(k)
+	policytest.Run(func(v *sim.Env) {
+		// Fill inactive, promote everything to active via second chance.
+		for vpn := pagetable.VPN(0); vpn < 8; vpn++ {
+			k.FaultIn(v, c, vpn, false, false)
+		}
+		// All pages have A set from fault-in: one reclaim pass activates
+		// them all (second chance) and evicts nothing.
+		if n := c.Reclaim(v, 1); n != 0 {
+			t.Errorf("hot pass evicted %d, want 0", n)
+		}
+		if c.ActiveLen() != 8 {
+			t.Fatalf("active = %d, want 8", c.ActiveLen())
+		}
+		// Now everything is cold (A cleared by the pass). The next
+		// reclaim must first balance active -> inactive, then evict.
+		if n := c.Reclaim(v, 2); n != 2 {
+			t.Errorf("cold pass evicted %d, want 2", n)
+		}
+	})
+	if c.Stats().Demoted == 0 {
+		t.Fatal("balance never demoted pages")
+	}
+}
+
+func TestEveryExaminedPageCostsAnRMapWalk(t *testing.T) {
+	c, k := newClock(t, 16)
+	policytest.Run(func(v *sim.Env) {
+		for vpn := pagetable.VPN(0); vpn < 6; vpn++ {
+			k.FaultIn(v, c, vpn, false, false)
+			k.T.TestAndClearAccessed(vpn)
+		}
+		c.Reclaim(v, 3)
+	})
+	st := c.Stats()
+	if st.RMapWalks < 3 {
+		t.Fatalf("rmap walks = %d, want >= evictions", st.RMapWalks)
+	}
+	if st.ScanCPU <= 0 {
+		t.Fatal("scan CPU not accounted")
+	}
+	if k.R.Walks() != st.RMapWalks {
+		t.Fatalf("rmap package walks %d != policy stat %d", k.R.Walks(), st.RMapWalks)
+	}
+}
+
+func TestRefaultCountsAndWorkingset(t *testing.T) {
+	c, k := newClock(t, 16)
+	policytest.Run(func(v *sim.Env) {
+		k.FaultIn(v, c, 5, false, false)
+		k.T.TestAndClearAccessed(5)
+		c.Reclaim(v, 1)
+		if len(k.EvictOrder) != 1 {
+			t.Errorf("page not evicted")
+		}
+		k.FaultIn(v, c, 5, false, false) // refault
+	})
+	if c.Stats().Refaults != 1 {
+		t.Fatalf("refaults = %d, want 1", c.Stats().Refaults)
+	}
+}
+
+func TestReclaimTerminatesWhenAllHot(t *testing.T) {
+	c, k := newClock(t, 16)
+	var n int
+	policytest.Run(func(v *sim.Env) {
+		for vpn := pagetable.VPN(0); vpn < 8; vpn++ {
+			k.FaultIn(v, c, vpn, false, false) // all A bits set
+		}
+		n = c.Reclaim(v, 4)
+	})
+	// First pass gives everything a second chance; may evict 0. The
+	// important property is termination (bounded budget) — reaching here
+	// is the assertion — and no page lost.
+	if n < 0 || c.ActiveLen()+c.InactiveLen() != 8 {
+		t.Fatalf("n=%d active+inactive=%d", n, c.ActiveLen()+c.InactiveLen())
+	}
+}
+
+func TestClockHasNoAging(t *testing.T) {
+	c, _ := newClock(t, 8)
+	if c.NeedsAging() {
+		t.Fatal("clock should not request aging")
+	}
+	policytest.Run(func(v *sim.Env) {
+		if c.Age(v) {
+			t.Error("clock Age should be a no-op")
+		}
+	})
+}
+
+func TestShadowPassedToEvict(t *testing.T) {
+	c, k := newClock(t, 8)
+	policytest.Run(func(v *sim.Env) {
+		k.FaultIn(v, c, 3, false, false)
+		k.T.TestAndClearAccessed(3)
+		c.Reclaim(v, 1)
+	})
+	sh, ok := k.Shadows[3]
+	if !ok {
+		t.Fatal("no shadow recorded")
+	}
+	var zero policy.Shadow
+	if sh.Gen != zero.Gen || sh.Tier != zero.Tier {
+		t.Fatalf("clock shadow should be zero-valued: %+v", sh)
+	}
+}

@@ -1,0 +1,302 @@
+package mglru
+
+import (
+	"mglrusim/internal/bloom"
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pidctl"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/sim"
+)
+
+// MGLRU is the Multi-Generational LRU policy.
+type MGLRU struct {
+	cfg Config
+	k   policy.Kernel
+	rng *sim.RNG
+
+	// Generation ring: gens[seq % MaxGens] is the list for sequence seq.
+	// Sequences in [minSeq, maxSeq] are live.
+	gens   []*mem.List
+	minSeq uint64
+	maxSeq uint64
+
+	tiers *pidctl.TierSet
+
+	// lock is the lruvec lock: list mutations from the fault path, the
+	// eviction path, and the aging walk all serialize on it.
+	lock policy.LRULock
+
+	// aging guards the walk itself: only one max_seq increment can be in
+	// flight (the kernel's try_to_inc_max_seq serialization). Concurrent
+	// callers wait for the in-flight walk instead of double-incrementing.
+	// walkEpoch counts completed walks so a waiter returns as soon as
+	// the walk it raced with finishes, even if the aging daemon starts
+	// the next walk back-to-back.
+	aging     bool
+	walkEpoch uint64
+	agingDone sim.Cond
+
+	// Split bloom filters: cur gates the current aging walk, next is
+	// populated during the walk (and by the eviction thread's spatial
+	// scans) for the following walk.
+	cur, next *bloom.Filter
+
+	stats policy.Stats
+}
+
+// New creates an MG-LRU policy from cfg.
+func New(cfg Config) *MGLRU {
+	cfg.normalize()
+	return &MGLRU{cfg: cfg}
+}
+
+// Name implements policy.Policy.
+func (g *MGLRU) Name() string { return g.cfg.VariantName }
+
+// Attach implements policy.Policy.
+func (g *MGLRU) Attach(k policy.Kernel) {
+	g.k = k
+	g.rng = k.Rand()
+	g.gens = make([]*mem.List, g.cfg.MaxGens)
+	for i := range g.gens {
+		g.gens[i] = mem.NewList(k.Mem(), int16(i))
+	}
+	g.minSeq = 0
+	g.maxSeq = uint64(g.cfg.MinGens - 1) // start with MinGens generations
+	g.tiers = pidctl.NewTierSet(g.cfg.Tiers, g.cfg.PIDKp, g.cfg.PIDKi)
+	regions := k.Table().Regions()
+	seed := g.rng.Uint64()
+	g.cur = bloom.NewForItems(regions, seed)
+	g.next = bloom.NewForItems(regions, seed^0xabcdef123456789)
+}
+
+// genList returns the list for sequence seq.
+func (g *MGLRU) genList(seq uint64) *mem.List { return g.gens[seq%uint64(g.cfg.MaxGens)] }
+
+// nrGens reports the live generation count.
+func (g *MGLRU) nrGens() int { return int(g.maxSeq-g.minSeq) + 1 }
+
+// MinSeq and MaxSeq expose the generation window for tests and policyviz.
+func (g *MGLRU) MinSeq() uint64 { return g.minSeq }
+func (g *MGLRU) MaxSeq() uint64 { return g.maxSeq }
+
+// GenLen reports the population of generation seq.
+func (g *MGLRU) GenLen(seq uint64) int { return g.genList(seq).Len() }
+
+// tierOf maps an FD-reference count to a tier: log2(refs+1), capped.
+func (g *MGLRU) tierOf(refs uint8) uint8 {
+	t := 0
+	for v := int(refs) + 1; v > 1 && t < g.cfg.Tiers-1; v >>= 1 {
+		t++
+	}
+	return uint8(t)
+}
+
+func (g *MGLRU) charge(v *sim.Env, d sim.Duration) {
+	g.stats.ScanCPU += d
+	v.Charge(d)
+}
+
+// PageIn implements policy.Policy. Anonymous pages enter the youngest
+// generation. File-backed pages enter an old generation and are promoted
+// by tier as repeat FD accesses accumulate (§III-D), so single-use
+// streaming reads never displace the working set.
+func (g *MGLRU) PageIn(v *sim.Env, f mem.FrameID, sh *policy.Shadow) {
+	g.lock.Acquire(v)
+	defer g.lock.Release(v)
+	fr := g.k.Mem().Frame(f)
+	if sh != nil {
+		g.stats.Refaults++
+		fr.Flags |= mem.FlagWorkingset
+		if g.cfg.TierProtection {
+			t := sh.Tier
+			if int(t) >= g.cfg.Tiers {
+				t = uint8(g.cfg.Tiers - 1)
+			}
+			g.tiers.RecordRefault(int(t))
+		}
+	}
+	// Second-oldest generation when the window allows, else oldest.
+	oldGen := g.minSeq
+	if g.nrGens() > 2 {
+		oldGen = g.minSeq + 1
+	}
+	switch {
+	case fr.Flags&mem.FlagFile != 0:
+		// File pages never enter the youngest generation, so single-use
+		// streaming reads cannot displace the working set; repeat FD
+		// accesses climb tiers instead.
+		refs := uint8(0)
+		if sh != nil && sh.Refs < 255 {
+			refs = sh.Refs + 1
+		}
+		fr.Refs = refs
+		fr.Tier = g.tierOf(refs)
+		fr.Gen = oldGen
+	case fr.Flags&mem.FlagPrefetch != 0:
+		// Speculative readahead pages have not actually been accessed;
+		// they must prove themselves from an old generation.
+		fr.Gen = oldGen
+		fr.Tier = 0
+		fr.Refs = 0
+	default:
+		fr.Gen = g.maxSeq
+		fr.Tier = 0
+		fr.Refs = 0
+	}
+	g.genList(fr.Gen).PushHead(f)
+	g.charge(v, g.cfg.Costs.PageOp)
+}
+
+// promote moves frame f to generation seq (head). A frame that is on no
+// list has been isolated by a concurrent eviction pass and is skipped —
+// the simulator's analogue of the kernel isolating pages under the LRU
+// lock before working on them.
+func (g *MGLRU) promote(f mem.FrameID, seq uint64) {
+	fr := g.k.Mem().Frame(f)
+	if fr.ListID == mem.ListNone {
+		return
+	}
+	if fr.Gen == seq {
+		// Refresh recency within the generation.
+		g.genList(seq).MoveToHead(f)
+		return
+	}
+	g.genList(fr.Gen).Remove(f)
+	fr.Gen = seq
+	g.genList(seq).PushHead(f)
+	g.stats.Promoted++
+}
+
+// advanceMinSeq retires empty oldest generations, keeping at least
+// MinGens live; each retirement is a tier control period boundary.
+func (g *MGLRU) advanceMinSeq() {
+	for g.nrGens() > g.cfg.MinGens && g.genList(g.minSeq).Empty() {
+		g.minSeq++
+		g.tiers.Decay()
+	}
+}
+
+// NeedsAging implements policy.Policy: aging must run when eviction is
+// about to eat into the minimum generation window, or when the oldest
+// generation has drained.
+func (g *MGLRU) NeedsAging() bool {
+	if g.nrGens() < g.cfg.MinGens {
+		return true
+	}
+	if g.nrGens() == g.cfg.MinGens && g.genList(g.minSeq).Empty() {
+		return true
+	}
+	return false
+}
+
+// Reclaim implements policy.Policy: evict from the tail of the oldest
+// generation, walking the reverse map to confirm each candidate's
+// accessed bit, promoting accessed pages to the youngest generation and —
+// unlike Clock — opportunistically scanning the surrounding PTEs (§III-C).
+func (g *MGLRU) Reclaim(v *sim.Env, target int) int {
+	if target <= 0 {
+		return 0
+	}
+	evicted := 0
+	budget := target*g.cfg.ScanBatch + g.cfg.ScanBatch
+
+	allowTier := g.cfg.Tiers - 1
+	if g.cfg.TierProtection && g.cfg.Tiers > 1 {
+		allowTier = g.tiers.ProtectedTier(1)
+	}
+
+	for evicted < target && budget > 0 {
+		g.lock.Acquire(v)
+		g.advanceMinSeq()
+		oldest := g.genList(g.minSeq)
+		if oldest.Empty() && g.k.Table().PresentPages() == 0 {
+			g.lock.Release(v)
+			break // nothing resident anywhere
+		}
+		if oldest.Empty() {
+			// Everything younger is protected by the generation window;
+			// force aging to open a new youngest generation, then retry.
+			g.lock.Release(v)
+			g.k.RequestAging()
+			if !g.Age(v) {
+				break
+			}
+			continue
+		}
+		if g.nrGens() < g.cfg.MinGens {
+			g.lock.Release(v)
+			g.k.RequestAging()
+			g.Age(v)
+			continue
+		}
+
+		// Isolate the candidate under the lock, so concurrent
+		// aging/reclaim passes cannot move it.
+		f := oldest.PopTail()
+		fr := g.k.Mem().Frame(f)
+		budget--
+
+		// Tier protection: pages in protected tiers are moved up a
+		// generation instead of being considered for eviction.
+		if int(fr.Tier) > allowTier {
+			fr.Gen = g.minSeq + 1
+			g.genList(fr.Gen).PushHead(f)
+			g.stats.TierProtected++
+			g.charge(v, g.cfg.Costs.PageOp)
+			g.lock.Release(v)
+			continue
+		}
+		g.lock.Release(v)
+
+		// The reverse-map confirmation happens without the lock, as in
+		// the kernel (the folio is isolated).
+		vpn, cost := g.k.RMap().Walk(f)
+		g.stats.RMapWalks++
+		g.charge(v, cost+g.cfg.Costs.PageOp)
+
+		if g.k.Table().TestAndClearAccessed(vpn) {
+			// Accessed since last scan: promote to youngest and exploit
+			// spatial locality around the hot PTE.
+			g.lock.Acquire(v)
+			fr.Gen = g.maxSeq
+			g.genList(fr.Gen).PushHead(f)
+			g.stats.Rotated++
+			if fr.Flags&mem.FlagFile != 0 && fr.Refs < 255 {
+				fr.Refs++
+				fr.Tier = g.tierOf(fr.Refs)
+			}
+			if g.cfg.SpatialScan {
+				r := g.k.Table().RegionOf(vpn)
+				g.scanRegion(v, r, g.maxSeq)
+				// Feedback into the aging walk's next filter.
+				if g.cfg.Mode == ModeBloom {
+					g.next.Add(uint64(r))
+				}
+			}
+			g.lock.Release(v)
+			continue
+		}
+
+		// Cold: evict. The frame is already isolated; eviction I/O
+		// happens without the lock.
+		sh := policy.Shadow{Gen: fr.Gen, Tier: fr.Tier, Refs: fr.Refs, EvictedAt: v.Now()}
+		if g.cfg.TierProtection {
+			g.tiers.RecordEviction(int(fr.Tier))
+		}
+		g.stats.Evicted++
+		g.k.EvictPage(v, f, sh)
+		evicted++
+	}
+	return evicted
+}
+
+// LockStats exposes lruvec-lock contention counters.
+func (g *MGLRU) LockStats() (acquisitions, contended uint64, waitTime sim.Duration) {
+	return g.lock.Acquisitions, g.lock.Contended, g.lock.WaitTime
+}
+
+// Stats implements policy.Policy.
+func (g *MGLRU) Stats() policy.Stats { return g.stats }
+
+var _ policy.Policy = (*MGLRU)(nil)

@@ -1,0 +1,129 @@
+package simple
+
+import (
+	"testing"
+
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy/policytest"
+	"mglrusim/internal/sim"
+)
+
+func TestFIFOEvictsInArrivalOrder(t *testing.T) {
+	f := NewFIFO()
+	k := policytest.New(16, 1, 1)
+	f.Attach(k)
+	policytest.Run(func(v *sim.Env) {
+		for vpn := pagetable.VPN(0); vpn < 5; vpn++ {
+			k.FaultIn(v, f, vpn, false, false)
+			k.Touch(vpn, false) // FIFO must ignore accesses
+		}
+		if n := f.Reclaim(v, 3); n != 3 {
+			t.Errorf("reclaimed %d", n)
+		}
+	})
+	want := []pagetable.VPN{0, 1, 2}
+	for i, vpn := range k.EvictOrder {
+		if vpn != want[i] {
+			t.Fatalf("evict order %v, want %v", k.EvictOrder, want)
+		}
+	}
+}
+
+func TestFIFONoRMapWalks(t *testing.T) {
+	f := NewFIFO()
+	k := policytest.New(16, 1, 1)
+	f.Attach(k)
+	policytest.Run(func(v *sim.Env) {
+		for vpn := pagetable.VPN(0); vpn < 8; vpn++ {
+			k.FaultIn(v, f, vpn, false, false)
+		}
+		f.Reclaim(v, 4)
+	})
+	if k.R.Walks() != 0 {
+		t.Fatalf("FIFO performed %d rmap walks", k.R.Walks())
+	}
+	if f.Stats().Evicted != 4 {
+		t.Fatalf("evicted = %d", f.Stats().Evicted)
+	}
+}
+
+func TestFIFORefaultsCounted(t *testing.T) {
+	f := NewFIFO()
+	k := policytest.New(16, 1, 1)
+	f.Attach(k)
+	policytest.Run(func(v *sim.Env) {
+		k.FaultIn(v, f, 2, false, false)
+		f.Reclaim(v, 1)
+		k.FaultIn(v, f, 2, false, false)
+	})
+	if f.Stats().Refaults != 1 {
+		t.Fatalf("refaults = %d", f.Stats().Refaults)
+	}
+}
+
+func TestRandomEvictsAllEventually(t *testing.T) {
+	r := NewRandom()
+	k := policytest.New(32, 1, 7)
+	r.Attach(k)
+	policytest.Run(func(v *sim.Env) {
+		for vpn := pagetable.VPN(0); vpn < 10; vpn++ {
+			k.FaultIn(v, r, vpn, false, false)
+		}
+		if n := r.Reclaim(v, 10); n != 10 {
+			t.Errorf("reclaimed %d, want 10", n)
+		}
+	})
+	if len(k.EvictOrder) != 10 {
+		t.Fatalf("evictions = %d", len(k.EvictOrder))
+	}
+	seen := map[pagetable.VPN]bool{}
+	for _, vpn := range k.EvictOrder {
+		if seen[vpn] {
+			t.Fatalf("double eviction of %d", vpn)
+		}
+		seen[vpn] = true
+	}
+}
+
+func TestRandomOrderVariesWithSeed(t *testing.T) {
+	order := func(seed uint64) []pagetable.VPN {
+		r := NewRandom()
+		k := policytest.New(64, 1, seed)
+		r.Attach(k)
+		policytest.Run(func(v *sim.Env) {
+			for vpn := pagetable.VPN(0); vpn < 32; vpn++ {
+				k.FaultIn(v, r, vpn, false, false)
+			}
+			r.Reclaim(v, 16)
+		})
+		return k.EvictOrder
+	}
+	a, b := order(1), order(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("random eviction identical across seeds")
+	}
+}
+
+func TestRandomReclaimEmpty(t *testing.T) {
+	r := NewRandom()
+	k := policytest.New(8, 1, 1)
+	r.Attach(k)
+	policytest.Run(func(v *sim.Env) {
+		if n := r.Reclaim(v, 4); n != 0 {
+			t.Errorf("reclaimed %d from empty pool", n)
+		}
+	})
+}
+
+func TestBaselinesHaveNoAging(t *testing.T) {
+	if NewFIFO().NeedsAging() || NewRandom().NeedsAging() {
+		t.Fatal("baselines should not request aging")
+	}
+}

@@ -1,0 +1,77 @@
+// Package rmap models the kernel's reverse map: the physical-to-virtual
+// translation that replacement policies must perform when they start from
+// a frame (an LRU list entry) and need the owning PTE.
+//
+// The data itself is trivial in the simulator — frame metadata records the
+// owning VPN — but the *cost* is the point. Walking the reverse map chases
+// pointers through anon_vma / address_space structures, which the MG-LRU
+// authors identify as the expensive part of Clock's scanning ("requires
+// walking the reverse map, a pointer-based data structure that is
+// expensive to access"). The paper's Scan-None analysis hinges on this
+// asymmetry: rmap walks cost per page, while linear PTE scans amortize.
+package rmap
+
+import (
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/sim"
+)
+
+// CostModel parameterizes the virtual-time cost of one reverse-map walk.
+type CostModel struct {
+	// Base is the typical pointer-chase cost of resolving one frame.
+	Base sim.Duration
+	// Jitter is the sigma of log-normal multiplicative noise, modelling
+	// cache-miss variability. Zero disables noise.
+	Jitter float64
+}
+
+// DefaultCostModel reflects dependent cache misses plus lock acquisition
+// per walk, scaled to the simulator's page granularity (one simulated
+// page ≈ 1000 real pages; see policy.DefaultCosts).
+func DefaultCostModel() CostModel {
+	return CostModel{Base: 350 * sim.Microsecond, Jitter: 0.35}
+}
+
+// Map resolves frames to their owning virtual pages, charging a modeled
+// pointer-chase cost for each walk.
+type Map struct {
+	mem   *mem.Memory
+	cost  CostModel
+	rng   *sim.RNG
+	walks uint64
+}
+
+// New creates a reverse map over m. rng drives cost jitter and must be a
+// dedicated stream.
+func New(m *mem.Memory, cost CostModel, rng *sim.RNG) *Map {
+	return &Map{mem: m, cost: cost, rng: rng}
+}
+
+// Walk resolves frame f to its owning VPN and returns the virtual-time
+// cost of the walk. It panics if the frame is free — policies must never
+// rmap-walk an unowned frame.
+func (r *Map) Walk(f mem.FrameID) (pagetable.VPN, sim.Duration) {
+	fr := r.mem.Frame(f)
+	if fr.VPN < 0 {
+		panic("rmap: walk of unowned frame")
+	}
+	r.walks++
+	return pagetable.VPN(fr.VPN), r.WalkCost()
+}
+
+// WalkCost returns the cost of one walk without performing it; used when a
+// policy batches accounting.
+func (r *Map) WalkCost() sim.Duration {
+	c := r.cost.Base
+	if r.cost.Jitter > 0 {
+		c = sim.Duration(float64(c) * r.rng.LogNormal(0, r.cost.Jitter))
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Walks reports the total number of reverse-map walks performed.
+func (r *Map) Walks() uint64 { return r.walks }

@@ -1,0 +1,64 @@
+package rmap
+
+import (
+	"testing"
+
+	"mglrusim/internal/mem"
+	"mglrusim/internal/sim"
+)
+
+func TestWalkResolvesOwner(t *testing.T) {
+	m := mem.New(8)
+	f := m.Alloc()
+	m.Frame(f).VPN = 1234
+	r := New(m, CostModel{Base: 100}, sim.NewRNG(1))
+	vpn, cost := r.Walk(f)
+	if vpn != 1234 {
+		t.Fatalf("vpn = %d, want 1234", vpn)
+	}
+	if cost != 100 {
+		t.Fatalf("cost = %d, want 100 (no jitter)", cost)
+	}
+	if r.Walks() != 1 {
+		t.Fatalf("walks = %d", r.Walks())
+	}
+}
+
+func TestWalkUnownedPanics(t *testing.T) {
+	m := mem.New(2)
+	f := m.Alloc() // VPN is -1
+	r := New(m, DefaultCostModel(), sim.NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unowned frame")
+		}
+	}()
+	r.Walk(f)
+}
+
+func TestJitterVariesCost(t *testing.T) {
+	m := mem.New(2)
+	r := New(m, CostModel{Base: 200, Jitter: 0.3}, sim.NewRNG(7))
+	seen := map[sim.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		c := r.WalkCost()
+		if c < 1 {
+			t.Fatalf("cost %d below floor", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jittered costs too uniform: %d distinct", len(seen))
+	}
+}
+
+func TestCostDeterministicPerSeed(t *testing.T) {
+	m := mem.New(2)
+	a := New(m, DefaultCostModel(), sim.NewRNG(5))
+	b := New(m, DefaultCostModel(), sim.NewRNG(5))
+	for i := 0; i < 20; i++ {
+		if a.WalkCost() != b.WalkCost() {
+			t.Fatal("same seed should give identical cost streams")
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// DefaultQuantum is the CPU accounting quantum. Charged CPU work is split
+// into chunks of at most this size so that the processor-sharing dilation
+// factor tracks changes in the runnable set.
+const DefaultQuantum Duration = 250 * Microsecond
+
+// Engine is a deterministic discrete-event simulator. Create one with
+// NewEngine, spawn procs, then call Run. An Engine must not be shared
+// between host goroutines.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	cpus    int
+	quantum Duration
+
+	procs    []*Proc
+	live     int // procs not yet finished, excluding daemons
+	runnable int // procs currently consuming CPU
+
+	running *Proc // proc holding control right now, nil when engine runs
+	stopped bool
+	failure error
+}
+
+// NewEngine returns an engine modelling cpus hardware contexts.
+func NewEngine(cpus int) *Engine {
+	if cpus <= 0 {
+		panic("sim: NewEngine requires at least one CPU")
+	}
+	return &Engine{cpus: cpus, quantum: DefaultQuantum}
+}
+
+// SetQuantum overrides the CPU accounting quantum (useful in tests).
+func (e *Engine) SetQuantum(q Duration) {
+	if q <= 0 {
+		panic("sim: quantum must be positive")
+	}
+	e.quantum = q
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// CPUs reports the number of hardware contexts.
+func (e *Engine) CPUs() int { return e.cpus }
+
+// Runnable reports how many procs currently compete for CPU. Exposed for
+// tests and for components that want to observe contention.
+func (e *Engine) Runnable() int { return e.runnable }
+
+// dilation returns the processor-sharing slowdown for one unit of CPU work
+// given the current runnable set: max(1, runnable/cpus), as a rational
+// applied to a duration.
+func (e *Engine) dilate(d Duration) Duration {
+	if e.runnable <= e.cpus {
+		return d
+	}
+	return d * int64(e.runnable) / int64(e.cpus)
+}
+
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc  // resume this proc, or
+	fn   func() // run this callback in engine context
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (e *Engine) push(ev event) uint64 {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev.seq
+}
+
+// pushProc schedules a wakeup for p and records its identity so that stale
+// wakeups (from superseded sleeps) are ignored.
+func (e *Engine) pushProc(t Time, p *Proc) {
+	p.eventSeq = e.push(event{at: t, proc: p})
+}
+
+// After schedules fn to run in engine context at now+d. fn must not block;
+// it may signal conds and spawn procs. Use procs for anything stateful.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: After with negative delay")
+	}
+	e.push(event{at: e.now + Time(d), fn: fn})
+}
+
+// Spawn creates a proc running fn and schedules it to start at the current
+// time. Daemon procs do not keep Run alive; they are terminated when all
+// non-daemon procs have finished.
+func (e *Engine) Spawn(name string, daemon bool, fn func(*Env)) *Proc {
+	p := &Proc{
+		name:   name,
+		daemon: daemon,
+		engine: e,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		state:  stateReady,
+	}
+	e.procs = append(e.procs, p)
+	if !daemon {
+		e.live++
+	}
+	go p.top(fn)
+	// Procs contribute to CPU contention only while charging CPU work;
+	// a freshly spawned proc is scheduled but not yet consuming CPU.
+	e.pushProc(e.now, p)
+	return p
+}
+
+// setRunnable updates the contention accounting for p.
+func (e *Engine) setRunnable(p *Proc, r bool) {
+	if p.countsCPU == r {
+		return
+	}
+	p.countsCPU = r
+	if r {
+		e.runnable++
+	} else {
+		e.runnable--
+	}
+}
+
+// Run executes events until every non-daemon proc has finished, then
+// terminates daemons. It returns a non-nil error if a proc panicked or if
+// the simulation deadlocked (no events pending while procs still live).
+func (e *Engine) Run() error {
+	for !e.stopped {
+		if e.live == 0 {
+			break
+		}
+		if e.events.Len() == 0 {
+			e.failure = e.deadlockError()
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: event scheduled in the past")
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		if ev.proc.state == stateDone || ev.proc.eventSeq != ev.seq {
+			continue // stale wakeup
+		}
+		e.step(ev.proc)
+	}
+	e.shutdown()
+	return e.failure
+}
+
+// Stop ends the simulation at the current time. Pending procs are killed by
+// Run's shutdown phase. Safe to call from engine callbacks and procs.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step hands control to p until it yields back.
+func (e *Engine) step(p *Proc) {
+	e.running = p
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-p.yield
+	e.running = nil
+	if p.state == stateDone {
+		e.setRunnable(p, false)
+		if !p.daemon {
+			e.live--
+		}
+		if p.err != nil && e.failure == nil {
+			e.failure = p.err
+			e.stopped = true
+		}
+		p.done.broadcastLocked(e)
+	}
+}
+
+// shutdown terminates all unfinished procs after Run's main loop exits.
+func (e *Engine) shutdown() {
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue
+		}
+		p.killed = true
+		e.step(p)
+	}
+}
+
+func (e *Engine) deadlockError() error {
+	msg := "sim: deadlock —"
+	for _, p := range e.procs {
+		if p.state != stateDone && !p.daemon {
+			msg += " " + p.name + "(" + p.state.String() + ")"
+		}
+	}
+	return fmt.Errorf("%s with no pending events at %v", msg, e.now)
+}

@@ -1,0 +1,48 @@
+package sim
+
+import "fmt"
+
+// Debug tracing (development aid): when TraceEnabled, the engine records
+// recent scheduler operations in a ring buffer for post-mortem dumps.
+var (
+	TraceEnabled bool
+	traceRing    [256]string
+	tracePos     int
+)
+
+func trace(format string, args ...any) {
+	if !TraceEnabled {
+		return
+	}
+	traceRing[tracePos%len(traceRing)] = fmt.Sprintf(format, args...)
+	tracePos++
+}
+
+// DumpTrace returns the most recent trace entries, oldest first.
+func DumpTrace() []string {
+	if tracePos == 0 {
+		return nil
+	}
+	var out []string
+	start := tracePos - len(traceRing)
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < tracePos; i++ {
+		out = append(out, traceRing[i%len(traceRing)])
+	}
+	return out
+}
+
+// Trace records a formatted entry in the debug ring (no-op unless
+// TraceEnabled).
+func Trace(format string, args ...any) { trace(format, args...) }
+
+// DebugProcs reports each proc's name and state (development aid).
+func (e *Engine) DebugProcs() []string {
+	var out []string
+	for _, p := range e.procs {
+		out = append(out, fmt.Sprintf("%s=%v cpu=%v", p.name, p.state, p.cpuTime))
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package stats
+
+import "sort"
+
+// TailPoints are the percentiles reported in the paper's tail-latency
+// figures (Figs. 3, 8, 12).
+var TailPoints = []float64{50, 90, 99, 99.9, 99.99}
+
+// LatencyRecorder accumulates per-request latencies (virtual nanoseconds)
+// and produces tail distributions. It stores raw samples: the experiment
+// scales are small enough that exact percentiles are affordable, and
+// exactness matters at p99.99.
+type LatencyRecorder struct {
+	samples []int64
+	sorted  bool
+}
+
+// NewLatencyRecorder returns a recorder with capacity hint n.
+func NewLatencyRecorder(n int) *LatencyRecorder {
+	return &LatencyRecorder{samples: make([]int64, 0, n)}
+}
+
+// Record adds one latency observation.
+func (l *LatencyRecorder) Record(ns int64) {
+	l.samples = append(l.samples, ns)
+	l.sorted = false
+}
+
+// Count reports the number of recorded observations.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Mean returns the mean latency in nanoseconds, or 0 if empty.
+func (l *LatencyRecorder) Mean() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range l.samples {
+		s += float64(v)
+	}
+	return s / float64(len(l.samples))
+}
+
+func (l *LatencyRecorder) sort() {
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile latency in nanoseconds.
+// It returns 0 when no samples have been recorded.
+func (l *LatencyRecorder) Percentile(p float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	if len(l.samples) == 1 {
+		return float64(l.samples[0])
+	}
+	rank := p / 100 * float64(len(l.samples)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(l.samples) {
+		return float64(l.samples[len(l.samples)-1])
+	}
+	return float64(l.samples[lo])*(1-frac) + float64(l.samples[lo+1])*frac
+}
+
+// Tail returns the latencies at each of TailPoints.
+func (l *LatencyRecorder) Tail() []float64 {
+	out := make([]float64, len(TailPoints))
+	for i, p := range TailPoints {
+		out[i] = l.Percentile(p)
+	}
+	return out
+}
+
+// Samples exposes the raw observations (unsorted order not guaranteed).
+func (l *LatencyRecorder) Samples() []int64 { return l.samples }
+
+// Merge appends all observations from other.
+func (l *LatencyRecorder) Merge(other *LatencyRecorder) {
+	l.samples = append(l.samples, other.samples...)
+	l.sorted = false
+}

@@ -1,0 +1,351 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); !almost(v, 4.571428571, 1e-6) {
+		t.Fatalf("Variance = %v, want ~4.571", v)
+	}
+	if s := StdDev(xs); !almost(s, 2.13809, 1e-4) {
+		t.Fatalf("StdDev = %v", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("Variance of single value should be 0")
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if CV(xs) != 0 {
+		t.Fatal("CV of constant data should be 0")
+	}
+	if CV([]float64{0, 0}) != 0 {
+		t.Fatal("CV with zero mean should be 0")
+	}
+}
+
+func TestPercentileKnownValues(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {25, 20}, {50, 35}, {75, 40}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{10, 20}
+	if got := Percentile(xs, 50); got != 15 {
+		t.Fatalf("P50 = %v, want 15", got)
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	if got := Percentile([]float64{7}, 99.99); got != 7 {
+		t.Fatalf("P99.99 of single = %v, want 7", got)
+	}
+}
+
+// Property: percentiles are monotonically non-decreasing in p and bounded
+// by min/max of the data.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, aRaw, bRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		return pa <= pb && pa >= Min(xs) && pb <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s := Summarize(xs)
+	if s.N != 9 || s.Min != 1 || s.Max != 9 || s.Median != 5 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if s.Q1 != 3 || s.Q3 != 7 {
+		t.Fatalf("quartiles wrong: Q1=%v Q3=%v", s.Q1, s.Q3)
+	}
+	if s.IQR() != 4 {
+		t.Fatalf("IQR = %v, want 4", s.IQR())
+	}
+	if s.Spread() != 9 {
+		t.Fatalf("Spread = %v, want 9", s.Spread())
+	}
+}
+
+func TestSpreadInfiniteOnZeroMin(t *testing.T) {
+	s := Summarize([]float64{0, 5})
+	if !math.IsInf(s.Spread(), 1) {
+		t.Fatal("Spread with zero min should be +Inf")
+	}
+}
+
+func TestLinearFitPerfectLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	r := LinearFit(x, y)
+	if !almost(r.Slope, 2, 1e-12) || !almost(r.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v", r)
+	}
+	if !almost(r.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", r.R2)
+	}
+}
+
+func TestLinearFitNoCorrelation(t *testing.T) {
+	// Symmetric data: y identical for mirrored x values -> slope ~ 0.
+	x := []float64{-2, -1, 0, 1, 2}
+	y := []float64{4, 1, 0, 1, 4}
+	r := LinearFit(x, y)
+	if !almost(r.Slope, 0, 1e-12) {
+		t.Fatalf("slope = %v, want 0", r.Slope)
+	}
+	if r.R2 > 0.01 {
+		t.Fatalf("R2 = %v, want ~0", r.R2)
+	}
+}
+
+func TestLinearFitConstantX(t *testing.T) {
+	r := LinearFit([]float64{2, 2, 2}, []float64{1, 5, 9})
+	if r.Slope != 0 || r.Intercept != 5 {
+		t.Fatalf("degenerate fit = %+v", r)
+	}
+}
+
+// Property: R2 is always within [0, 1] for finite inputs.
+func TestR2BoundedProperty(t *testing.T) {
+	f := func(pairs []struct{ X, Y int16 }) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		x := make([]float64, len(pairs))
+		y := make([]float64, len(pairs))
+		for i, p := range pairs {
+			x[i], y[i] = float64(p.X), float64(p.Y)
+		}
+		r := LinearFit(x, y)
+		return r.R2 >= -1e-9 && r.R2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelchTTestIdenticalSamples(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	b := []float64{5, 5, 5, 5}
+	res := WelchTTest(a, b)
+	if res.P != 1 {
+		t.Fatalf("p = %v, want 1 for identical constant samples", res.P)
+	}
+}
+
+func TestWelchTTestClearlyDifferent(t *testing.T) {
+	a := []float64{1, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98, 1.01}
+	b := []float64{5, 5.1, 4.9, 5.05, 4.95, 5.02, 4.98, 5.01}
+	res := WelchTTest(a, b)
+	if res.P > 1e-6 {
+		t.Fatalf("p = %v, want tiny for separated samples", res.P)
+	}
+}
+
+func TestWelchTTestOverlappingSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{2, 3, 4, 5, 6, 7, 8, 9}
+	res := WelchTTest(a, b)
+	if res.P < 0.2 {
+		t.Fatalf("p = %v, want large for overlapping samples", res.P)
+	}
+}
+
+// Cross-check the t-distribution tail against known critical values:
+// P(T > 2.228) ≈ 0.025 for df=10.
+func TestStudentTKnownCriticalValue(t *testing.T) {
+	p := studentTCDFUpper(2.228, 10)
+	if !almost(p, 0.025, 0.001) {
+		t.Fatalf("upper tail = %v, want ~0.025", p)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("incomplete beta endpoint values wrong")
+	}
+	// I_{0.5}(a, a) = 0.5 by symmetry.
+	if got := regIncBeta(4, 4, 0.5); !almost(got, 0.5, 1e-9) {
+		t.Fatalf("I_0.5(4,4) = %v, want 0.5", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v", got)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	counts, edges := Histogram(xs, 5)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram total = %d, want %d", total, len(xs))
+	}
+	if len(edges) != 6 {
+		t.Fatalf("edges = %d, want 6", len(edges))
+	}
+	if edges[0] != 0 || edges[5] != 9 {
+		t.Fatalf("edge range = [%v, %v]", edges[0], edges[5])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	counts, _ := Histogram(nil, 4)
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatal("empty histogram should have zero counts")
+		}
+	}
+}
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	l := NewLatencyRecorder(0)
+	for i := int64(1); i <= 100; i++ {
+		l.Record(i * 1000)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if p := l.Percentile(0); p != 1000 {
+		t.Fatalf("P0 = %v", p)
+	}
+	if p := l.Percentile(100); p != 100000 {
+		t.Fatalf("P100 = %v", p)
+	}
+	p50 := l.Percentile(50)
+	if p50 < 50000 || p50 > 51000 {
+		t.Fatalf("P50 = %v", p50)
+	}
+	if m := l.Mean(); !almost(m, 50500, 1e-9) {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	l := NewLatencyRecorder(0)
+	if l.Percentile(99) != 0 || l.Mean() != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+}
+
+func TestLatencyRecorderTailMonotone(t *testing.T) {
+	l := NewLatencyRecorder(0)
+	r := uint64(12345)
+	for i := 0; i < 5000; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		l.Record(int64(r % 1000000))
+	}
+	tail := l.Tail()
+	if len(tail) != len(TailPoints) {
+		t.Fatalf("tail has %d points", len(tail))
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i] < tail[i-1] {
+			t.Fatalf("tail not monotone: %v", tail)
+		}
+	}
+}
+
+func TestLatencyRecorderMerge(t *testing.T) {
+	a := NewLatencyRecorder(0)
+	b := NewLatencyRecorder(0)
+	a.Record(1)
+	b.Record(2)
+	b.Record(3)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d, want 3", a.Count())
+	}
+}
+
+// Property: recorder percentile agrees with the package-level Percentile.
+func TestLatencyRecorderMatchesPercentileProperty(t *testing.T) {
+	f := func(raw []uint32, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		l := NewLatencyRecorder(len(raw))
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			l.Record(int64(v))
+			xs[i] = float64(v)
+		}
+		p := float64(pRaw) / 255 * 100
+		got := l.Percentile(p)
+		want := Percentile(xs, p)
+		return math.Abs(got-want) <= 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Fatal("Min/Max wrong")
+	}
+}
+
+func TestPercentilesSortedSharedSort(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	got := PercentilesSorted(xs, []float64{0, 50, 100})
+	if got[0] != 1 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("got %v", got)
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatal("input should be sorted in place")
+	}
+}

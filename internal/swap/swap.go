@@ -1,0 +1,314 @@
+// Package swap models swap space and the two swap media the paper
+// evaluates: an SSD (millisecond-class block device with bounded queue
+// depth and asynchronous writeback) and ZRAM (a compressed in-memory block
+// device whose I/O is synchronous CPU work on the requesting thread).
+//
+// The asymmetry between the two is central to the paper's §V-D findings:
+// with a slow medium, application threads spend long stretches blocked on
+// faults, which gives the scanning threads time to make good decisions;
+// with a fast medium the application outruns the scans and fault counts
+// rise. Both behaviours emerge from these device models.
+package swap
+
+import (
+	"mglrusim/internal/sim"
+	"mglrusim/internal/zram"
+)
+
+// Slot identifies one page-sized unit of swap space.
+type Slot = int32
+
+// NilSlot means "no slot".
+const NilSlot Slot = -1
+
+// Area allocates swap slots.
+type Area struct {
+	free []Slot
+	cap  int
+}
+
+// NewArea creates an area with capacity slots.
+func NewArea(capacity int) *Area {
+	a := &Area{cap: capacity, free: make([]Slot, 0, capacity)}
+	for i := capacity - 1; i >= 0; i-- {
+		a.free = append(a.free, Slot(i))
+	}
+	return a
+}
+
+// Alloc returns a free slot, or NilSlot if the area is full.
+func (a *Area) Alloc() Slot {
+	if len(a.free) == 0 {
+		return NilSlot
+	}
+	s := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	return s
+}
+
+// Free returns slot s to the area.
+func (a *Area) Free(s Slot) { a.free = append(a.free, s) }
+
+// InUse reports allocated slots.
+func (a *Area) InUse() int { return a.cap - len(a.free) }
+
+// Capacity reports total slots.
+func (a *Area) Capacity() int { return a.cap }
+
+// Stats aggregates device activity.
+type Stats struct {
+	Reads, Writes         uint64
+	ReadTime, WriteTime   sim.Duration // summed service time
+	WriteStalls           uint64       // writers blocked on queue saturation
+	CompressedBytes       int64        // zram only: bytes currently stored
+	LifetimeCompressRatio float64      // zram only
+}
+
+// Device is a swap medium. ReadPage is the demand-fault path and always
+// blocks the calling proc for the device's service time. WritePage is the
+// reclaim path; depending on the medium it may be asynchronous (SSD
+// writeback) or synchronous CPU work (ZRAM compression).
+type Device interface {
+	Name() string
+	ReadPage(v *sim.Env, slot Slot, vpn int64, version uint32)
+	WritePage(v *sim.Env, slot Slot, vpn int64, version uint32)
+	// PrefetchPage reads slot as part of a readahead cluster anchored at
+	// a blocking demand read: on a block device the transfer is amortized
+	// into the cluster I/O, on ZRAM each page still pays decompression
+	// CPU.
+	PrefetchPage(v *sim.Env, slot Slot, vpn int64, version uint32)
+	// FreeSlot releases any backing resources for slot (zram pool space).
+	FreeSlot(slot Slot)
+	// Drain blocks until all in-flight asynchronous writes have completed.
+	Drain(v *sim.Env)
+	Stats() Stats
+}
+
+// SSDConfig parameterizes an SSD device.
+type SSDConfig struct {
+	// ReadLatency / WriteLatency are 4 KB service times.
+	ReadLatency, WriteLatency sim.Duration
+	// Jitter is log-normal sigma applied to each service time.
+	Jitter float64
+	// QueueDepth is the number of requests the device services in
+	// parallel.
+	QueueDepth int
+	// MaxDirtyWrites caps in-flight asynchronous writebacks; reclaim
+	// blocks once the cap is reached (writeback backpressure).
+	MaxDirtyWrites int
+}
+
+// DefaultSSDConfig matches the paper's measured device: ~7.5 ms 4 KB
+// reads and writes.
+func DefaultSSDConfig() SSDConfig {
+	return SSDConfig{
+		ReadLatency:    7500 * sim.Microsecond,
+		WriteLatency:   7500 * sim.Microsecond,
+		Jitter:         0.35,
+		QueueDepth:     10,
+		MaxDirtyWrites: 48,
+	}
+}
+
+// SSD is a block swap device with bounded parallelism.
+type SSD struct {
+	cfg     SSDConfig
+	eng     *sim.Engine
+	rng     *sim.RNG
+	servers []sim.Time // busy-until, one per queue-depth channel
+	inWrite int
+	wcond   sim.Cond
+	stats   Stats
+}
+
+// NewSSD creates an SSD attached to eng with a dedicated RNG stream.
+func NewSSD(cfg SSDConfig, eng *sim.Engine, rng *sim.RNG) *SSD {
+	if cfg.QueueDepth <= 0 {
+		panic("swap: SSD queue depth must be positive")
+	}
+	if cfg.MaxDirtyWrites <= 0 {
+		cfg.MaxDirtyWrites = 1
+	}
+	return &SSD{cfg: cfg, eng: eng, rng: rng, servers: make([]sim.Time, cfg.QueueDepth)}
+}
+
+// Name implements Device.
+func (d *SSD) Name() string { return "ssd" }
+
+// service books a request on the earliest-free channel and returns its
+// completion time.
+func (d *SSD) service(base sim.Duration) sim.Time {
+	best := 0
+	for i, t := range d.servers {
+		if t < d.servers[best] {
+			best = i
+		}
+	}
+	start := d.eng.Now()
+	if d.servers[best] > start {
+		start = d.servers[best]
+	}
+	lat := base
+	if d.cfg.Jitter > 0 {
+		lat = sim.Duration(float64(lat) * d.rng.LogNormal(0, d.cfg.Jitter))
+	}
+	done := start + sim.Time(lat)
+	d.servers[best] = done
+	return done
+}
+
+// ReadPage implements Device: the calling proc blocks for the full queueing
+// plus service time.
+func (d *SSD) ReadPage(v *sim.Env, slot Slot, vpn int64, version uint32) {
+	done := d.service(d.cfg.ReadLatency)
+	d.stats.Reads++
+	d.stats.ReadTime += int64(done - v.Now())
+	v.SleepUntil(done)
+}
+
+// WritePage implements Device: the write is submitted asynchronously, but
+// the caller blocks first if too many writebacks are already in flight —
+// this is the reclaim backpressure that can stall eviction under thrash.
+func (d *SSD) WritePage(v *sim.Env, slot Slot, vpn int64, version uint32) {
+	for d.inWrite >= d.cfg.MaxDirtyWrites {
+		d.stats.WriteStalls++
+		v.Wait(&d.wcond)
+	}
+	done := d.service(d.cfg.WriteLatency)
+	d.inWrite++
+	d.stats.Writes++
+	d.stats.WriteTime += int64(done - v.Now())
+	d.eng.After(int64(done-v.Now()), func() {
+		d.inWrite--
+		d.wcond.Broadcast(d.eng)
+	})
+}
+
+// PrefetchPage implements Device: the page rides the cluster I/O of the
+// anchoring demand read; only a small per-page completion cost applies.
+func (d *SSD) PrefetchPage(v *sim.Env, slot Slot, vpn int64, version uint32) {
+	d.stats.Reads++
+	v.Charge(20 * sim.Microsecond)
+}
+
+// FreeSlot implements Device; SSD space needs no bookkeeping.
+func (d *SSD) FreeSlot(slot Slot) {}
+
+// Drain implements Device.
+func (d *SSD) Drain(v *sim.Env) {
+	for d.inWrite > 0 {
+		v.Wait(&d.wcond)
+	}
+}
+
+// Stats implements Device.
+func (d *SSD) Stats() Stats { return d.stats }
+
+// ZRAMConfig parameterizes a compressed in-memory swap device.
+type ZRAMConfig struct {
+	// ReadLatency / WriteLatency are the end-to-end 4 KB service times
+	// (dominated by [de]compression), charged as CPU work on the
+	// requesting thread.
+	ReadLatency, WriteLatency sim.Duration
+	// Jitter is log-normal sigma on each operation.
+	Jitter float64
+	// PageSize in bytes, for the compression pool.
+	PageSize int
+}
+
+// DefaultZRAMConfig matches the paper's measurement: 20 µs reads, 35 µs
+// writes with LZO-RLE.
+func DefaultZRAMConfig() ZRAMConfig {
+	return ZRAMConfig{
+		ReadLatency:  20 * sim.Microsecond,
+		WriteLatency: 35 * sim.Microsecond,
+		Jitter:       0.10,
+		PageSize:     4096,
+	}
+}
+
+// ClassFn maps a virtual page to its synthetic content class, so different
+// workloads exhibit different compression ratios.
+type ClassFn func(vpn int64) zram.ContentClass
+
+// ZRAM is a compressed in-memory swap device. All its I/O is synchronous
+// CPU work: a fault-in decompresses on the faulting thread, an eviction
+// compresses on the reclaiming thread. This is what couples swap speed to
+// CPU contention for this medium.
+type ZRAM struct {
+	cfg   ZRAMConfig
+	rng   *sim.RNG
+	store *zram.Store
+	class ClassFn
+	stats Stats
+}
+
+// NewZRAM creates a ZRAM device. class may be nil, defaulting everything
+// to structured content.
+func NewZRAM(cfg ZRAMConfig, rng *sim.RNG, class ClassFn) *ZRAM {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	if class == nil {
+		class = func(int64) zram.ContentClass { return zram.ClassStructured }
+	}
+	return &ZRAM{cfg: cfg, rng: rng, store: zram.NewStore(cfg.PageSize), class: class}
+}
+
+// Name implements Device.
+func (d *ZRAM) Name() string { return "zram" }
+
+func (d *ZRAM) jittered(base sim.Duration) sim.Duration {
+	if d.cfg.Jitter > 0 {
+		base = sim.Duration(float64(base) * d.rng.LogNormal(0, d.cfg.Jitter))
+	}
+	if base < 1 {
+		base = 1
+	}
+	return base
+}
+
+// ReadPage implements Device: decompression burns CPU on the caller.
+func (d *ZRAM) ReadPage(v *sim.Env, slot Slot, vpn int64, version uint32) {
+	lat := d.jittered(d.cfg.ReadLatency)
+	d.stats.Reads++
+	d.stats.ReadTime += lat
+	v.Charge(lat)
+}
+
+// WritePage implements Device: compression burns CPU on the caller and the
+// compressed size is measured with the real compressor.
+func (d *ZRAM) WritePage(v *sim.Env, slot Slot, vpn int64, version uint32) {
+	lat := d.jittered(d.cfg.WriteLatency)
+	d.stats.Writes++
+	d.stats.WriteTime += lat
+	d.store.Write(slot, vpn, version, d.class(vpn))
+	v.Charge(lat)
+}
+
+// PrefetchPage implements Device: ZRAM readahead still decompresses every
+// page on the faulting CPU.
+func (d *ZRAM) PrefetchPage(v *sim.Env, slot Slot, vpn int64, version uint32) {
+	d.ReadPage(v, slot, vpn, version)
+}
+
+// FreeSlot implements Device.
+func (d *ZRAM) FreeSlot(slot Slot) { d.store.Free(slot) }
+
+// Drain implements Device; ZRAM writes are synchronous so it returns
+// immediately.
+func (d *ZRAM) Drain(v *sim.Env) {}
+
+// Stats implements Device.
+func (d *ZRAM) Stats() Stats {
+	s := d.stats
+	s.CompressedBytes = d.store.CompressedBytes()
+	s.LifetimeCompressRatio = d.store.Ratio()
+	return s
+}
+
+// Compile-time interface checks.
+var (
+	_ Device = (*SSD)(nil)
+	_ Device = (*ZRAM)(nil)
+)

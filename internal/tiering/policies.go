@@ -1,0 +1,238 @@
+package tiering
+
+import (
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/sim"
+)
+
+// TPP is a transparent-page-placement policy modeled on Maruf et al.
+// (ASPLOS'23), which the paper describes as "directly built on top of the
+// data structures used for Clock": fast-tier pages live on active/
+// inactive lists; demotion takes the inactive tail to the slow tier
+// instead of a swap device; slow-tier accesses promote, gated by a
+// second-touch filter so single-use pages don't churn.
+type TPP struct {
+	m        *Manager
+	active   *mem.List
+	inactive *mem.List
+
+	// touched marks slow pages that have one recent access; the second
+	// access within a scan period promotes (TPP's promotion filter).
+	touched map[pagetable.VPN]bool
+
+	// DisableSecondTouch promotes on first touch (ablation knob).
+	DisableSecondTouch bool
+}
+
+// NewTPP creates the policy.
+func NewTPP() *TPP { return &TPP{touched: map[pagetable.VPN]bool{}} }
+
+// Name implements MigrationPolicy.
+func (t *TPP) Name() string { return "tpp" }
+
+// Attach implements MigrationPolicy.
+func (t *TPP) Attach(m *Manager) {
+	t.m = m
+	t.active = mem.NewList(m.Mem(), 0)
+	t.inactive = mem.NewList(m.Mem(), 1)
+}
+
+// Placed implements MigrationPolicy: fast-tier pages enter the inactive
+// list; slow-tier pages are tracked only via touches.
+func (t *TPP) Placed(v *sim.Env, vpn pagetable.VPN, f mem.FrameID) {
+	if t.m.TierOf(f) == TierFast {
+		t.inactive.PushHead(f)
+	}
+}
+
+// Poisoned implements MigrationPolicy: TPP relies on NUMA hint faults for
+// slow-tier pages; the manager models that visibility by always reporting
+// slow touches, so no extra poisoning is needed.
+func (t *TPP) Poisoned(vpn pagetable.VPN) bool { return false }
+
+// SlowTouched implements MigrationPolicy: second-touch promotion.
+func (t *TPP) SlowTouched(v *sim.Env, vpn pagetable.VPN) {
+	if !t.DisableSecondTouch && !t.touched[vpn] {
+		t.touched[vpn] = true
+		return
+	}
+	delete(t.touched, vpn)
+	t.promote(v, vpn)
+}
+
+// promote moves vpn to the fast tier, demoting to make room if needed.
+func (t *TPP) promote(v *sim.Env, vpn pagetable.VPN) {
+	f := t.m.AllocFast()
+	if f == mem.NilFrame {
+		// Make headroom first, as TPP's demotion watermark does.
+		t.demoteCold(v, t.m.Config().FreeTarget)
+		f = t.m.AllocFast()
+		if f == mem.NilFrame {
+			t.m.DeniedPromotion()
+			return
+		}
+	}
+	t.m.Promote(v, vpn, f)
+	t.inactive.PushHead(f)
+}
+
+// demoteCold scans the inactive tail, activating referenced pages and
+// demoting cold ones to the slow tier — Clock's second chance aimed at a
+// tier instead of a device.
+func (t *TPP) demoteCold(v *sim.Env, want int) {
+	table := t.m.Table()
+	budget := want * 8
+	for demoted := 0; demoted < want && budget > 0; budget-- {
+		if t.inactive.Empty() {
+			t.balance()
+			if t.inactive.Empty() {
+				return
+			}
+		}
+		f := t.inactive.PopTail()
+		vpn := pagetable.VPN(t.m.Mem().Frame(f).VPN)
+		if table.TestAndClearAccessed(vpn) {
+			t.active.PushHead(f)
+			continue
+		}
+		dst := t.m.AllocSlow()
+		if dst == mem.NilFrame {
+			// Slow tier full: nothing to demote into; put it back.
+			t.inactive.PushHead(f)
+			return
+		}
+		// Demote migrates the page into dst and frees f (the old fast
+		// frame) internally.
+		t.m.Demote(v, vpn, dst)
+		demoted++
+	}
+}
+
+// balance refills the inactive list from the active tail (unchecked
+// demotion within the fast tier, as Clock does when inactive runs low).
+func (t *TPP) balance() {
+	for i := 0; i < 32 && !t.active.Empty(); i++ {
+		f := t.active.PopTail()
+		vpn := pagetable.VPN(t.m.Mem().Frame(f).VPN)
+		if t.m.Table().TestAndClearAccessed(vpn) {
+			t.active.PushHead(f)
+			continue
+		}
+		t.inactive.PushHead(f)
+	}
+}
+
+// Tick implements MigrationPolicy: keep demotion headroom available and
+// decay the second-touch filter.
+func (t *TPP) Tick(v *sim.Env) {
+	cfg := t.m.Config()
+	free := 0
+	// Cheap check: try to allocate headroom frames; refund immediately.
+	var parked []mem.FrameID
+	for i := 0; i < cfg.FreeTarget; i++ {
+		f := t.m.AllocFast()
+		if f == mem.NilFrame {
+			break
+		}
+		parked = append(parked, f)
+		free++
+	}
+	for _, f := range parked {
+		t.m.Mem().Free(f)
+	}
+	if free < cfg.FreeTarget {
+		t.demoteCold(v, cfg.FreeTarget-free)
+	}
+	// Second-touch filter decays every period.
+	for vpn := range t.touched {
+		delete(t.touched, vpn)
+	}
+}
+
+// AutoNUMA is an AutoNUMA-like hint-fault sampler: it periodically
+// poisons a random sample of pages; a subsequent access faults, and a
+// faulting slow-tier page is promoted if the fast tier has room. As the
+// paper notes (§II-C), AutoNUMA has no demotion path — once the fast
+// tier fills, promotion stops, which is its documented limitation in
+// tiered-memory settings.
+type AutoNUMA struct {
+	m        *Manager
+	poisoned map[pagetable.VPN]bool
+	// SampleSize is how many pages each Tick poisons.
+	SampleSize int
+}
+
+// NewAutoNUMA creates the policy.
+func NewAutoNUMA() *AutoNUMA {
+	return &AutoNUMA{poisoned: map[pagetable.VPN]bool{}, SampleSize: 64}
+}
+
+// Name implements MigrationPolicy.
+func (a *AutoNUMA) Name() string { return "autonuma" }
+
+// Attach implements MigrationPolicy.
+func (a *AutoNUMA) Attach(m *Manager) { a.m = m }
+
+// Placed implements MigrationPolicy.
+func (a *AutoNUMA) Placed(v *sim.Env, vpn pagetable.VPN, f mem.FrameID) {}
+
+// Poisoned implements MigrationPolicy.
+func (a *AutoNUMA) Poisoned(vpn pagetable.VPN) bool {
+	if a.poisoned[vpn] {
+		delete(a.poisoned, vpn) // hint fault consumes the poison
+		return true
+	}
+	return false
+}
+
+// SlowTouched implements MigrationPolicy: promote if there is room —
+// and only if there is room, because AutoNUMA cannot demote.
+func (a *AutoNUMA) SlowTouched(v *sim.Env, vpn pagetable.VPN) {
+	f := a.m.AllocFast()
+	if f == mem.NilFrame {
+		a.m.DeniedPromotion()
+		return
+	}
+	a.m.Promote(v, vpn, f)
+}
+
+// Tick implements MigrationPolicy: poison a fresh random sample.
+func (a *AutoNUMA) Tick(v *sim.Env) {
+	table := a.m.Table()
+	rng := a.m.Rand()
+	for i := 0; i < a.SampleSize; i++ {
+		vpn := pagetable.VPN(rng.Intn(table.Pages()))
+		if table.PTE(vpn).Mapped() {
+			a.poisoned[vpn] = true
+		}
+	}
+}
+
+// Static never migrates: the do-nothing baseline that shows what the
+// cold-start placement costs.
+type Static struct{}
+
+// Name implements MigrationPolicy.
+func (Static) Name() string { return "static" }
+
+// Attach implements MigrationPolicy.
+func (Static) Attach(m *Manager) {}
+
+// Placed implements MigrationPolicy.
+func (Static) Placed(v *sim.Env, vpn pagetable.VPN, f mem.FrameID) {}
+
+// Poisoned implements MigrationPolicy.
+func (Static) Poisoned(vpn pagetable.VPN) bool { return false }
+
+// SlowTouched implements MigrationPolicy.
+func (Static) SlowTouched(v *sim.Env, vpn pagetable.VPN) {}
+
+// Tick implements MigrationPolicy.
+func (Static) Tick(v *sim.Env) {}
+
+var (
+	_ MigrationPolicy = (*TPP)(nil)
+	_ MigrationPolicy = (*AutoNUMA)(nil)
+	_ MigrationPolicy = Static{}
+)

@@ -1,0 +1,286 @@
+// Package tiering models the multi-tier memory systems that motivate the
+// paper's related work (§II-C): a fast tier (local DRAM) and a slow tier
+// (CXL/remote memory), with page *migration* policies moving pages
+// between them instead of swapping to a device. Two policies from the
+// paper's survey are implemented:
+//
+//   - TPP (Maruf et al., ASPLOS'23): built directly on Clock's
+//     active/inactive lists — demotion targets the slow tier instead of
+//     disk, and slow-tier accesses promote pages back, gated by a
+//     second-touch filter.
+//   - AutoNUMA-like hint-fault sampling (Corbet, LWN 2012): pages are
+//     periodically "poisoned" so the next access faults and reveals
+//     itself; hot slow-tier pages get promoted. Crucially, as the paper
+//     notes, AutoNUMA "lacks mechanisms to demote pages, limiting its
+//     performance in contexts with memory tiering" — this implementation
+//     reproduces exactly that failure mode.
+//
+// All pages are always resident (no swap); the performance question is
+// purely which pages sit in the fast tier.
+package tiering
+
+import (
+	"fmt"
+
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/sim"
+)
+
+// Tier identifies a memory tier.
+type Tier uint8
+
+// The two tiers.
+const (
+	TierFast Tier = iota // local DRAM
+	TierSlow             // CXL/remote memory
+)
+
+// Config sizes the tiered system.
+type Config struct {
+	// FastPages and SlowPages size the tiers; Fast+Slow must cover the
+	// workload footprint (no swapping in this model).
+	FastPages, SlowPages int
+	// FastAccess and SlowAccess are per-page-touch costs; the paper's
+	// ZRAM latencies (~tens of µs) are representative of the slow tier.
+	FastAccess, SlowAccess sim.Duration
+	// MigrateCost is the CPU cost of moving one page between tiers.
+	MigrateCost sim.Duration
+	// HintFaultCost is the trap cost of a poisoned-PTE access
+	// (AutoNUMA-style sampling).
+	HintFaultCost sim.Duration
+	// FreeTarget is how many fast-tier frames the demotion path tries to
+	// keep free (the promotion headroom watermark).
+	FreeTarget int
+}
+
+// DefaultConfig returns a configuration scaled like the swap experiments:
+// slow-tier touches cost ~20 µs, migrations ~35 µs.
+func DefaultConfig(fast, slow int) Config {
+	return Config{
+		FastPages:     fast,
+		SlowPages:     slow,
+		FastAccess:    2 * sim.Microsecond,
+		SlowAccess:    20 * sim.Microsecond,
+		MigrateCost:   35 * sim.Microsecond,
+		HintFaultCost: 4 * sim.Microsecond,
+		FreeTarget:    maxInt(8, fast/32),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Counters aggregates tiered-memory activity.
+type Counters struct {
+	FastHits, SlowHits    uint64
+	Promotions, Demotions uint64
+	HintFaults            uint64
+	PromotionsDenied      uint64 // no fast frame available
+}
+
+// MigrationPolicy decides page placement between tiers.
+type MigrationPolicy interface {
+	// Name identifies the policy.
+	Name() string
+	// Attach binds to the manager before use.
+	Attach(m *Manager)
+	// Placed informs the policy that vpn was placed in frame f (initial
+	// population or migration).
+	Placed(v *sim.Env, vpn pagetable.VPN, f mem.FrameID)
+	// SlowTouched is called when a slow-tier page is touched and the
+	// touch is visible to the policy (always for TPP's NUMA-hinting;
+	// only on poisoned pages for sampling policies). The policy may
+	// promote.
+	SlowTouched(v *sim.Env, vpn pagetable.VPN)
+	// Tick performs periodic background work (scans, demotions).
+	Tick(v *sim.Env)
+	// Poisoned reports whether the policy wants hint faults for vpn's
+	// next access (sampling policies).
+	Poisoned(vpn pagetable.VPN) bool
+}
+
+// Manager is the tiered-memory manager: one page table whose pages are
+// all resident, split across a fast and a slow region of one frame array.
+type Manager struct {
+	cfg   Config
+	table *pagetable.Table
+	memry *mem.Memory // frames [0,FastPages) fast, rest slow
+	pol   MigrationPolicy
+	rng   *sim.RNG
+
+	counters Counters
+}
+
+// New builds a manager for a footprint of footprintPages, populating
+// pages in address order: the first FastPages land in the fast tier, the
+// rest in the slow tier (the cold-start placement tiering systems face).
+func New(cfg Config, table *pagetable.Table, pol MigrationPolicy, rng *sim.RNG) *Manager {
+	if cfg.FastPages <= 0 || cfg.SlowPages < 0 {
+		panic("tiering: invalid tier sizes")
+	}
+	m := &Manager{
+		cfg:   cfg,
+		table: table,
+		memry: mem.New(cfg.FastPages + cfg.SlowPages),
+		pol:   pol,
+		rng:   rng,
+	}
+	pol.Attach(m)
+	return m
+}
+
+// Populate makes every mapped page resident, fast tier first.
+func (m *Manager) Populate(v *sim.Env) {
+	placed := 0
+	for vpn := pagetable.VPN(0); int(vpn) < m.table.Pages(); vpn++ {
+		if !m.table.PTE(vpn).Mapped() {
+			continue
+		}
+		f := m.memry.Alloc()
+		if f == mem.NilFrame {
+			panic(fmt.Sprintf("tiering: footprint exceeds tier capacity at page %d", placed))
+		}
+		m.table.InsertPrefetch(vpn, f)
+		m.memry.Frame(f).VPN = int64(vpn)
+		m.pol.Placed(v, vpn, f)
+		placed++
+	}
+}
+
+// TierOf reports which tier frame f belongs to.
+func (m *Manager) TierOf(f mem.FrameID) Tier {
+	if int(f) < m.cfg.FastPages {
+		return TierFast
+	}
+	return TierSlow
+}
+
+// Config exposes the configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Table exposes the page table.
+func (m *Manager) Table() *pagetable.Table { return m.table }
+
+// Mem exposes the frame array.
+func (m *Manager) Mem() *mem.Memory { return m.memry }
+
+// Rand exposes the policy RNG stream.
+func (m *Manager) Rand() *sim.RNG { return m.rng }
+
+// Counters returns activity counters.
+func (m *Manager) Counters() Counters { return m.counters }
+
+// FastHitRatio reports the fraction of touches served by the fast tier.
+func (m *Manager) FastHitRatio() float64 {
+	total := m.counters.FastHits + m.counters.SlowHits
+	if total == 0 {
+		return 0
+	}
+	return float64(m.counters.FastHits) / float64(total)
+}
+
+// Touch performs one page access, charging the tier-dependent cost and
+// routing visibility to the policy (hint fault on poisoned pages, always
+// for slow-tier touches).
+func (m *Manager) Touch(v *sim.Env, vpn pagetable.VPN, write bool) {
+	f, ok := m.table.Walk(vpn, write)
+	if !ok {
+		panic("tiering: page not resident (all pages should be populated)")
+	}
+	if m.pol.Poisoned(vpn) {
+		m.counters.HintFaults++
+		v.Charge(m.cfg.HintFaultCost)
+	}
+	if m.TierOf(f) == TierFast {
+		m.counters.FastHits++
+		v.Charge(m.cfg.FastAccess)
+		return
+	}
+	m.counters.SlowHits++
+	v.Charge(m.cfg.SlowAccess)
+	m.pol.SlowTouched(v, vpn)
+}
+
+// migrate moves vpn from its current frame to dst, charging the copy.
+func (m *Manager) migrate(v *sim.Env, vpn pagetable.VPN, dst mem.FrameID) {
+	src, ok := m.table.Walk(vpn, false)
+	if !ok {
+		panic("tiering: migrating non-resident page")
+	}
+	// Preserve the A bit across migration; Walk just set it, so clear it
+	// back if it was clear... migration itself is not an access, but the
+	// Walk above set A. Policies scanning A bits tolerate this small
+	// inaccuracy (real migration also touches the PTE).
+	m.table.Evict(vpn, pagetable.NilSwap)
+	srcFr := m.memry.Frame(src)
+	srcFr.VPN = -1
+	m.memry.Free(src)
+	m.table.InsertPrefetch(vpn, dst)
+	m.memry.Frame(dst).VPN = int64(vpn)
+	v.Charge(m.cfg.MigrateCost)
+}
+
+// Promote moves vpn into frame fastFrame (caller supplies a free fast
+// frame).
+func (m *Manager) Promote(v *sim.Env, vpn pagetable.VPN, fastFrame mem.FrameID) {
+	if m.TierOf(fastFrame) != TierFast {
+		panic("tiering: promotion target not in fast tier")
+	}
+	m.counters.Promotions++
+	m.migrate(v, vpn, fastFrame)
+}
+
+// Demote moves vpn into frame slowFrame.
+func (m *Manager) Demote(v *sim.Env, vpn pagetable.VPN, slowFrame mem.FrameID) {
+	if m.TierOf(slowFrame) != TierSlow {
+		panic("tiering: demotion target not in slow tier")
+	}
+	m.counters.Demotions++
+	m.migrate(v, vpn, slowFrame)
+}
+
+// AllocFast returns a free fast-tier frame or NilFrame. The shared
+// allocator hands out fast frames first, so any free frame below
+// FastPages qualifies; we scan the free list via Alloc/rollback.
+func (m *Manager) AllocFast() mem.FrameID {
+	f := m.memry.Alloc()
+	if f == mem.NilFrame {
+		return mem.NilFrame
+	}
+	if m.TierOf(f) == TierFast {
+		return f
+	}
+	m.memry.Free(f)
+	return mem.NilFrame
+}
+
+// AllocSlow returns a free slow-tier frame or NilFrame.
+func (m *Manager) AllocSlow() mem.FrameID {
+	// The allocator prefers low (fast) frames; to find a slow frame we
+	// may need to set aside fast ones temporarily.
+	var parked []mem.FrameID
+	var out mem.FrameID = mem.NilFrame
+	for {
+		f := m.memry.Alloc()
+		if f == mem.NilFrame {
+			break
+		}
+		if m.TierOf(f) == TierSlow {
+			out = f
+			break
+		}
+		parked = append(parked, f)
+	}
+	for _, f := range parked {
+		m.memry.Free(f)
+	}
+	return out
+}
+
+// DeniedPromotion records a promotion that could not find fast space.
+func (m *Manager) DeniedPromotion() { m.counters.PromotionsDenied++ }

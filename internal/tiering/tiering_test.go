@@ -1,0 +1,229 @@
+package tiering
+
+import (
+	"testing"
+
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/workload"
+)
+
+// rig builds a tiered system over a mapped footprint.
+func rig(t *testing.T, fast, slow, footprint int, pol MigrationPolicy, seed uint64) (*Manager, *sim.Engine) {
+	t.Helper()
+	regions := (footprint + pagetable.PTEsPerRegion - 1) / pagetable.PTEsPerRegion
+	table := pagetable.New(regions)
+	table.MapRange(0, footprint, false)
+	// Keep a little slow-tier slack beyond the footprint: migration needs
+	// a free destination frame, as in real tiered systems.
+	if fast+slow == footprint {
+		slow += 16
+	}
+	m := New(DefaultConfig(fast, slow), table, pol, sim.NewRNG(seed))
+	return m, sim.NewEngine(4)
+}
+
+// driveZipf touches pages with zipfian skew for n accesses, running the
+// policy tick periodically.
+func driveZipf(e *sim.Engine, m *Manager, footprint, n int, seed uint64) error {
+	e.Spawn("app", false, func(v *sim.Env) {
+		m.Populate(v)
+		// Scrambled: hot pages scatter across the address space, so the
+		// address-ordered cold-start placement strands hot pages in the
+		// slow tier — the situation migration policies exist for.
+		zipf := workload.NewScrambledZipfian(int64(footprint), 0.9)
+		rng := sim.NewRNG(seed)
+		for i := 0; i < n; i++ {
+			m.Touch(v, pagetable.VPN(zipf.Next(rng)), rng.Bool(0.2))
+			if i%256 == 0 {
+				m.pol.Tick(v)
+			}
+		}
+	})
+	return e.Run()
+}
+
+func TestPopulateFillsFastFirst(t *testing.T) {
+	m, e := rig(t, 64, 64, 100, Static{}, 1)
+	e.Spawn("app", false, func(v *sim.Env) { m.Populate(v) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := 0, 0
+	for vpn := pagetable.VPN(0); vpn < 100; vpn++ {
+		f, ok := m.Table().Walk(vpn, false)
+		if !ok {
+			t.Fatalf("page %d not resident", vpn)
+		}
+		if m.TierOf(f) == TierFast {
+			fast++
+		} else {
+			slow++
+		}
+	}
+	if fast != 64 || slow != 36 {
+		t.Fatalf("fast=%d slow=%d, want 64/36", fast, slow)
+	}
+}
+
+func TestPopulateOverflowPanics(t *testing.T) {
+	m, e := rig(t, 8, 8, 32, Static{}, 1)
+	e.Spawn("app", false, func(v *sim.Env) { m.Populate(v) })
+	if err := e.Run(); err == nil {
+		t.Fatal("expected error: footprint exceeds capacity")
+	}
+}
+
+func TestSlowTouchesCostMore(t *testing.T) {
+	m, e := rig(t, 16, 64, 64, Static{}, 1)
+	var fastTime, slowTime sim.Duration
+	e.Spawn("app", false, func(v *sim.Env) {
+		m.Populate(v)
+		start := v.Proc().CPUTime()
+		m.Touch(v, 0, false) // fast tier
+		fastTime = v.Proc().CPUTime() - start
+		start = v.Proc().CPUTime()
+		m.Touch(v, 50, false) // slow tier
+		slowTime = v.Proc().CPUTime() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if slowTime <= fastTime {
+		t.Fatalf("slow touch (%v) not costlier than fast (%v)", slowTime, fastTime)
+	}
+}
+
+func TestTPPPromotesHotSlowPages(t *testing.T) {
+	m, e := rig(t, 32, 96, 128, NewTPP(), 1)
+	hot := pagetable.VPN(100) // starts in the slow tier
+	e.Spawn("app", false, func(v *sim.Env) {
+		m.Populate(v)
+		for i := 0; i < 10; i++ {
+			m.Touch(v, hot, false)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.Table().Walk(hot, false)
+	if m.TierOf(f) != TierFast {
+		t.Fatal("hot slow page was not promoted")
+	}
+	if m.Counters().Promotions == 0 {
+		t.Fatal("no promotions counted")
+	}
+}
+
+func TestTPPSecondTouchFilter(t *testing.T) {
+	pol := NewTPP()
+	m, e := rig(t, 32, 96, 128, pol, 1)
+	oneshot := pagetable.VPN(110)
+	e.Spawn("app", false, func(v *sim.Env) {
+		m.Populate(v)
+		m.Touch(v, oneshot, false) // single touch: must NOT promote
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.Table().Walk(oneshot, false)
+	if m.TierOf(f) != TierSlow {
+		t.Fatal("single-touch page promoted despite second-touch filter")
+	}
+}
+
+func TestTPPDemotesColdToMakeRoom(t *testing.T) {
+	m, e := rig(t, 32, 96, 128, NewTPP(), 1)
+	if err := driveZipf(e, m, 128, 20000, 7); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	if c.Demotions == 0 {
+		t.Fatal("TPP never demoted despite fast-tier pressure")
+	}
+	if c.Promotions == 0 {
+		t.Fatal("TPP never promoted")
+	}
+}
+
+func TestTPPImprovesFastHitRatioOverStatic(t *testing.T) {
+	run := func(pol MigrationPolicy) float64 {
+		m, e := rig(t, 32, 96, 128, pol, 1)
+		if err := driveZipf(e, m, 128, 30000, 7); err != nil {
+			t.Fatal(err)
+		}
+		return m.FastHitRatio()
+	}
+	static := run(Static{})
+	tpp := run(NewTPP())
+	if tpp <= static {
+		t.Fatalf("TPP hit ratio %.3f not above static %.3f", tpp, static)
+	}
+}
+
+// The paper's §II-C criticism: AutoNUMA cannot demote, so once the fast
+// tier is full its promotions stop and its hit ratio stalls below TPP's.
+func TestAutoNUMAStallsWithoutDemotion(t *testing.T) {
+	runC := func(pol MigrationPolicy) (float64, Counters) {
+		m, e := rig(t, 32, 96, 128, pol, 1)
+		if err := driveZipf(e, m, 128, 30000, 7); err != nil {
+			t.Fatal(err)
+		}
+		return m.FastHitRatio(), m.Counters()
+	}
+	anRatio, anC := runC(NewAutoNUMA())
+	tppRatio, _ := runC(NewTPP())
+	if anC.Demotions != 0 {
+		t.Fatal("autonuma must never demote")
+	}
+	if anC.PromotionsDenied == 0 {
+		t.Fatal("autonuma should hit the full fast tier and stall")
+	}
+	if tppRatio <= anRatio {
+		t.Fatalf("TPP (%.3f) should beat AutoNUMA (%.3f) by demoting", tppRatio, anRatio)
+	}
+}
+
+func TestAutoNUMAHintFaultsCharged(t *testing.T) {
+	pol := NewAutoNUMA()
+	m, e := rig(t, 32, 96, 128, pol, 1)
+	if err := driveZipf(e, m, 128, 5000, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters().HintFaults == 0 {
+		t.Fatal("no hint faults recorded")
+	}
+}
+
+func TestMigrationConservation(t *testing.T) {
+	// Every mapped page stays resident across arbitrary migration churn.
+	m, e := rig(t, 32, 96, 128, NewTPP(), 5)
+	if err := driveZipf(e, m, 128, 20000, 11); err != nil {
+		t.Fatal(err)
+	}
+	for vpn := pagetable.VPN(0); vpn < 128; vpn++ {
+		if _, ok := m.Table().Walk(vpn, false); !ok {
+			t.Fatalf("page %d lost during migration", vpn)
+		}
+	}
+	if m.Table().PresentPages() != 128 {
+		t.Fatalf("present = %d, want 128", m.Table().PresentPages())
+	}
+	if m.Mem().UsedPages() != 128 {
+		t.Fatalf("frames used = %d, want 128", m.Mem().UsedPages())
+	}
+}
+
+func TestCountersConsistent(t *testing.T) {
+	m, e := rig(t, 32, 96, 128, NewTPP(), 5)
+	if err := driveZipf(e, m, 128, 10000, 13); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	if c.FastHits+c.SlowHits != 10000 {
+		t.Fatalf("hits %d+%d != touches 10000", c.FastHits, c.SlowHits)
+	}
+	if r := m.FastHitRatio(); r <= 0 || r > 1 {
+		t.Fatalf("hit ratio %v out of range", r)
+	}
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/sim"
+)
+
+func feed(a *Analyzer, vpns ...pagetable.VPN) {
+	for _, v := range vpns {
+		a.Add(v)
+	}
+}
+
+func TestColdMissesOnly(t *testing.T) {
+	a := NewAnalyzer(16)
+	feed(a, 1, 2, 3, 4)
+	if a.ColdMisses() != 4 || a.Unique() != 4 || a.Accesses() != 4 {
+		t.Fatalf("cold=%d unique=%d", a.ColdMisses(), a.Unique())
+	}
+	if mr := a.MissRatio(100); mr != 1.0 {
+		t.Fatalf("all-cold miss ratio = %v", mr)
+	}
+}
+
+func TestStackDistanceKnownSequence(t *testing.T) {
+	a := NewAnalyzer(16)
+	// 1 2 3 1: reuse of 1 has distance 2 (pages 2, 3 in between).
+	feed(a, 1, 2, 3, 1)
+	// Capacity 2 misses the reuse, capacity 3 hits it.
+	if mr := a.MissRatio(2); mr != 1.0 {
+		t.Fatalf("cap-2 miss ratio = %v, want 1.0", mr)
+	}
+	if mr := a.MissRatio(3); mr != 0.75 {
+		t.Fatalf("cap-3 miss ratio = %v, want 0.75 (one hit of four)", mr)
+	}
+}
+
+func TestImmediateReuseDistanceZero(t *testing.T) {
+	a := NewAnalyzer(16)
+	feed(a, 5, 5, 5)
+	// Two reuses at distance 0: any capacity >= 1 hits them.
+	if mr := a.MissRatio(1); mr-1.0/3.0 > 1e-12 || mr < 1.0/3.0-1e-12 {
+		t.Fatalf("miss ratio = %v, want 1/3", mr)
+	}
+}
+
+func TestMissRatioMonotoneInCapacity(t *testing.T) {
+	a := NewAnalyzer(64)
+	rng := sim.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		a.Add(pagetable.VPN(rng.Intn(200)))
+	}
+	prev := 1.1
+	for _, c := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		mr := a.MissRatio(c)
+		if mr > prev+1e-12 {
+			t.Fatalf("miss ratio not monotone at capacity %d: %v > %v", c, mr, prev)
+		}
+		prev = mr
+	}
+	// At capacity >= unique pages, only cold misses remain.
+	want := float64(a.ColdMisses()) / float64(a.Accesses())
+	if got := a.MissRatio(100000); got != want {
+		t.Fatalf("asymptotic miss ratio = %v, want %v", got, want)
+	}
+}
+
+// Property: the analyzer's miss ratio matches a brute-force LRU
+// simulation for random small traces.
+func TestMissRatioMatchesBruteForceLRUProperty(t *testing.T) {
+	f := func(raw []uint8, capRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		capacity := int(capRaw)%8 + 1
+		a := NewAnalyzer(len(raw))
+		// Brute-force LRU.
+		var stack []pagetable.VPN
+		misses := 0
+		for _, r := range raw {
+			vpn := pagetable.VPN(r % 16)
+			a.Add(vpn)
+			found := -1
+			for i, v := range stack {
+				if v == vpn {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				misses++
+				stack = append([]pagetable.VPN{vpn}, stack...)
+				if len(stack) > capacity {
+					stack = stack[:capacity]
+				}
+			} else {
+				stack = append(stack[:found], stack[found+1:]...)
+				stack = append([]pagetable.VPN{vpn}, stack...)
+			}
+		}
+		want := float64(misses) / float64(len(raw))
+		got := a.MissRatio(capacity)
+		return got > want-1e-9 && got < want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetBounds(t *testing.T) {
+	a := NewAnalyzer(64)
+	rng := sim.NewRNG(2)
+	for i := 0; i < 2000; i++ {
+		a.Add(pagetable.VPN(rng.Intn(50)))
+	}
+	ws1 := a.WorkingSet(1)
+	if ws1 < 0.99 || ws1 > 1.01 {
+		t.Fatalf("W(1) = %v, want ~1", ws1)
+	}
+	wsBig := a.WorkingSet(100000)
+	if wsBig > float64(a.Unique())+1e-9 {
+		t.Fatalf("W(inf) = %v exceeds unique %d", wsBig, a.Unique())
+	}
+	// Monotone in window size.
+	prev := 0.0
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		ws := a.WorkingSet(w)
+		if ws < prev-1e-9 {
+			t.Fatalf("working set not monotone at %d", w)
+		}
+		prev = ws
+	}
+}
+
+func TestWorkingSetSequentialStream(t *testing.T) {
+	a := NewAnalyzer(64)
+	for i := 0; i < 1000; i++ {
+		a.Add(pagetable.VPN(i)) // no reuse
+	}
+	// Every window of w accesses holds exactly w distinct pages
+	// (modulo trace-end boundary).
+	ws := a.WorkingSet(10)
+	if ws < 9 || ws > 10 {
+		t.Fatalf("W(10) on sequential = %v, want ~10", ws)
+	}
+}
+
+func TestDistancePercentile(t *testing.T) {
+	a := NewAnalyzer(64)
+	// Loop over 10 pages repeatedly: every reuse distance is 9.
+	for pass := 0; pass < 20; pass++ {
+		for p := 0; p < 10; p++ {
+			a.Add(pagetable.VPN(p))
+		}
+	}
+	if d := a.DistancePercentile(0.5); d != 9 {
+		t.Fatalf("median distance = %d, want 9", d)
+	}
+}
+
+func TestFenwickGrowPreservesCounts(t *testing.T) {
+	a := NewAnalyzer(64) // force growth with >64 accesses
+	rng := sim.NewRNG(3)
+	var ref []pagetable.VPN
+	for i := 0; i < 500; i++ {
+		v := pagetable.VPN(rng.Intn(30))
+		ref = append(ref, v)
+		a.Add(v)
+	}
+	// Compare against a fresh analyzer with exact capacity.
+	b := NewAnalyzer(500)
+	for _, v := range ref {
+		b.Add(v)
+	}
+	for _, c := range []int{1, 5, 10, 20, 40} {
+		if a.MissRatio(c) != b.MissRatio(c) {
+			t.Fatalf("growth changed results at capacity %d", c)
+		}
+	}
+}
+
+func TestHotPages(t *testing.T) {
+	a := NewAnalyzer(16)
+	counts := map[pagetable.VPN]int{1: 5, 2: 9, 3: 2}
+	hot := a.HotPages(2, counts)
+	if len(hot) != 2 || hot[0].VPN != 2 || hot[1].VPN != 1 {
+		t.Fatalf("hot = %+v", hot)
+	}
+}

@@ -1,0 +1,96 @@
+package vmm
+
+import (
+	"testing"
+
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy/clock"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/swap"
+)
+
+// runSequentialPasses builds a system with the given readahead window and
+// drives sequential passes over the mapped range, returning the manager.
+func runSequentialPasses(t *testing.T, window, frames, mapped, passes int, seed uint64) *Manager {
+	t.Helper()
+	eng := sim.NewEngine(4)
+	rng := sim.NewRNG(seed)
+	cfg := DefaultConfig()
+	cfg.ReadaheadWindow = window
+	memory := mem.New(frames)
+	regions := (mapped + pagetable.PTEsPerRegion - 1) / pagetable.PTEsPerRegion
+	table := pagetable.New(regions)
+	table.MapRange(0, mapped, false)
+	dev := swap.NewSSD(swap.SSDConfig{
+		ReadLatency: 100 * sim.Microsecond, WriteLatency: 100 * sim.Microsecond,
+		QueueDepth: 8, MaxDirtyWrites: 32,
+	}, eng, rng.Stream(1))
+	mgr := New(cfg, eng, memory, table, dev, clock.New(clock.DefaultConfig()), rng.Stream(2))
+	eng.Spawn("app", false, func(v *sim.Env) {
+		for p := 0; p < passes; p++ {
+			for vpn := pagetable.VPN(0); vpn < pagetable.VPN(mapped); vpn++ {
+				mgr.Touch(v, vpn, false)
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+func TestReadaheadPullsClusterNeighbours(t *testing.T) {
+	m := runSequentialPasses(t, 8, 32, 64, 4, 1)
+	c := m.Counters()
+	if c.ReadaheadIn == 0 {
+		t.Fatal("readahead never fired on a sequential workload")
+	}
+	if c.ReadaheadHits == 0 {
+		t.Fatal("sequential readahead produced no hits")
+	}
+	if c.ReadaheadHits < c.ReadaheadWaste {
+		t.Fatalf("hits %d < waste %d on a sequential pattern", c.ReadaheadHits, c.ReadaheadWaste)
+	}
+}
+
+func TestReadaheadReducesMajorFaults(t *testing.T) {
+	with := runSequentialPasses(t, 8, 32, 64, 4, 9).Counters().MajorFaults
+	without := runSequentialPasses(t, 0, 32, 64, 4, 9).Counters().MajorFaults
+	if with >= without {
+		t.Fatalf("readahead did not reduce major faults: %d with vs %d without", with, without)
+	}
+}
+
+func TestReadaheadDisabledWindowZero(t *testing.T) {
+	m := runSequentialPasses(t, 0, 32, 64, 3, 2)
+	if m.Counters().ReadaheadIn != 0 {
+		t.Fatal("window 0 should disable readahead")
+	}
+}
+
+func TestPrefetchedPagesCarryNoAccessedBit(t *testing.T) {
+	m := runSequentialPasses(t, 8, 16, 48, 3, 4)
+	for vpn := pagetable.VPN(0); vpn < 48; vpn++ {
+		p := m.Table().PTE(vpn)
+		if !p.Present() {
+			continue
+		}
+		fr := m.Mem().Frame(p.Frame)
+		if fr.Flags&mem.FlagPrefetch != 0 && p.Accessed() {
+			t.Errorf("prefetched page %d has A bit set", vpn)
+		}
+	}
+}
+
+func TestReadaheadAccountingConsistent(t *testing.T) {
+	m := runSequentialPasses(t, 8, 32, 64, 5, 7)
+	c := m.Counters()
+	if c.ReadaheadHits+c.ReadaheadWaste > c.ReadaheadIn {
+		t.Fatalf("outcomes (%d+%d) exceed prefetches (%d)",
+			c.ReadaheadHits, c.ReadaheadWaste, c.ReadaheadIn)
+	}
+	if m.ResidentPages() != m.Mem().UsedPages() {
+		t.Fatal("frame accounting mismatch with readahead")
+	}
+}

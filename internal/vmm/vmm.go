@@ -1,0 +1,459 @@
+// Package vmm is the simulated memory manager: it owns the fault path,
+// swap-in/swap-out, watermark-driven background reclaim (kswapd), direct
+// reclaim, and the background aging task that MG-LRU's design assumes.
+// It implements policy.Kernel, so replacement policies plug in unchanged.
+package vmm
+
+import (
+	"fmt"
+
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/rmap"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/swap"
+)
+
+// Config tunes memory-manager behaviour.
+type Config struct {
+	// MajorFaultOverhead is the CPU cost of trap + handler + PTE fixup
+	// for a fault served from swap (excluding device time).
+	MajorFaultOverhead sim.Duration
+	// MinorFaultOverhead is the CPU cost of a first-touch (zero-fill)
+	// fault.
+	MinorFaultOverhead sim.Duration
+	// ReclaimBatch is how many pages one direct-reclaim burst requests.
+	ReclaimBatch int
+	// KswapdBatch is how many pages one kswapd burst requests.
+	KswapdBatch int
+	// AgingPoll is the aging daemon's poll period when idle.
+	AgingPoll sim.Duration
+	// ProactiveAging makes the aging daemon run a pass every
+	// ProactiveInterval even without a request, harvesting accessed bits
+	// the way periodic kernel scans do. Zero disables.
+	ProactiveInterval sim.Duration
+	// ReadaheadWindow is the swap cluster size (the kernel's
+	// 2^page_cluster, default 8): a demand fault also pulls in the other
+	// swapped-out pages of its aligned slot cluster. Zero disables.
+	// Readahead effectiveness depends on slot-layout luck — pages
+	// evicted together get adjacent slots — which is a principal source
+	// of run-to-run fault-count variation.
+	ReadaheadWindow int
+	// RMapCost is the reverse-map walk cost model.
+	RMapCost rmap.CostModel
+}
+
+// DefaultConfig returns calibrated defaults.
+func DefaultConfig() Config {
+	return Config{
+		MajorFaultOverhead: 1500 * sim.Nanosecond,
+		MinorFaultOverhead: 800 * sim.Nanosecond,
+		ReclaimBatch:       32,
+		KswapdBatch:        64,
+		AgingPoll:          1 * sim.Millisecond,
+		ProactiveInterval:  20 * sim.Millisecond,
+		ReadaheadWindow:    8,
+		RMapCost:           rmap.DefaultCostModel(),
+	}
+}
+
+// Counters aggregates fault-path activity for a trial.
+type Counters struct {
+	MajorFaults    uint64
+	MinorFaults    uint64
+	SwapIns        uint64
+	SwapOuts       uint64
+	DirectReclaims uint64
+	KswapdBursts   uint64
+	Accesses       uint64
+	ReadaheadIn    uint64 // pages brought in speculatively by readahead
+	ReadaheadHits  uint64 // prefetched pages touched before eviction
+	ReadaheadWaste uint64 // prefetched pages evicted untouched
+}
+
+// TotalFaults is the figure the paper plots: demand faults of both kinds.
+func (c Counters) TotalFaults() uint64 { return c.MajorFaults + c.MinorFaults }
+
+type shadowEntry struct {
+	sh    policy.Shadow
+	valid bool
+}
+
+// Manager is the simulated memory-management subsystem for one process.
+type Manager struct {
+	cfg   Config
+	eng   *sim.Engine
+	memry *mem.Memory
+	table *pagetable.Table
+	rm    *rmap.Map
+	dev   swap.Device
+	area  *swap.Area
+	pol   policy.Policy
+	rng   *sim.RNG
+
+	shadows   []shadowEntry // per VPN
+	versions  []uint32      // per VPN dirty-content version
+	faultsAt  []uint32      // per VPN major-fault counts (analysis tools)
+	slotOwner []int64       // per swap slot: owning VPN, -1 if unassigned
+
+	kswapdCond sim.Cond
+	agingReq   bool
+
+	// Adaptive readahead state, per page-table region (the kernel's
+	// swap readahead adapts per VMA): raShift[r] bounds region r's
+	// window to 1<<raShift[r], adjusted from recent hit/miss outcomes.
+	// Sequential segments keep large windows; randomly accessed ones
+	// collapse to zero.
+	raShift    []int8
+	raHits     []int16
+	raOutcomes []int16
+	raMaxShift int8
+
+	counters Counters
+}
+
+// New wires a Manager and spawns its kswapd and aging daemons on eng.
+// The table's mapped ranges must be final before New is called (swap is
+// sized from them).
+func New(cfg Config, eng *sim.Engine, memry *mem.Memory, table *pagetable.Table,
+	dev swap.Device, pol policy.Policy, rng *sim.RNG) *Manager {
+	if cfg.ReclaimBatch <= 0 {
+		cfg.ReclaimBatch = 32
+	}
+	if cfg.KswapdBatch <= 0 {
+		cfg.KswapdBatch = 64
+	}
+	if cfg.AgingPoll <= 0 {
+		cfg.AgingPoll = 1 * sim.Millisecond
+	}
+	m := &Manager{
+		cfg:       cfg,
+		eng:       eng,
+		memry:     memry,
+		table:     table,
+		dev:       dev,
+		pol:       pol,
+		rng:       rng.Stream(0x7a),
+		area:      swap.NewArea(table.Pages() + 64),
+		shadows:   make([]shadowEntry, table.Pages()),
+		versions:  make([]uint32, table.Pages()),
+		faultsAt:  make([]uint32, table.Pages()),
+		slotOwner: make([]int64, table.Pages()+64),
+	}
+	for i := range m.slotOwner {
+		m.slotOwner[i] = -1
+	}
+	for w := cfg.ReadaheadWindow; w > 1; w >>= 1 {
+		m.raMaxShift++
+	}
+	m.raShift = make([]int8, table.Regions())
+	m.raHits = make([]int16, table.Regions())
+	m.raOutcomes = make([]int16, table.Regions())
+	for i := range m.raShift {
+		m.raShift[i] = m.raMaxShift
+	}
+	m.rm = rmap.New(memry, cfg.RMapCost, rng.Stream(0x7b))
+	pol.Attach(m)
+	eng.Spawn("kswapd", true, m.kswapd)
+	eng.Spawn("aging", true, m.agingDaemon)
+	return m
+}
+
+// --- policy.Kernel implementation ---
+
+// Mem implements policy.Kernel.
+func (m *Manager) Mem() *mem.Memory { return m.memry }
+
+// Table implements policy.Kernel.
+func (m *Manager) Table() *pagetable.Table { return m.table }
+
+// RMap implements policy.Kernel.
+func (m *Manager) RMap() *rmap.Map { return m.rm }
+
+// Rand implements policy.Kernel.
+func (m *Manager) Rand() *sim.RNG { return m.rng }
+
+// RequestAging implements policy.Kernel.
+func (m *Manager) RequestAging() { m.agingReq = true }
+
+// EvictPage implements policy.Kernel: unmap, write back if the swap copy
+// is stale, free the frame. Clean pages with a valid swap copy are
+// dropped without I/O.
+func (m *Manager) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
+	fr := m.memry.Frame(f)
+	vpn := pagetable.VPN(fr.VPN)
+	pte := m.table.PTE(vpn)
+	firstEvict := pte.Swap == pagetable.NilSwap
+	slot := pte.Swap
+	if firstEvict {
+		slot = m.area.Alloc()
+		if slot == swap.NilSlot {
+			panic("vmm: swap area exhausted")
+		}
+		// Slot adjacency is frozen at first eviction: pages evicted
+		// together become a readahead cluster for the rest of the run.
+		m.slotOwner[slot] = int64(vpn)
+	}
+	if fr.Flags&mem.FlagPrefetch != 0 {
+		// Speculation miss: evicted without ever being touched.
+		m.counters.ReadaheadWaste++
+		m.raOutcome(vpn, false)
+	}
+	dirty := m.table.Evict(vpn, slot)
+	m.shadows[vpn] = shadowEntry{sh: sh, valid: true}
+	if dirty || firstEvict {
+		if dirty {
+			m.versions[vpn]++
+		}
+		m.counters.SwapOuts++
+		m.dev.WritePage(v, slot, int64(vpn), m.versions[vpn])
+	}
+	fr.VPN = -1
+	m.memry.Free(f)
+}
+
+// --- fault path ---
+
+// TryTouch performs the hot-path hardware access: if vpn is resident it
+// sets the accessed (and dirty) bits and returns true with zero engine
+// interaction. The caller accounts its own compute cost.
+func (m *Manager) TryTouch(vpn pagetable.VPN, write bool) bool {
+	m.counters.Accesses++
+	f, ok := m.table.Walk(vpn, write)
+	if ok {
+		if fr := m.memry.Frame(f); fr.Flags&mem.FlagPrefetch != 0 {
+			fr.Flags &^= mem.FlagPrefetch
+			m.counters.ReadaheadHits++
+			m.raOutcome(vpn, true)
+		}
+	}
+	return ok
+}
+
+// raOutcome feeds the adaptive readahead controller for vpn's region:
+// sustained misses shrink its window toward zero, sustained hits grow it
+// back.
+func (m *Manager) raOutcome(vpn pagetable.VPN, hit bool) {
+	r := m.table.RegionOf(vpn)
+	if hit {
+		m.raHits[r]++
+	}
+	m.raOutcomes[r]++
+	if m.raOutcomes[r] < 32 {
+		return
+	}
+	rate := float64(m.raHits[r]) / float64(m.raOutcomes[r])
+	switch {
+	case rate > 0.6 && m.raShift[r] < m.raMaxShift:
+		m.raShift[r]++
+	case rate < 0.3 && m.raShift[r] > 0:
+		m.raShift[r]--
+	}
+	m.raHits[r], m.raOutcomes[r] = 0, 0
+}
+
+// Fault services a non-present access to vpn: it finds a frame (reclaiming
+// if needed), reads the page from swap when one exists, installs the PTE,
+// and informs the policy. Blocks the calling proc for the full service
+// time.
+func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
+	pte := m.table.PTE(vpn)
+	if pte.Present() {
+		return // raced with another thread's fault-in
+	}
+	major := pte.Swap != pagetable.NilSwap
+
+	f := m.ensureFrame(v)
+
+	if major {
+		m.counters.MajorFaults++
+		m.counters.SwapIns++
+		m.faultsAt[vpn]++
+		v.Charge(m.cfg.MajorFaultOverhead)
+		m.dev.ReadPage(v, pte.Swap, int64(vpn), m.versions[vpn])
+	} else {
+		m.counters.MinorFaults++
+		v.Charge(m.cfg.MinorFaultOverhead)
+	}
+
+	if p := m.table.PTE(vpn); p.Present() {
+		// Another thread faulted the page in while we were blocked on
+		// the device read; release our frame.
+		m.memry.Free(f)
+		return
+	}
+
+	m.table.Insert(vpn, f, write)
+	fr := m.memry.Frame(f)
+	fr.VPN = int64(vpn)
+	if pte.File() {
+		fr.Flags |= mem.FlagFile
+	}
+	var sh *policy.Shadow
+	if m.shadows[vpn].valid {
+		s := m.shadows[vpn].sh
+		sh = &s
+		m.shadows[vpn].valid = false
+	}
+	m.pol.PageIn(v, f, sh)
+
+	if major {
+		m.readahead(v, vpn, pte.Swap)
+	}
+}
+
+// readahead pulls the other swapped-out pages of the faulting slot's
+// aligned cluster into memory, without setting their accessed bits and
+// without triggering reclaim (it only runs while memory is comfortably
+// above the low watermark). Whether a cluster holds pages that will be
+// wanted together is determined by the slot layout — eviction-order luck
+// — which makes readahead effectiveness, and with it the total fault
+// count, vary across otherwise identical runs.
+func (m *Manager) readahead(v *sim.Env, at pagetable.VPN, slot int32) {
+	w := int32(1) << m.raShift[m.table.RegionOf(at)]
+	if w <= 1 || m.cfg.ReadaheadWindow <= 1 {
+		return
+	}
+	base := slot - slot%w
+	for s2 := base; s2 < base+w; s2++ {
+		if s2 == slot || int(s2) >= len(m.slotOwner) || s2 < 0 {
+			continue
+		}
+		if m.memry.FreePages() <= m.memry.Low {
+			return // never reclaim for speculation
+		}
+		owner := m.slotOwner[s2]
+		if owner < 0 {
+			continue
+		}
+		vpn2 := pagetable.VPN(owner)
+		p2 := m.table.PTE(vpn2)
+		if p2.Present() || p2.Swap != s2 {
+			continue
+		}
+		f := m.memry.Alloc()
+		if f == mem.NilFrame {
+			return
+		}
+		m.table.InsertPrefetch(vpn2, f)
+		fr := m.memry.Frame(f)
+		fr.VPN = owner
+		fr.Flags |= mem.FlagPrefetch
+		if p2.File() {
+			fr.Flags |= mem.FlagFile
+		}
+		m.shadows[vpn2].valid = false
+		m.counters.ReadaheadIn++
+		m.dev.PrefetchPage(v, s2, owner, m.versions[vpn2])
+		m.pol.PageIn(v, f, nil)
+	}
+}
+
+// Touch is TryTouch+Fault in one call, for callers that don't batch.
+func (m *Manager) Touch(v *sim.Env, vpn pagetable.VPN, write bool) (faulted bool) {
+	if m.TryTouch(vpn, write) {
+		return false
+	}
+	m.Fault(v, vpn, write)
+	return true
+}
+
+// ensureFrame allocates a frame, entering direct reclaim when memory is
+// exhausted and waking kswapd when the low watermark is crossed.
+func (m *Manager) ensureFrame(v *sim.Env) mem.FrameID {
+	for attempt := 0; ; attempt++ {
+		if f := m.memry.Alloc(); f != mem.NilFrame {
+			if m.memry.BelowLow() {
+				m.kswapdCond.Broadcast(v.Engine())
+			}
+			return f
+		}
+		// Allocation failed: direct reclaim on the faulting thread.
+		m.counters.DirectReclaims++
+		m.kswapdCond.Broadcast(v.Engine())
+		n := m.pol.Reclaim(v, m.cfg.ReclaimBatch)
+		if n == 0 {
+			// No progress — let kswapd/aging run and retry.
+			if attempt > 10000 {
+				panic(fmt.Sprintf("vmm: reclaim livelock at %v (free=%d)", v.Now(), m.memry.FreePages()))
+			}
+			v.Sleep(100 * sim.Microsecond)
+		}
+	}
+}
+
+// --- background daemons ---
+
+// kswapd reclaims from the low watermark up to the high watermark.
+func (m *Manager) kswapd(v *sim.Env) {
+	for {
+		v.WaitFor(&m.kswapdCond, m.memry.BelowLow)
+		m.counters.KswapdBursts++
+		for m.memry.BelowHigh() {
+			n := m.pol.Reclaim(v, m.cfg.KswapdBatch)
+			if n == 0 {
+				// No progress; back off so the system can move.
+				v.Sleep(200 * sim.Microsecond)
+				if !m.memry.BelowLow() {
+					break
+				}
+			}
+		}
+	}
+}
+
+// agingDaemon runs the policy's background aging: on request, when the
+// policy reports need, and proactively on a period. This is the separate
+// scanning thread whose CPU contention the paper identifies as an MG-LRU
+// variance source (§VI-A); for Clock, Age is a no-op and the daemon just
+// idles.
+func (m *Manager) agingDaemon(v *sim.Env) {
+	lastProactive := v.Now()
+	for {
+		proactiveDue := m.cfg.ProactiveInterval > 0 &&
+			v.Now()-lastProactive >= sim.Time(m.cfg.ProactiveInterval)
+		if m.agingReq || m.pol.NeedsAging() || proactiveDue {
+			m.agingReq = false
+			if proactiveDue {
+				lastProactive = v.Now()
+			}
+			worked := m.pol.Age(v)
+			// Yield before a possible back-to-back walk, so procs woken
+			// by this walk's completion get to observe it; otherwise a
+			// daemon whose walks take longer than the proactive interval
+			// starves every waiter.
+			v.Yield()
+			if !worked && !proactiveDue {
+				// Policy has no aging work (e.g. Clock): idle longer.
+				v.Sleep(10 * m.cfg.AgingPoll)
+			}
+			continue
+		}
+		v.Sleep(m.cfg.AgingPoll)
+	}
+}
+
+// --- accessors ---
+
+// Counters returns fault-path counters.
+func (m *Manager) Counters() Counters { return m.counters }
+
+// PolicyStats returns the attached policy's counters.
+func (m *Manager) PolicyStats() policy.Stats { return m.pol.Stats() }
+
+// DeviceStats returns the swap device's counters.
+func (m *Manager) DeviceStats() swap.Stats { return m.dev.Stats() }
+
+// Policy exposes the attached policy (for visualization tools).
+func (m *Manager) Policy() policy.Policy { return m.pol }
+
+// SwapInUse reports allocated swap slots.
+func (m *Manager) SwapInUse() int { return m.area.InUse() }
+
+// MajorFaultsAt reports the number of major faults taken on vpn; analysis
+// tools use it to attribute faults to address-space segments.
+func (m *Manager) MajorFaultsAt(vpn pagetable.VPN) uint64 { return uint64(m.faultsAt[vpn]) }
+
+// ResidentPages reports pages currently in memory.
+func (m *Manager) ResidentPages() int { return m.table.PresentPages() }

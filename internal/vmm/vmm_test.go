@@ -1,0 +1,279 @@
+package vmm
+
+import (
+	"testing"
+	"time"
+
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/policy/clock"
+	"mglrusim/internal/policy/mglru"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/swap"
+)
+
+// rig assembles a full manager with the given policy and memory size.
+type rig struct {
+	eng *sim.Engine
+	m   *Manager
+	mem *mem.Memory
+}
+
+func newRig(frames, mappedPages int, pol policy.Policy, seed uint64) *rig {
+	eng := sim.NewEngine(4)
+	rng := sim.NewRNG(seed)
+	memory := mem.New(frames)
+	regions := (mappedPages + pagetable.PTEsPerRegion - 1) / pagetable.PTEsPerRegion
+	table := pagetable.New(regions)
+	table.MapRange(0, mappedPages, false)
+	dev := swap.NewSSD(swap.SSDConfig{
+		ReadLatency: 100 * sim.Microsecond, WriteLatency: 100 * sim.Microsecond,
+		QueueDepth: 8, MaxDirtyWrites: 32,
+	}, eng, rng.Stream(1))
+	mgr := New(DefaultConfig(), eng, memory, table, dev, pol, rng.Stream(2))
+	return &rig{eng: eng, m: mgr, mem: memory}
+}
+
+func (r *rig) run(t *testing.T, fn func(*sim.Env)) {
+	t.Helper()
+	r.eng.Spawn("app", false, fn)
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstTouchIsMinorFault(t *testing.T) {
+	r := newRig(64, 32, clock.New(clock.DefaultConfig()), 1)
+	r.run(t, func(v *sim.Env) {
+		if !r.m.Touch(v, 0, false) {
+			t.Error("first touch should fault")
+		}
+		if r.m.Touch(v, 0, false) {
+			t.Error("second touch should hit")
+		}
+	})
+	c := r.m.Counters()
+	if c.MinorFaults != 1 || c.MajorFaults != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestWorkingSetBeyondMemorySwaps(t *testing.T) {
+	// 32 frames, 64-page working set: must swap.
+	r := newRig(32, 64, clock.New(clock.DefaultConfig()), 1)
+	r.run(t, func(v *sim.Env) {
+		for pass := 0; pass < 3; pass++ {
+			for vpn := pagetable.VPN(0); vpn < 64; vpn++ {
+				r.m.Touch(v, vpn, false)
+			}
+		}
+	})
+	c := r.m.Counters()
+	if c.MajorFaults == 0 {
+		t.Fatal("no major faults despite 2x oversubscription")
+	}
+	if c.SwapOuts == 0 {
+		t.Fatal("no swap-outs recorded")
+	}
+	if r.m.ResidentPages() > 32 {
+		t.Fatalf("resident %d exceeds memory %d", r.m.ResidentPages(), 32)
+	}
+}
+
+func TestPageConservation(t *testing.T) {
+	// Invariant: resident + swapped-but-mapped accounting stays sane.
+	r := newRig(32, 64, mglru.New(mglru.Default()), 2)
+	r.run(t, func(v *sim.Env) {
+		for pass := 0; pass < 4; pass++ {
+			for vpn := pagetable.VPN(0); vpn < 64; vpn++ {
+				r.m.Touch(v, vpn, pass%2 == 0)
+			}
+		}
+	})
+	if r.m.ResidentPages()+r.m.SwapInUse() < 64 {
+		t.Fatalf("pages lost: resident=%d swapInUse=%d", r.m.ResidentPages(), r.m.SwapInUse())
+	}
+	if used := r.mem.UsedPages(); used != r.m.ResidentPages() {
+		t.Fatalf("frame accounting mismatch: used=%d resident=%d", used, r.m.ResidentPages())
+	}
+}
+
+func TestDirtyPagesWrittenCleanPagesDropped(t *testing.T) {
+	r := newRig(16, 32, clock.New(clock.DefaultConfig()), 3)
+	r.run(t, func(v *sim.Env) {
+		// Read-only across 32 pages twice: each page is written to swap
+		// at most once (first eviction), then dropped clean afterwards.
+		for pass := 0; pass < 4; pass++ {
+			for vpn := pagetable.VPN(0); vpn < 32; vpn++ {
+				r.m.Touch(v, vpn, false)
+			}
+		}
+	})
+	c := r.m.Counters()
+	if c.SwapOuts > 40 {
+		t.Fatalf("swap-outs = %d; clean re-evictions should not rewrite", c.SwapOuts)
+	}
+	if c.SwapIns == 0 {
+		t.Fatal("no swap-ins")
+	}
+}
+
+func TestRefaultShadowsReachPolicy(t *testing.T) {
+	pol := mglru.New(mglru.Default())
+	r := newRig(16, 48, pol, 4)
+	r.run(t, func(v *sim.Env) {
+		for pass := 0; pass < 3; pass++ {
+			for vpn := pagetable.VPN(0); vpn < 48; vpn++ {
+				r.m.Touch(v, vpn, false)
+			}
+		}
+	})
+	if pol.Stats().Refaults == 0 {
+		t.Fatal("no refaults recorded by policy")
+	}
+}
+
+func TestKswapdKeepsFreeAboveMin(t *testing.T) {
+	r := newRig(64, 128, clock.New(clock.DefaultConfig()), 5)
+	r.run(t, func(v *sim.Env) {
+		for pass := 0; pass < 2; pass++ {
+			for vpn := pagetable.VPN(0); vpn < 128; vpn++ {
+				r.m.Touch(v, vpn, false)
+				v.Charge(500 * sim.Nanosecond) // give kswapd CPU room
+			}
+		}
+	})
+	if r.m.Counters().KswapdBursts == 0 {
+		t.Fatal("kswapd never ran")
+	}
+}
+
+func TestMGLRUAgingDaemonRuns(t *testing.T) {
+	pol := mglru.New(mglru.Default())
+	r := newRig(32, 64, pol, 6)
+	r.run(t, func(v *sim.Env) {
+		for pass := 0; pass < 3; pass++ {
+			for vpn := pagetable.VPN(0); vpn < 64; vpn++ {
+				r.m.Touch(v, vpn, false)
+				v.Charge(1 * sim.Microsecond)
+			}
+		}
+	})
+	if pol.Stats().AgingRuns == 0 {
+		t.Fatal("aging never ran")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (sim.Time, Counters) {
+		pol := mglru.New(mglru.Default())
+		r := newRig(32, 64, pol, 99)
+		var end sim.Time
+		r.run(t, func(v *sim.Env) {
+			for pass := 0; pass < 3; pass++ {
+				for vpn := pagetable.VPN(0); vpn < 64; vpn++ {
+					r.m.Touch(v, vpn, pass%2 == 1)
+					v.Charge(200 * sim.Nanosecond)
+				}
+			}
+			end = v.Now()
+		})
+		return end, r.m.Counters()
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if t1 != t2 || c1 != c2 {
+		t.Fatalf("nondeterministic: %v/%+v vs %v/%+v", t1, c1, t2, c2)
+	}
+}
+
+func TestMajorFaultPaysDeviceLatency(t *testing.T) {
+	r := newRig(16, 32, clock.New(clock.DefaultConfig()), 7)
+	var firstPass, secondPass sim.Time
+	r.run(t, func(v *sim.Env) {
+		for vpn := pagetable.VPN(0); vpn < 32; vpn++ {
+			r.m.Touch(v, vpn, false)
+		}
+		firstPass = v.Now()
+		for vpn := pagetable.VPN(0); vpn < 32; vpn++ {
+			r.m.Touch(v, vpn, false)
+		}
+		secondPass = v.Now() - firstPass
+	})
+	if r.m.Counters().MajorFaults == 0 {
+		t.Fatal("expected major faults on second pass")
+	}
+	if secondPass == 0 {
+		t.Fatal("second pass took no time")
+	}
+}
+
+func TestConcurrentFaultersOnSamePages(t *testing.T) {
+	// Two procs hammering overlapping pages: the double-fault-in race
+	// path must not corrupt accounting.
+	pol := mglru.New(mglru.Default())
+	eng := sim.NewEngine(2)
+	rng := sim.NewRNG(11)
+	memory := mem.New(24)
+	table := pagetable.New(1)
+	table.MapRange(0, 48, false)
+	dev := swap.NewSSD(swap.SSDConfig{ReadLatency: 200 * sim.Microsecond, WriteLatency: 200 * sim.Microsecond, QueueDepth: 4, MaxDirtyWrites: 16}, eng, rng.Stream(1))
+	m := New(DefaultConfig(), eng, memory, table, dev, pol, rng.Stream(2))
+	for i := 0; i < 2; i++ {
+		eng.Spawn("app", false, func(v *sim.Env) {
+			for pass := 0; pass < 3; pass++ {
+				for vpn := pagetable.VPN(0); vpn < 48; vpn++ {
+					m.Touch(v, vpn, false)
+				}
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ResidentPages() != memory.UsedPages() {
+		t.Fatalf("accounting mismatch: resident=%d used=%d", m.ResidentPages(), memory.UsedPages())
+	}
+	if m.ResidentPages() > 24 {
+		t.Fatal("resident exceeds physical memory")
+	}
+}
+
+// Regression test for the aging-walk starvation livelock: when walks take
+// longer than the proactive interval, the aging daemon runs back-to-back
+// walks; procs waiting for a walk to finish must still make progress
+// (walk epochs), or every reclaimer parks forever while the daemon spins.
+func TestNoAgingStarvationUnderContinuousWalks(t *testing.T) {
+	eng := sim.NewEngine(4)
+	rng := sim.NewRNG(3)
+	cfg := DefaultConfig()
+	cfg.ProactiveInterval = 10 * sim.Microsecond // walks always due
+	memory := mem.New(48)
+	table := pagetable.New(1)
+	table.MapRange(0, 96, false)
+	dev := swap.NewSSD(swap.SSDConfig{
+		ReadLatency: 200 * sim.Microsecond, WriteLatency: 200 * sim.Microsecond,
+		QueueDepth: 4, MaxDirtyWrites: 16,
+	}, eng, rng.Stream(1))
+	mgr := New(cfg, eng, memory, table, dev, mglru.New(mglru.Default()), rng.Stream(2))
+	for i := 0; i < 4; i++ {
+		eng.Spawn("app", false, func(v *sim.Env) {
+			for pass := 0; pass < 3; pass++ {
+				for vpn := pagetable.VPN(0); vpn < 96; vpn++ {
+					mgr.Touch(v, vpn, pass%2 == 0)
+				}
+			}
+		})
+	}
+	done := make(chan error, 1)
+	go func() { done <- eng.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("livelock: simulation did not finish")
+	}
+}

@@ -1,0 +1,174 @@
+// Package filescan is a synthetic file-I/O-heavy workload used by the
+// ablation benchmarks for MG-LRU's tier/PID machinery (§III-D): an
+// anonymous working set accessed with skew competes with repeated buffered
+// reads of file-backed data. Without tier protection, the repeatedly read
+// file pages either pollute the young generations or thrash; the PID
+// controller's refault balancing is what this workload stresses. The
+// paper's own workloads do little FD I/O, so it leaves PID tuning to
+// future work — this workload is that future-work probe.
+package filescan
+
+import (
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/workload"
+	"mglrusim/internal/zram"
+)
+
+// Config sizes the workload.
+type Config struct {
+	// AnonPages is the anonymous working set (zipf-accessed).
+	AnonPages int
+	// FilePages is the file-backed data set, read via FD.
+	FilePages int
+	// HotFilePages is the prefix of the file that is re-read every
+	// round (the frequently accessed buffered I/O the tiers protect).
+	HotFilePages int
+	// Rounds of interleaved anon access + file reads.
+	Rounds int
+	// AnonTouchesPerRound is zipf-distributed anon accesses per round.
+	AnonTouchesPerRound int
+	// Threads is the parallelism.
+	Threads int
+	// Theta is the anon access skew.
+	Theta float64
+	// TouchCPU is compute per access.
+	TouchCPU sim.Duration
+	// RegionPTEs is the page-table region fanout.
+	RegionPTEs int
+}
+
+// DefaultConfig returns a configuration that oversubscribes 50% capacity
+// with meaningful hot-file reuse.
+func DefaultConfig() Config {
+	return Config{
+		AnonPages:           1600,
+		FilePages:           1600,
+		HotFilePages:        400,
+		Rounds:              8,
+		AnonTouchesPerRound: 2400,
+		Threads:             8,
+		Theta:               0.8,
+		TouchCPU:            120 * sim.Microsecond,
+		RegionPTEs:          workload.DefaultRegionPTEs,
+	}
+}
+
+// FileScan is the workload.
+type FileScan struct {
+	cfg        Config
+	as         *workload.AddrSpace
+	anon, file workload.Segment
+}
+
+// New builds the workload.
+func New(cfg Config) *FileScan {
+	if cfg.Threads <= 0 || cfg.Rounds <= 0 {
+		panic("filescan: invalid config")
+	}
+	w := &FileScan{cfg: cfg, as: workload.NewAddrSpace(cfg.RegionPTEs)}
+	w.anon = w.as.Add("anon", cfg.AnonPages, false, zram.ClassStructured)
+	w.file = w.as.Add("file", cfg.FilePages, true, zram.ClassStructured)
+	return w
+}
+
+// Name implements workload.Workload.
+func (w *FileScan) Name() string { return "filescan" }
+
+// TableRegions implements workload.Workload.
+func (w *FileScan) TableRegions() int { return w.as.Regions() }
+
+// RegionPTEs implements workload.Workload.
+func (w *FileScan) RegionPTEs() int { return w.as.RegionPTEs() }
+
+// Layout implements workload.Workload.
+func (w *FileScan) Layout(t *pagetable.Table) { w.as.Map(t) }
+
+// FootprintPages implements workload.Workload.
+func (w *FileScan) FootprintPages() int { return w.as.FootprintPages() }
+
+// ContentClass implements workload.Workload.
+func (w *FileScan) ContentClass(vpn int64) zram.ContentClass { return w.as.ClassOf(vpn) }
+
+// Segments implements workload.Segmented.
+func (w *FileScan) Segments() []workload.Segment { return w.as.Segments() }
+
+// Threads implements workload.Workload.
+func (w *FileScan) Threads(plan, trial *sim.RNG) []workload.Stream {
+	n := w.cfg.Threads
+	streams := make([]workload.Stream, n)
+	for tid := 0; tid < n; tid++ {
+		streams[tid] = &stream{
+			w:    w,
+			zipf: workload.NewZipfian(int64(w.cfg.AnonPages), w.cfg.Theta),
+			rng:  trial.Stream(uint64(tid) + 31),
+			from: w.cfg.FilePages * tid / n,
+			to:   w.cfg.FilePages * (tid + 1) / n,
+			hotF: w.cfg.HotFilePages * tid / n,
+			hotT: w.cfg.HotFilePages * (tid + 1) / n,
+		}
+	}
+	return streams
+}
+
+type stream struct {
+	w          *FileScan
+	zipf       *workload.Zipfian
+	rng        *sim.RNG
+	from, to   int // cold file range (read once, round 0)
+	hotF, hotT int // hot file range (read every round)
+
+	round   int
+	anonAcc int
+	filePos int
+	phase   int // 0: anon touches, 1: file reads, 2: barrier
+}
+
+// Next implements workload.Stream: each round interleaves skewed anon
+// touches with buffered re-reads of the hot file prefix (plus one full
+// cold read in round 0), ending in a barrier.
+func (s *stream) Next(op *workload.Op) bool {
+	w := s.w
+	for {
+		if s.round >= w.cfg.Rounds {
+			return false
+		}
+		switch s.phase {
+		case 0:
+			if s.anonAcc >= w.cfg.AnonTouchesPerRound/w.cfg.Threads {
+				s.phase = 1
+				s.anonAcc = 0
+				continue
+			}
+			s.anonAcc++
+			page := int(s.zipf.Next(s.rng))
+			*op = workload.Op{
+				Kind: workload.OpAccess, VPN: w.anon.Page(page),
+				Write: s.rng.Bool(0.3), CPU: w.cfg.TouchCPU,
+			}
+			return true
+		case 1:
+			lo, hi := s.hotF, s.hotT
+			if s.round == 0 {
+				lo, hi = s.from, s.to // cold full read once
+			}
+			if s.filePos >= hi-lo {
+				s.phase = 2
+				s.filePos = 0
+				continue
+			}
+			page := lo + s.filePos
+			s.filePos++
+			*op = workload.Op{Kind: workload.OpAccess, VPN: w.file.Page(page), CPU: w.cfg.TouchCPU}
+			return true
+		default:
+			s.phase = 0
+			s.round++
+			*op = workload.Op{Kind: workload.OpBarrier}
+			return true
+		}
+	}
+}
+
+var _ workload.Workload = (*FileScan)(nil)
+var _ workload.Segmented = (*FileScan)(nil)

@@ -1,0 +1,91 @@
+package filescan
+
+import (
+	"testing"
+
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/workload"
+)
+
+func small() Config {
+	cfg := DefaultConfig()
+	cfg.AnonPages = 200
+	cfg.FilePages = 200
+	cfg.HotFilePages = 60
+	cfg.Rounds = 3
+	cfg.Threads = 4
+	cfg.AnonTouchesPerRound = 400
+	return cfg
+}
+
+func TestStreamsStayInMappedSpace(t *testing.T) {
+	w := New(small())
+	tb := pagetable.NewWithRegionSize(w.TableRegions(), w.RegionPTEs())
+	w.Layout(tb)
+	var op workload.Op
+	for _, s := range w.Threads(sim.NewRNG(1), sim.NewRNG(2)) {
+		for s.Next(&op) {
+			if op.Kind == workload.OpAccess && !tb.PTE(op.VPN).Mapped() {
+				t.Fatalf("unmapped access %d", op.VPN)
+			}
+		}
+	}
+}
+
+func TestFileSegmentIsFileBacked(t *testing.T) {
+	w := New(small())
+	tb := pagetable.NewWithRegionSize(w.TableRegions(), w.RegionPTEs())
+	w.Layout(tb)
+	if !tb.PTE(w.file.Base).File() {
+		t.Fatal("file segment not file-backed")
+	}
+	if tb.PTE(w.anon.Base).File() {
+		t.Fatal("anon segment marked file")
+	}
+}
+
+func TestBarrierPerRound(t *testing.T) {
+	cfg := small()
+	w := New(cfg)
+	var op workload.Op
+	for i, s := range w.Threads(sim.NewRNG(1), sim.NewRNG(2)) {
+		barriers := 0
+		for s.Next(&op) {
+			if op.Kind == workload.OpBarrier {
+				barriers++
+			}
+		}
+		if barriers != cfg.Rounds {
+			t.Fatalf("thread %d barriers = %d, want %d", i, barriers, cfg.Rounds)
+		}
+	}
+}
+
+func TestHotFileRereadEveryRound(t *testing.T) {
+	cfg := small()
+	w := New(cfg)
+	s := w.Threads(sim.NewRNG(1), sim.NewRNG(2))[0]
+	var op workload.Op
+	fileReads := 0
+	for s.Next(&op) {
+		if op.Kind == workload.OpAccess && w.file.Contains(op.VPN) {
+			fileReads++
+		}
+	}
+	// Thread 0 reads its cold share once plus its hot share every round.
+	coldShare := cfg.FilePages / cfg.Threads
+	hotShare := cfg.HotFilePages / cfg.Threads
+	want := coldShare + (cfg.Rounds-1)*hotShare
+	if fileReads != want {
+		t.Fatalf("file reads = %d, want %d", fileReads, want)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	cfg := small()
+	w := New(cfg)
+	if w.FootprintPages() != cfg.AnonPages+cfg.FilePages {
+		t.Fatalf("footprint = %d", w.FootprintPages())
+	}
+}

@@ -1,0 +1,210 @@
+package pagerank
+
+import (
+	"testing"
+
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/workload"
+)
+
+func small() Config {
+	cfg := DefaultConfig()
+	cfg.Graph.Vertices = 2048
+	cfg.Graph.AvgDegree = 8
+	cfg.Iterations = 3
+	cfg.Threads = 4
+	return cfg
+}
+
+func drain(t *testing.T, s workload.Stream, tb *pagetable.Table) (accesses, barriers, writes int, cpu int64) {
+	t.Helper()
+	var op workload.Op
+	for s.Next(&op) {
+		switch op.Kind {
+		case workload.OpAccess:
+			accesses++
+			cpu += op.CPU
+			if op.Write {
+				writes++
+			}
+			if !tb.PTE(op.VPN).Mapped() {
+				t.Fatalf("access to unmapped vpn %d", op.VPN)
+			}
+		case workload.OpBarrier:
+			barriers++
+		}
+	}
+	return
+}
+
+func TestStreamsStayInMappedSpace(t *testing.T) {
+	w := New(small())
+	tb := pagetable.NewWithRegionSize(w.TableRegions(), w.RegionPTEs())
+	w.Layout(tb)
+	for _, s := range w.Threads(sim.NewRNG(1), sim.NewRNG(1+1000)) {
+		drain(t, s, tb)
+	}
+}
+
+func TestBarrierPerIteration(t *testing.T) {
+	cfg := small()
+	w := New(cfg)
+	tb := pagetable.NewWithRegionSize(w.TableRegions(), w.RegionPTEs())
+	w.Layout(tb)
+	for i, s := range w.Threads(sim.NewRNG(1), sim.NewRNG(1+1000)) {
+		_, b, _, _ := drain(t, s, tb)
+		if b != cfg.Iterations {
+			t.Fatalf("thread %d emitted %d barriers, want %d", i, b, cfg.Iterations)
+		}
+	}
+}
+
+func TestWorkSkewedByDegree(t *testing.T) {
+	cfg := small()
+	cfg.Threads = 8
+	w := New(cfg)
+	tb := pagetable.NewWithRegionSize(w.TableRegions(), w.RegionPTEs())
+	w.Layout(tb)
+	var cpus []int64
+	for _, s := range w.Threads(sim.NewRNG(1), sim.NewRNG(1+1000)) {
+		_, _, _, c := drain(t, s, tb)
+		cpus = append(cpus, c)
+	}
+	min, max := cpus[0], cpus[0]
+	for _, c := range cpus {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// The straggler property: per-thread work must vary meaningfully —
+	// this is the opposite of the TPC-H balance assertion.
+	if float64(max) < 1.15*float64(min) {
+		t.Fatalf("per-thread work suspiciously balanced: min=%d max=%d", min, max)
+	}
+}
+
+func TestEveryVertexWrittenOncePerIteration(t *testing.T) {
+	cfg := small()
+	w := New(cfg)
+	tb := pagetable.NewWithRegionSize(w.TableRegions(), w.RegionPTEs())
+	w.Layout(tb)
+	writes := 0
+	for _, s := range w.Threads(sim.NewRNG(1), sim.NewRNG(1+1000)) {
+		_, _, wr, _ := drain(t, s, tb)
+		writes += wr
+	}
+	want := cfg.Graph.Vertices * cfg.Iterations
+	if writes != want {
+		t.Fatalf("writes = %d, want %d (one per vertex per iteration)", writes, want)
+	}
+}
+
+func TestRankArraysAlternate(t *testing.T) {
+	cfg := small()
+	cfg.Iterations = 2
+	w := New(cfg)
+	s := w.Threads(sim.NewRNG(1), sim.NewRNG(1+1000))[0].(*stream)
+	var op workload.Op
+	wroteTo := map[int]map[bool]bool{0: {}, 1: {}}
+	iter := 0
+	for s.Next(&op) {
+		if op.Kind == workload.OpBarrier {
+			iter++
+			continue
+		}
+		if op.Kind == workload.OpAccess && op.Write && iter < 2 {
+			wroteTo[iter][w.next.Contains(op.VPN)] = true
+		}
+	}
+	if !wroteTo[0][true] {
+		t.Fatal("iteration 0 should write the next array")
+	}
+	if !wroteTo[1][false] {
+		t.Fatal("iteration 1 should write the prev array (swapped)")
+	}
+}
+
+func TestGraphFixedAcrossTrials(t *testing.T) {
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	if a.Graph().Edges() != b.Graph().Edges() {
+		t.Fatal("graph differs across constructions")
+	}
+	for i := range a.Graph().Col {
+		if a.Graph().Col[i] != b.Graph().Col[i] {
+			t.Fatal("graph content differs across constructions")
+		}
+	}
+}
+
+func TestAccessVolumeScalesWithEdges(t *testing.T) {
+	cfg := small()
+	w := New(cfg)
+	tb := pagetable.NewWithRegionSize(w.TableRegions(), w.RegionPTEs())
+	w.Layout(tb)
+	total := 0
+	for _, s := range w.Threads(sim.NewRNG(1), sim.NewRNG(1+1000)) {
+		a, _, _, _ := drain(t, s, tb)
+		total += a
+	}
+	edges := w.Graph().Edges() * cfg.Iterations
+	if total < edges {
+		t.Fatalf("accesses %d below edge visits %d", total, edges)
+	}
+	if total > edges*3 {
+		t.Fatalf("accesses %d excessive vs edges %d", total, edges)
+	}
+}
+
+func TestChunkAssignmentVariesPerTrialAndIteration(t *testing.T) {
+	cfg := small()
+	w := New(cfg)
+	firstVertexOps := func(trial uint64) []workload.Op {
+		var ops []workload.Op
+		var op workload.Op
+		s := w.Threads(sim.NewRNG(1), sim.NewRNG(trial))[0]
+		for i := 0; i < 50 && s.Next(&op); i++ {
+			ops = append(ops, op)
+		}
+		return ops
+	}
+	a, b := firstVertexOps(3), firstVertexOps(4)
+	same := true
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("dynamic chunk dealing did not vary with trial seed")
+	}
+}
+
+func TestEveryVertexProcessedExactlyOncePerIteration(t *testing.T) {
+	cfg := small()
+	cfg.Iterations = 1
+	w := New(cfg)
+	// The union of all threads' writes covers every vertex exactly once
+	// regardless of the dealt assignment.
+	writes := map[pagetable.VPN]int{}
+	var op workload.Op
+	for _, s := range w.Threads(sim.NewRNG(1), sim.NewRNG(9)) {
+		for s.Next(&op) {
+			if op.Kind == workload.OpAccess && op.Write {
+				writes[op.VPN]++
+			}
+		}
+	}
+	total := 0
+	for _, c := range writes {
+		total += c
+	}
+	if total != cfg.Graph.Vertices {
+		t.Fatalf("vertex writes = %d, want %d", total, cfg.Graph.Vertices)
+	}
+}

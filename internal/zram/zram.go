@@ -1,0 +1,210 @@
+// Package zram provides the compression machinery behind the simulator's
+// ZRAM swap device: an LZO-RLE-style byte compressor (run-length encoding
+// of repeated bytes with literal passthrough, the fast path that the
+// kernel's lzo-rle favours on zero-heavy anonymous pages), a deterministic
+// synthetic page-content generator, and a compressed-pool accounting store.
+//
+// The compressor is functional — it round-trips real bytes — so the
+// compressed-size accounting that drives ZRAM capacity behaviour is
+// measured, not assumed.
+package zram
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Compress encodes src with a byte-oriented RLE scheme:
+//
+//	token 0x00, count-1, value      -> run of count (4..259) repeated bytes
+//	token 0x01, count-1, bytes...   -> literal run of count (1..256) bytes
+//
+// Runs shorter than 4 are folded into literals. The output is never more
+// than src length + 2*(len/256+1) bytes.
+func Compress(src []byte) []byte {
+	out := make([]byte, 0, len(src)/4+16)
+	i := 0
+	litStart := -1
+	flushLits := func(end int) {
+		for litStart >= 0 && litStart < end {
+			n := end - litStart
+			if n > 256 {
+				n = 256
+			}
+			out = append(out, 0x01, byte(n-1))
+			out = append(out, src[litStart:litStart+n]...)
+			litStart += n
+		}
+		litStart = -1
+	}
+	for i < len(src) {
+		// Measure run length at i.
+		j := i + 1
+		for j < len(src) && src[j] == src[i] && j-i < 259 {
+			j++
+		}
+		if j-i >= 4 {
+			flushLits(i)
+			out = append(out, 0x00, byte(j-i-4), src[i])
+			i = j
+			continue
+		}
+		if litStart < 0 {
+			litStart = i
+		}
+		i = j
+	}
+	flushLits(len(src))
+	return out
+}
+
+// ErrCorrupt reports malformed compressed data.
+var ErrCorrupt = errors.New("zram: corrupt compressed stream")
+
+// Decompress decodes data produced by Compress into dst, which must be
+// exactly the original length. It returns ErrCorrupt on malformed input.
+func Decompress(data []byte, dst []byte) error {
+	di := 0
+	i := 0
+	for i < len(data) {
+		if i+1 >= len(data) {
+			return ErrCorrupt
+		}
+		switch data[i] {
+		case 0x00:
+			if i+2 >= len(data) {
+				return ErrCorrupt
+			}
+			n := int(data[i+1]) + 4
+			v := data[i+2]
+			if di+n > len(dst) {
+				return ErrCorrupt
+			}
+			for k := 0; k < n; k++ {
+				dst[di+k] = v
+			}
+			di += n
+			i += 3
+		case 0x01:
+			n := int(data[i+1]) + 1
+			if i+2+n > len(data) || di+n > len(dst) {
+				return ErrCorrupt
+			}
+			copy(dst[di:di+n], data[i+2:i+2+n])
+			di += n
+			i += 2 + n
+		default:
+			return ErrCorrupt
+		}
+	}
+	if di != len(dst) {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// ContentClass describes how compressible a page's synthetic contents are.
+type ContentClass uint8
+
+const (
+	// ClassZeroHeavy models freshly-touched anonymous memory: mostly
+	// zero bytes with sparse data (compresses very well).
+	ClassZeroHeavy ContentClass = iota
+	// ClassStructured models columnar/graph data: repetitive small
+	// records (compresses moderately).
+	ClassStructured
+	// ClassRandom models hashed or encrypted data (incompressible).
+	ClassRandom
+)
+
+// FillPage deterministically generates a page's contents into buf from its
+// identity (vpn), a dirty-version counter, and its content class. The same
+// (vpn, version, class) always yields the same bytes, so swap-out and
+// swap-in see consistent data without the simulator retaining page bodies.
+func FillPage(buf []byte, vpn int64, version uint32, class ContentClass) {
+	seed := uint64(vpn)*0x9e3779b97f4a7c15 ^ uint64(version)<<32 ^ uint64(class)
+	switch class {
+	case ClassZeroHeavy:
+		for i := range buf {
+			buf[i] = 0
+		}
+		// Sprinkle a few words of data so pages differ.
+		x := seed
+		for k := 0; k < len(buf)/64; k++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			off := int(x % uint64(len(buf)-8))
+			binary.LittleEndian.PutUint64(buf[off:], x)
+		}
+	case ClassStructured:
+		// 16-byte records: 8-byte key varying slowly, 8 bytes of small
+		// integers — long runs of shared high bytes.
+		x := seed
+		for off := 0; off+16 <= len(buf); off += 16 {
+			binary.LittleEndian.PutUint64(buf[off:], seed>>16) // shared prefix
+			x = x*6364136223846793005 + 1442695040888963407
+			binary.LittleEndian.PutUint64(buf[off+8:], x%256)
+		}
+	default: // ClassRandom
+		x := seed | 1
+		for off := 0; off+8 <= len(buf); off += 8 {
+			x = x*6364136223846793005 + 1442695040888963407
+			binary.LittleEndian.PutUint64(buf[off:], x)
+		}
+	}
+}
+
+// Store is the compressed-pool accounting for a ZRAM device: per-slot
+// compressed sizes and aggregate ratios. Page bodies are not retained —
+// FillPage regenerates them — but sizes come from running the real
+// compressor on the real bytes.
+type Store struct {
+	pageSize int
+	sizes    map[int32]int
+	total    int64 // compressed bytes currently stored
+	written  int64 // uncompressed bytes ever written
+	stored   int64 // compressed bytes ever written
+	buf      []byte
+}
+
+// NewStore creates a Store for pages of pageSize bytes.
+func NewStore(pageSize int) *Store {
+	return &Store{pageSize: pageSize, sizes: make(map[int32]int), buf: make([]byte, pageSize)}
+}
+
+// Write compresses the synthetic contents of (vpn, version, class) into
+// slot and returns the compressed size in bytes.
+func (s *Store) Write(slot int32, vpn int64, version uint32, class ContentClass) int {
+	FillPage(s.buf, vpn, version, class)
+	c := Compress(s.buf)
+	if old, ok := s.sizes[slot]; ok {
+		s.total -= int64(old)
+	}
+	s.sizes[slot] = len(c)
+	s.total += int64(len(c))
+	s.written += int64(s.pageSize)
+	s.stored += int64(len(c))
+	return len(c)
+}
+
+// Free releases slot's storage.
+func (s *Store) Free(slot int32) {
+	if old, ok := s.sizes[slot]; ok {
+		s.total -= int64(old)
+		delete(s.sizes, slot)
+	}
+}
+
+// SlotSize reports the compressed size of slot, or 0 if unused.
+func (s *Store) SlotSize(slot int32) int { return s.sizes[slot] }
+
+// CompressedBytes reports the bytes currently held by the pool.
+func (s *Store) CompressedBytes() int64 { return s.total }
+
+// Ratio reports the lifetime compression ratio (uncompressed/compressed),
+// or 0 before any write.
+func (s *Store) Ratio() float64 {
+	if s.stored == 0 {
+		return 0
+	}
+	return float64(s.written) / float64(s.stored)
+}

@@ -1,0 +1,147 @@
+package zram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressRoundTripSimple(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1},
+		{1, 2, 3},
+		bytes.Repeat([]byte{0}, 4096),
+		bytes.Repeat([]byte{7}, 300),
+		append(bytes.Repeat([]byte{0}, 100), []byte{1, 2, 3, 4, 5}...),
+		{1, 1, 1, 1, 2, 2, 2, 2, 2, 3},
+	}
+	for i, src := range cases {
+		c := Compress(src)
+		dst := make([]byte, len(src))
+		if err := Decompress(c, dst); err != nil {
+			t.Fatalf("case %d: decompress error: %v", i, err)
+		}
+		if !bytes.Equal(src, dst) {
+			t.Fatalf("case %d: round trip mismatch", i)
+		}
+	}
+}
+
+// Property: compress/decompress round-trips arbitrary data.
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		c := Compress(src)
+		dst := make([]byte, len(src))
+		if err := Decompress(c, dst); err != nil {
+			return false
+		}
+		return bytes.Equal(src, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroPageCompressesHard(t *testing.T) {
+	src := make([]byte, 4096)
+	c := Compress(src)
+	if len(c) > 64 {
+		t.Fatalf("zero page compressed to %d bytes, want tiny", len(c))
+	}
+}
+
+func TestRandomDataDoesNotExplode(t *testing.T) {
+	src := make([]byte, 4096)
+	FillPage(src, 1, 0, ClassRandom)
+	c := Compress(src)
+	if len(c) > len(src)+len(src)/128+16 {
+		t.Fatalf("incompressible expansion too large: %d", len(c))
+	}
+}
+
+func TestDecompressCorruptInput(t *testing.T) {
+	dst := make([]byte, 16)
+	for _, bad := range [][]byte{
+		{0x00},             // truncated run token
+		{0x02, 0x00},       // unknown token
+		{0x00, 0xff, 0x01}, // run longer than dst
+		{0x01, 0x10, 0x01}, // literal longer than stream
+	} {
+		if err := Decompress(bad, dst); err == nil {
+			t.Fatalf("input %v should be rejected", bad)
+		}
+	}
+}
+
+func TestFillPageDeterministic(t *testing.T) {
+	a := make([]byte, 4096)
+	b := make([]byte, 4096)
+	for _, class := range []ContentClass{ClassZeroHeavy, ClassStructured, ClassRandom} {
+		FillPage(a, 42, 3, class)
+		FillPage(b, 42, 3, class)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("class %d not deterministic", class)
+		}
+		FillPage(b, 42, 4, class)
+		if bytes.Equal(a, b) {
+			t.Fatalf("class %d ignores version", class)
+		}
+	}
+}
+
+func TestContentClassCompressionOrdering(t *testing.T) {
+	buf := make([]byte, 4096)
+	sizes := make([]int, 3)
+	for i, class := range []ContentClass{ClassZeroHeavy, ClassStructured, ClassRandom} {
+		FillPage(buf, 7, 1, class)
+		sizes[i] = len(Compress(buf))
+	}
+	if !(sizes[0] < sizes[1] && sizes[1] < sizes[2]) {
+		t.Fatalf("compression ordering violated: %v", sizes)
+	}
+}
+
+func TestStoreAccounting(t *testing.T) {
+	s := NewStore(4096)
+	n1 := s.Write(1, 100, 0, ClassZeroHeavy)
+	if n1 <= 0 || s.CompressedBytes() != int64(n1) {
+		t.Fatalf("first write: n=%d total=%d", n1, s.CompressedBytes())
+	}
+	n2 := s.Write(2, 200, 0, ClassRandom)
+	if s.CompressedBytes() != int64(n1+n2) {
+		t.Fatal("total after second write wrong")
+	}
+	// Overwrite slot 1: total should replace, not add.
+	n1b := s.Write(1, 100, 1, ClassRandom)
+	if s.CompressedBytes() != int64(n1b+n2) {
+		t.Fatalf("overwrite accounting wrong: %d != %d", s.CompressedBytes(), n1b+n2)
+	}
+	s.Free(2)
+	if s.CompressedBytes() != int64(n1b) {
+		t.Fatal("free accounting wrong")
+	}
+	if s.SlotSize(2) != 0 {
+		t.Fatal("freed slot still reports size")
+	}
+	if s.Ratio() <= 0 {
+		t.Fatal("ratio should be positive after writes")
+	}
+}
+
+func TestStoreRatioReflectsCompressibility(t *testing.T) {
+	zs := NewStore(4096)
+	for i := int32(0); i < 50; i++ {
+		zs.Write(i, int64(i), 0, ClassZeroHeavy)
+	}
+	rs := NewStore(4096)
+	for i := int32(0); i < 50; i++ {
+		rs.Write(i, int64(i), 0, ClassRandom)
+	}
+	if zs.Ratio() < 5 {
+		t.Fatalf("zero-heavy ratio = %.2f, want >5", zs.Ratio())
+	}
+	if rs.Ratio() > 1.5 {
+		t.Fatalf("random ratio = %.2f, want ~1", rs.Ratio())
+	}
+}

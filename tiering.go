@@ -1,0 +1,122 @@
+package mglrusim
+
+import (
+	"fmt"
+
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/tiering"
+	"mglrusim/internal/workload"
+)
+
+// This file exposes the tiered-memory extension (paper §II-C: page
+// migration between memory tiers) through the public API.
+
+// TieringConfig sizes a two-tier memory system.
+type TieringConfig = tiering.Config
+
+// TieringManager is the two-tier memory manager.
+type TieringManager = tiering.Manager
+
+// MigrationPolicy decides page placement between tiers.
+type MigrationPolicy = tiering.MigrationPolicy
+
+// Migration policy constructors.
+func NewTPP() MigrationPolicy      { return tiering.NewTPP() }
+func NewAutoNUMA() MigrationPolicy { return tiering.NewAutoNUMA() }
+func NewStatic() MigrationPolicy   { return tiering.Static{} }
+
+// MigrationPolicyByName resolves "tpp", "autonuma", or "static".
+func MigrationPolicyByName(name string) (MigrationPolicy, error) {
+	switch name {
+	case "tpp":
+		return NewTPP(), nil
+	case "autonuma":
+		return NewAutoNUMA(), nil
+	case "static":
+		return NewStatic(), nil
+	}
+	return nil, fmt.Errorf("mglrusim: unknown migration policy %q", name)
+}
+
+// TieringTrialConfig describes a self-contained tiered-memory trial: a
+// zipfian workload over a footprint split across two tiers.
+type TieringTrialConfig struct {
+	// Policy is "tpp", "autonuma", or "static".
+	Policy string
+	// Footprint is the mapped pages; FastPages+SlowPages must exceed it.
+	Footprint int
+	// FastPages and SlowPages size the tiers.
+	FastPages, SlowPages int
+	// Touches is the number of page accesses.
+	Touches int
+	// Theta is the access skew (default 0.9).
+	Theta float64
+	// TickEvery runs the policy's background work each N touches
+	// (default 256).
+	TickEvery int
+	// Seed drives the access stream and policy randomness.
+	Seed uint64
+}
+
+// TieringTrialResult reports a tiered-memory trial's outcome.
+type TieringTrialResult struct {
+	FastHitRatio     float64
+	Promotions       uint64
+	Demotions        uint64
+	PromotionsDenied uint64
+	HintFaults       uint64
+	Runtime          Time
+}
+
+// RunTieringTrial runs one tiered-memory migration trial.
+func RunTieringTrial(cfg TieringTrialConfig) (TieringTrialResult, error) {
+	if cfg.Footprint <= 0 || cfg.Touches <= 0 {
+		return TieringTrialResult{}, fmt.Errorf("mglrusim: invalid tiering trial config")
+	}
+	if cfg.FastPages+cfg.SlowPages < cfg.Footprint {
+		return TieringTrialResult{}, fmt.Errorf("mglrusim: tiers (%d) smaller than footprint (%d)",
+			cfg.FastPages+cfg.SlowPages, cfg.Footprint)
+	}
+	if cfg.Theta <= 0 {
+		cfg.Theta = 0.9
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 256
+	}
+	pol, err := MigrationPolicyByName(cfg.Policy)
+	if err != nil {
+		return TieringTrialResult{}, err
+	}
+
+	regions := (cfg.Footprint + pagetable.PTEsPerRegion - 1) / pagetable.PTEsPerRegion
+	table := pagetable.New(regions)
+	table.MapRange(0, cfg.Footprint, false)
+	rng := sim.NewRNG(cfg.Seed)
+	mgr := tiering.New(tiering.DefaultConfig(cfg.FastPages, cfg.SlowPages), table, pol, rng.Stream(1))
+
+	eng := sim.NewEngine(4)
+	eng.Spawn("app", false, func(v *sim.Env) {
+		mgr.Populate(v)
+		zipf := workload.NewScrambledZipfian(int64(cfg.Footprint), cfg.Theta)
+		r := rng.Stream(2)
+		for i := 0; i < cfg.Touches; i++ {
+			mgr.Touch(v, pagetable.VPN(zipf.Next(r)), r.Bool(0.2))
+			if i%cfg.TickEvery == 0 {
+				pol.Tick(v)
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return TieringTrialResult{}, err
+	}
+	c := mgr.Counters()
+	return TieringTrialResult{
+		FastHitRatio:     mgr.FastHitRatio(),
+		Promotions:       c.Promotions,
+		Demotions:        c.Demotions,
+		PromotionsDenied: c.PromotionsDenied,
+		HintFaults:       c.HintFaults,
+		Runtime:          eng.Now(),
+	}, nil
+}
