@@ -282,6 +282,37 @@ func BenchmarkAblationGenerationCount(b *testing.B) {
 	}
 }
 
+// auditGuardTrial is the fixed small trial both audit-guard benchmarks
+// run; only the Audit flag differs.
+func auditGuardTrial(b *testing.B, audit bool) {
+	b.Helper()
+	tc := mglrusim.TPCHDefaults()
+	tc.LineitemPages /= 2
+	tc.OrdersPages /= 2
+	tc.HashPages /= 2
+	tc.Queries = 2
+	w := mglrusim.NewTPCH(tc)
+	sys := mglrusim.DefaultSystemConfig()
+	sys.VMM.Audit = audit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mglrusim.RunTrial(w, mglrusim.NewMGLRU, sys, 42, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAuditGuardDisabled is the zero-cost-when-off guard for the
+// invariant auditor: with Audit false every checkpoint is a single nil
+// check, so this must stay indistinguishable from the pre-auditor
+// baseline. Compare against BenchmarkAuditGuardEnabled to see the price
+// of turning auditing on.
+func BenchmarkAuditGuardDisabled(b *testing.B) { auditGuardTrial(b, false) }
+
+// BenchmarkAuditGuardEnabled runs the identical trial with the invariant
+// auditor on (per-event checks plus periodic full-state scans).
+func BenchmarkAuditGuardEnabled(b *testing.B) { auditGuardTrial(b, true) }
+
 // BenchmarkTrialThroughput measures raw simulator speed: one TPC-H trial
 // per iteration.
 func BenchmarkTrialThroughput(b *testing.B) {

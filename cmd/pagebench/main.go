@@ -30,6 +30,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0x5EED, "base seed")
 		parallel = flag.Int("parallel", 0, "concurrent trials (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-series progress")
+		audit    = flag.Bool("audit", false, "run every trial with the kernel invariant auditor enabled (slower; fails on any bookkeeping violation)")
 		csvDir   = flag.String("csv", "", "also write each figure's data points as CSV into this directory")
 	)
 	flag.Parse()
@@ -45,6 +46,7 @@ func main() {
 		Scale:       *scale,
 		Seed:        *seed,
 		Parallelism: *parallel,
+		Audit:       *audit,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr

@@ -1,0 +1,66 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzNoFalseNegatives feeds the filter arbitrary key batches and
+// asserts the one property a bloom filter must never break: every added
+// key is reported as possibly present — across sizes, hash counts,
+// seeds, and after Clear/re-Add cycles.
+func FuzzNoFalseNegatives(f *testing.F) {
+	f.Add(64, 3, uint64(1), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(1, 1, uint64(0), []byte{0xff})
+	f.Add(640, 7, uint64(42), []byte("spatially adjacent regions"))
+	f.Add(10_000, 3, uint64(0x5EED), make([]byte, 256))
+
+	f.Fuzz(func(t *testing.T, nbits, k int, seed uint64, data []byte) {
+		if nbits <= 0 || nbits > 1<<20 || k <= 0 || k > 16 {
+			t.Skip()
+		}
+		fl := New(nbits, k, seed)
+
+		// Decode data into keys, 8 bytes each (short tail zero-padded).
+		keys := make([]uint64, 0, len(data)/8+1)
+		for i := 0; i < len(data); i += 8 {
+			var buf [8]byte
+			copy(buf[:], data[i:])
+			keys = append(keys, binary.LittleEndian.Uint64(buf[:]))
+		}
+
+		for _, key := range keys {
+			fl.Add(key)
+		}
+		for _, key := range keys {
+			if !fl.MayContain(key) {
+				t.Fatalf("false negative: key %#x added but not found (nbits=%d k=%d seed=%#x)", key, nbits, k, seed)
+			}
+		}
+		if fl.Adds() != len(keys) {
+			t.Fatalf("Adds() = %d, want %d", fl.Adds(), len(keys))
+		}
+
+		// Clear must forget everything...
+		fl.Clear()
+		if fl.Adds() != 0 {
+			t.Fatalf("Adds() = %d after Clear, want 0", fl.Adds())
+		}
+		for _, key := range keys {
+			if fl.MayContain(key) {
+				// A cleared filter has no set bits, so even false
+				// positives are impossible.
+				t.Fatalf("key %#x still present after Clear", key)
+			}
+		}
+		// ...and re-adding must restore the guarantee.
+		for _, key := range keys {
+			fl.Add(key)
+		}
+		for _, key := range keys {
+			if !fl.MayContain(key) {
+				t.Fatalf("false negative after Clear/re-Add: key %#x", key)
+			}
+		}
+	})
+}

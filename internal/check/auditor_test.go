@@ -1,0 +1,292 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/policy/oracle"
+	"mglrusim/internal/policy/policytest"
+	"mglrusim/internal/sim"
+)
+
+// newHarness builds a tiny kernel double with an attached exact-LRU
+// policy and an auditor over the pair.
+func newHarness(t *testing.T, frames int) (*policytest.Kernel, *oracle.ExactLRU, *Auditor) {
+	t.Helper()
+	k := policytest.New(frames, 1, 1)
+	pol := oracle.NewExactLRU()
+	pol.Attach(k)
+	aud := NewAuditor(sim.NewEngine(1), k.M, k.T, pol)
+	return k, pol, aud
+}
+
+// violated reports whether any recorded violation message contains want.
+func violated(aud *Auditor, want string) bool {
+	for _, v := range aud.Violations() {
+		if strings.Contains(v.Msg, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAuditorCleanState is the baseline: a consistent resident set passes
+// a full scan with no violations.
+func TestAuditorCleanState(t *testing.T) {
+	k, pol, aud := newHarness(t, 8)
+	policytest.Run(func(v *sim.Env) {
+		for vpn := pagetable.VPN(0); vpn < 8; vpn++ {
+			k.FaultIn(v, pol, vpn, false, false)
+		}
+	})
+	aud.Scan(0)
+	if err := aud.Err(); err != nil {
+		t.Fatalf("clean state flagged: %v", err)
+	}
+}
+
+// TestAuditorCatchesDoubleOwner injects the classic double-mapping bug:
+// two PTEs pointing at one frame.
+func TestAuditorCatchesDoubleOwner(t *testing.T) {
+	k, pol, aud := newHarness(t, 8)
+	policytest.Run(func(v *sim.Env) {
+		k.FaultIn(v, pol, 0, false, false)
+	})
+	// Corrupt: alias vpn 1 onto vpn 0's frame without allocating.
+	k.T.Insert(1, k.T.PTE(0).Frame, false)
+	aud.Scan(0)
+	if !violated(aud, "owned by two VPNs") {
+		t.Fatalf("double-mapped frame not detected; violations: %v", aud.Violations())
+	}
+}
+
+// TestAuditorCatchesUseAfterFree injects a freed-but-still-mapped frame:
+// the frame goes back to the allocator while vpn 0's PTE still points at
+// it.
+func TestAuditorCatchesUseAfterFree(t *testing.T) {
+	k, pol, aud := newHarness(t, 8)
+	policytest.Run(func(v *sim.Env) {
+		k.FaultIn(v, pol, 0, false, false)
+	})
+	f := k.T.PTE(0).Frame
+	fr := k.M.Frame(f)
+	fr.ListID = mem.ListNone // fake a legal-looking isolation
+	fr.VPN = -1
+	k.M.Free(f)
+	aud.Scan(0)
+	if !violated(aud, "use after free") {
+		t.Fatalf("freed-but-mapped frame not detected; violations: %v", aud.Violations())
+	}
+}
+
+// TestAuditorCatchesStaleListLink injects a lost-isolation bug: the PTE
+// is evicted but the frame stays allocated and linked on a policy list.
+func TestAuditorCatchesStaleListLink(t *testing.T) {
+	k, pol, aud := newHarness(t, 8)
+	policytest.Run(func(v *sim.Env) {
+		k.FaultIn(v, pol, 0, false, false)
+	})
+	k.T.Evict(0, 7)
+	aud.Scan(0)
+	if !violated(aud, "on policy list") {
+		t.Fatalf("stale list link not detected; violations: %v", aud.Violations())
+	}
+	_ = pol
+}
+
+// TestAuditorCatchesLostShadow exercises the eviction/fault-in shadow
+// protocol: a page that refaults without the shadow the auditor saw
+// recorded is a lost shadow entry.
+func TestAuditorCatchesLostShadow(t *testing.T) {
+	k, pol, aud := newHarness(t, 8)
+	k.OnEvict = func(v *sim.Env, vpn pagetable.VPN, sh policy.Shadow) {
+		aud.Evicted(v, vpn)
+	}
+	policytest.Run(func(v *sim.Env) {
+		k.FaultIn(v, pol, 0, false, false)
+		pol.Reclaim(v, 1) // evicts vpn 0, records its shadow
+		// Inject the bug: the shadow entry vanishes.
+		delete(k.Shadows, 0)
+		k.FaultIn(v, pol, 0, false, false)
+		aud.FaultIn(v, 0, false)
+	})
+	if !violated(aud, "lost shadow") {
+		t.Fatalf("lost shadow not detected; violations: %v", aud.Violations())
+	}
+}
+
+// TestAuditorCatchesDoubleEvict: two Evicted checkpoints without an
+// intervening fault-in means a shadow was silently overwritten.
+func TestAuditorCatchesDoubleEvict(t *testing.T) {
+	k, pol, aud := newHarness(t, 8)
+	policytest.Run(func(v *sim.Env) {
+		k.FaultIn(v, pol, 0, false, false)
+		pol.Reclaim(v, 1)
+		aud.Evicted(v, 0)
+		aud.Evicted(v, 0) // injected duplicate
+	})
+	if !violated(aud, "evicted twice") {
+		t.Fatalf("double evict not detected; violations: %v", aud.Violations())
+	}
+}
+
+// TestAuditorCleanProtocol is the positive control for the shadow
+// protocol: full evict/refault cycles through the checkpoints raise
+// nothing, and the periodic scan engages.
+func TestAuditorCleanProtocol(t *testing.T) {
+	k, pol, aud := newHarness(t, 4)
+	aud.Every = 8
+	k.OnEvict = func(v *sim.Env, vpn pagetable.VPN, sh policy.Shadow) {
+		aud.Evicted(v, vpn)
+	}
+	policytest.Run(func(v *sim.Env) {
+		for round := 0; round < 3; round++ {
+			for vpn := pagetable.VPN(0); vpn < 8; vpn++ {
+				if _, ok := k.T.Walk(vpn, false); ok {
+					continue
+				}
+				if k.M.FreePages() == 0 {
+					pol.Reclaim(v, 1)
+				}
+				_, hadShadow := k.Shadows[vpn]
+				k.FaultIn(v, pol, vpn, false, false)
+				aud.FaultIn(v, vpn, hadShadow)
+			}
+		}
+	})
+	aud.Final(0)
+	if err := aud.Err(); err != nil {
+		t.Fatalf("clean protocol flagged: %v", err)
+	}
+	if aud.Checkpoints() == 0 {
+		t.Fatal("auditor saw no checkpoints")
+	}
+}
+
+// unlockedPolicy mutates its list without ever taking the LRU lock — the
+// bug class WatchLists exists to catch.
+type unlockedPolicy struct {
+	oracle.ExactLRU
+	list *mem.List
+	lock policy.LRULock
+}
+
+func (u *unlockedPolicy) Attach(k policy.Kernel) {
+	u.list = mem.NewList(k.Mem(), 0)
+}
+
+func (u *unlockedPolicy) PageIn(v *sim.Env, f mem.FrameID, sh *policy.Shadow) {
+	u.list.PushHead(f) // no lock held: violation
+}
+
+func (u *unlockedPolicy) DebugLock() *policy.LRULock { return &u.lock }
+
+// TestAuditorCatchesUnlockedMutation: list mutation without the lruvec
+// lock held by the acting proc is flagged.
+func TestAuditorCatchesUnlockedMutation(t *testing.T) {
+	k := policytest.New(8, 1, 1)
+	pol := &unlockedPolicy{}
+	pol.Attach(k)
+
+	eng := sim.NewEngine(1)
+	aud := NewAuditor(eng, k.M, k.T, pol)
+	aud.WatchLists()
+
+	eng.Spawn("mutator", false, func(v *sim.Env) {
+		k.FaultIn(v, pol, 0, false, false)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !violated(aud, "without holding the LRU lock") {
+		t.Fatalf("unlocked list mutation not detected; violations: %v", aud.Violations())
+	}
+}
+
+// TestAuditorLockedMutationClean is the positive control: the same
+// mutation under the lock passes.
+func TestAuditorLockedMutationClean(t *testing.T) {
+	k := policytest.New(8, 1, 1)
+	pol := oracle.NewExactLRU()
+	pol.Attach(k)
+
+	eng := sim.NewEngine(1)
+	aud := NewAuditor(eng, k.M, k.T, pol)
+	aud.WatchLists()
+
+	eng.Spawn("mutator", false, func(v *sim.Env) {
+		k.FaultIn(v, pol, 0, false, false)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.Err(); err != nil {
+		t.Fatalf("locked mutation flagged: %v", err)
+	}
+}
+
+// fakeGen simulates a policy whose generation window moves backwards.
+type fakeGen struct {
+	oracle.ExactLRU
+	min, max uint64
+}
+
+func (g *fakeGen) MinSeq() uint64 { return g.min }
+func (g *fakeGen) MaxSeq() uint64 { return g.max }
+
+// TestAuditorCatchesGenerationRegression: max_seq moving backwards
+// between aging passes is flagged.
+func TestAuditorCatchesGenerationRegression(t *testing.T) {
+	k := policytest.New(8, 1, 1)
+	g := &fakeGen{min: 2, max: 5}
+	g.Attach(k)
+	eng := sim.NewEngine(1)
+	aud := NewAuditor(eng, k.M, k.T, g)
+
+	eng.Spawn("aging", false, func(v *sim.Env) {
+		aud.AgingPass(v)
+		g.max = 4 // injected regression
+		aud.AgingPass(v)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !violated(aud, "moved backwards") {
+		t.Fatalf("generation regression not detected; violations: %v", aud.Violations())
+	}
+}
+
+// TestAuditorExtraInvariant: registered invariants run on full scans and
+// their errors are recorded.
+func TestAuditorExtraInvariant(t *testing.T) {
+	_, _, aud := newHarness(t, 4)
+	called := 0
+	aud.AddInvariant(func() error {
+		called++
+		return nil
+	})
+	aud.Scan(0)
+	if called != 1 {
+		t.Fatalf("extra invariant ran %d times, want 1", called)
+	}
+	if err := aud.Err(); err != nil {
+		t.Fatalf("nil-returning invariant flagged: %v", err)
+	}
+}
+
+// TestAuditorViolationCap: recording stops at MaxViolations.
+func TestAuditorViolationCap(t *testing.T) {
+	_, _, aud := newHarness(t, 8)
+	aud.MaxViolations = 3
+	policytest.Run(func(v *sim.Env) {
+		for i := 0; i < 10; i++ {
+			aud.Evicted(v, 0) // vpn 0 was never faulted in: every call violates
+		}
+	})
+	if got := len(aud.Violations()); got != 3 {
+		t.Fatalf("violations = %d, want capped at 3", got)
+	}
+}

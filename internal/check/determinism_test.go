@@ -1,0 +1,97 @@
+package check_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/experiments"
+)
+
+// detSystem is the shared configuration for the determinism suite: enough
+// memory pressure that reclaim, readahead, and aging all engage.
+func detSystem() core.SystemConfig {
+	return experiments.SystemAt(0.7, core.SwapSSD)
+}
+
+// TestTrialDeterminism: the same (workload seed, system seed) pair must
+// produce byte-identical metrics on repeated runs — the property every
+// golden figure and every differential comparison in this package rests
+// on.
+func TestTrialDeterminism(t *testing.T) {
+	for _, pname := range []string{"clock", "mglru", "fifo"} {
+		pname := pname
+		t.Run(pname, func(t *testing.T) {
+			t.Parallel()
+			p := experiments.PolicyByName(pname)
+			spec := experiments.Workloads(0.1)[0]
+			var ref core.Metrics
+			for i := 0; i < 3; i++ {
+				m, err := core.RunTrial(spec.Make(), p.Make, detSystem(), 0xABCD, 99)
+				if err != nil {
+					t.Fatalf("run %d: %v", i, err)
+				}
+				if i == 0 {
+					ref = m
+					continue
+				}
+				if !reflect.DeepEqual(ref, m) {
+					t.Fatalf("run %d diverged from run 0:\nrun0: %+v\nrun%d: %+v", i, ref, i, m)
+				}
+			}
+		})
+	}
+}
+
+// TestRunnerParallelismDeterminism: harness parallelism is a host-side
+// concern only — trial i's metrics must be identical whether trials run
+// one at a time or all at once.
+func TestRunnerParallelismDeterminism(t *testing.T) {
+	w := experiments.Workloads(0.1)[0]
+	p := experiments.PolicyByName("mglru")
+	sys := detSystem()
+
+	series := func(parallelism int) []core.Metrics {
+		r := experiments.NewRunner(experiments.Options{
+			Trials: 4, Scale: 0.1, Seed: 0x5EED, Parallelism: parallelism,
+		})
+		s, err := r.Run(w, p, sys)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return s.Trials
+	}
+
+	serial := series(1)
+	for _, par := range []int{2, 4} {
+		got := series(par)
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], got[i]) {
+				t.Fatalf("trial %d differs between parallelism 1 and %d:\nserial: %+v\npar:    %+v",
+					i, par, serial[i], got[i])
+			}
+		}
+	}
+}
+
+// TestAuditDoesNotPerturb: the auditor never charges simulated CPU, so an
+// audited trial must produce metrics identical to the unaudited run of
+// the same seeds.
+func TestAuditDoesNotPerturb(t *testing.T) {
+	p := experiments.PolicyByName("mglru")
+	spec := experiments.Workloads(0.1)[0]
+
+	plain, err := core.RunTrial(spec.Make(), p.Make, detSystem(), 0xABCD, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := detSystem()
+	sys.VMM.Audit = true
+	audited, err := core.RunTrial(spec.Make(), p.Make, sys, 0xABCD, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, audited) {
+		t.Fatalf("auditing changed metrics:\nplain:   %+v\naudited: %+v", plain, audited)
+	}
+}

@@ -1,0 +1,106 @@
+package check_test
+
+import (
+	"testing"
+
+	"mglrusim/internal/check"
+	"mglrusim/internal/experiments"
+	"mglrusim/internal/policy"
+)
+
+// diffWorkloads are the traces the differential harness verifies every
+// policy against: one per workload family (warehouse scan/join, graph
+// traversal, zipfian key-value).
+var diffWorkloads = []string{"tpch", "pagerank", "ycsb-a"}
+
+// diffPolicies is every registered real policy.
+var diffPolicies = []string{"clock", "mglru", "gen14", "scan-all", "scan-none", "scan-rand", "fifo", "random"}
+
+// TestDifferentialAllPolicies replays every registered policy plus the
+// oracles over recorded traces of three workloads, with full invariant
+// auditing, asserting the ordering bounds (OPT is the floor, exact-LRU
+// matches Mattson bit-for-bit).
+func TestDifferentialAllPolicies(t *testing.T) {
+	const (
+		maxOps = 12000
+		scale  = 0.05
+	)
+	policies := make(map[string]func() policy.Policy, len(diffPolicies))
+	for _, name := range diffPolicies {
+		policies[name] = experiments.PolicyByName(name).Make
+	}
+
+	for _, spec := range experiments.Workloads(scale) {
+		found := false
+		for _, want := range diffWorkloads {
+			if spec.Name == want {
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			w := spec.Make()
+			tr := check.RecordTrace(w, 0xABCD, 42, maxOps)
+			if len(tr) < 1000 {
+				t.Fatalf("trace too short: %d accesses", len(tr))
+			}
+			// Half the touched working set: enough pressure that every
+			// policy must evict, small enough that OPT still hits.
+			unique := map[int64]bool{}
+			for _, vpn := range tr {
+				unique[int64(vpn)] = true
+			}
+			capacity := len(unique) / 2
+			if capacity < 32 {
+				capacity = 32
+			}
+			rep, err := check.RunDifferential(tr, check.TableFor(w), capacity, policies, true)
+			if err != nil {
+				t.Fatalf("differential failed:\n%s\nreport: %s", err, rep)
+			}
+			t.Logf("%s", rep)
+			if rep.OPTFaults <= 0 || rep.OPTFaults >= rep.Accesses {
+				t.Fatalf("implausible OPT fault count %d of %d accesses", rep.OPTFaults, rep.Accesses)
+			}
+			if rep.Faults["exact-lru"] != rep.MattsonLRUMisses {
+				t.Fatalf("exact-lru %d != mattson %d", rep.Faults["exact-lru"], rep.MattsonLRUMisses)
+			}
+			for name, f := range rep.Faults {
+				if f < rep.OPTFaults {
+					t.Errorf("%s beat OPT: %d < %d", name, f, rep.OPTFaults)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDetectsBrokenPolicy is the harness's own negative
+// control: a policy that under-reports misses by silently double-mapping
+// would beat OPT; simulate the symptom with a policy wrapper whose fault
+// count the harness would see as impossibly low. Here we verify the
+// simpler contract directly: a capacity of the full working set means no
+// policy faults more than cold misses, and the bounds still hold.
+func TestDifferentialFullCapacity(t *testing.T) {
+	spec := experiments.Workloads(0.05)[0]
+	w := spec.Make()
+	tr := check.RecordTrace(w, 0xABCD, 42, 4000)
+	unique := map[int64]bool{}
+	for _, vpn := range tr {
+		unique[int64(vpn)] = true
+	}
+	capacity := len(unique) + 16 // nothing ever needs evicting
+	rep, err := check.RunDifferential(tr, check.TableFor(w), capacity,
+		map[string]func() policy.Policy{"clock": experiments.PolicyByName("clock").Make}, true)
+	if err != nil {
+		t.Fatalf("differential failed: %v", err)
+	}
+	cold := len(unique)
+	for name, f := range rep.Faults {
+		if f != cold {
+			t.Errorf("%s: %d faults at full capacity, want exactly the %d cold misses", name, f, cold)
+		}
+	}
+}

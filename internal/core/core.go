@@ -182,6 +182,9 @@ func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	if err := eng.Run(); err != nil {
 		return Metrics{}, err
 	}
+	if err := mgr.AuditErr(); err != nil {
+		return Metrics{}, err
+	}
 
 	m := Metrics{
 		Runtime:        eng.Now(),

@@ -95,6 +95,9 @@ type Options struct {
 	Seed uint64
 	// Parallelism bounds concurrent trials (0 = GOMAXPROCS).
 	Parallelism int
+	// Audit runs every trial with the invariant auditor enabled
+	// (internal/check); any bookkeeping violation fails the series.
+	Audit bool
 	// Progress, when non-nil, receives one line per completed series.
 	Progress io.Writer
 }
@@ -161,6 +164,7 @@ func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Seri
 	// across Threads calls.
 	wl := w.Make()
 	workloadSeed := r.opts.Seed ^ 0xABCD
+	sys.VMM.Audit = sys.VMM.Audit || r.opts.Audit
 
 	var (
 		wg    sync.WaitGroup

@@ -46,6 +46,9 @@ func (l *List) PushHead(f FrameID) {
 	if fr.ListID != ListNone {
 		panic("mem: frame already on a list")
 	}
+	if l.mem.onListMutate != nil {
+		l.mem.onListMutate(l.id, f)
+	}
 	fr.ListID = l.id
 	fr.Prev = NilFrame
 	fr.Next = l.head
@@ -65,6 +68,9 @@ func (l *List) PushTail(f FrameID) {
 	if fr.ListID != ListNone {
 		panic("mem: frame already on a list")
 	}
+	if l.mem.onListMutate != nil {
+		l.mem.onListMutate(l.id, f)
+	}
 	fr.ListID = l.id
 	fr.Next = NilFrame
 	fr.Prev = l.tail
@@ -83,6 +89,9 @@ func (l *List) Remove(f FrameID) {
 	fr := l.mem.Frame(f)
 	if fr.ListID != l.id {
 		panic("mem: removing frame from wrong list")
+	}
+	if l.mem.onListMutate != nil {
+		l.mem.onListMutate(l.id, f)
 	}
 	if fr.Prev != NilFrame {
 		l.mem.Frame(fr.Prev).Next = fr.Next

@@ -71,6 +71,10 @@ type Memory struct {
 	frames []Frame
 	free   []FrameID
 
+	// onListMutate, when non-nil, observes every list mutation (see
+	// SetMutationHook).
+	onListMutate func(listID int16, f FrameID)
+
 	// Watermarks, in pages. Reclaim is triggered when free pages drop
 	// below Low, and background reclaim aims to restore High. Direct
 	// reclaim (the faulting thread reclaims synchronously) kicks in
@@ -159,3 +163,21 @@ func (m *Memory) BelowLow() bool { return len(m.free) < m.Low }
 // BelowHigh reports whether free memory is under the background-reclaim
 // target watermark.
 func (m *Memory) BelowHigh() bool { return len(m.free) < m.High }
+
+// EachFree calls fn for every frame currently on the free list.
+// Verification tooling uses it to cross-check frame ownership; fn must not
+// allocate or free frames.
+func (m *Memory) EachFree(fn func(FrameID)) {
+	for _, f := range m.free {
+		fn(f)
+	}
+}
+
+// SetMutationHook installs fn to be called on every list insert/remove
+// over this memory (nil uninstalls). The invariant auditor uses it to
+// assert the LRU lock is held across list mutations; the hook must not
+// mutate lists itself. Cost when uninstalled is a single nil check per
+// list operation.
+func (m *Memory) SetMutationHook(fn func(listID int16, f FrameID)) {
+	m.onListMutate = fn
+}

@@ -171,6 +171,9 @@ func (c *Clock) LockStats() (acquisitions, contended uint64, waitTime sim.Durati
 	return c.lock.Acquisitions, c.lock.Contended, c.lock.WaitTime
 }
 
+// DebugLock implements policy.LockDebugger.
+func (c *Clock) DebugLock() *policy.LRULock { return &c.lock }
+
 // Age implements policy.Policy. Clock has no background aging thread; all
 // its scanning happens in the reclaim path.
 func (c *Clock) Age(v *sim.Env) bool { return false }

@@ -63,5 +63,12 @@ func (l *LRULock) Held(v *sim.Env) bool { return l.owner == v.Proc() }
 // DebugOwner reports the current owner (development aid).
 func (l *LRULock) DebugOwner() *sim.Proc { return l.owner }
 
+// LockDebugger is implemented by policies that expose their lruvec lock,
+// letting the invariant auditor assert that every LRU-list mutation
+// happens with the lock held by the acting proc.
+type LockDebugger interface {
+	DebugLock() *LRULock
+}
+
 // DebugWaiters reports how many procs are queued (development aid).
 func (l *LRULock) DebugWaiters() int { return l.cond.Waiters() }

@@ -296,6 +296,9 @@ func (g *MGLRU) LockStats() (acquisitions, contended uint64, waitTime sim.Durati
 	return g.lock.Acquisitions, g.lock.Contended, g.lock.WaitTime
 }
 
+// DebugLock implements policy.LockDebugger.
+func (g *MGLRU) DebugLock() *policy.LRULock { return &g.lock }
+
 // Stats implements policy.Policy.
 func (g *MGLRU) Stats() policy.Stats { return g.stats }
 

@@ -1,0 +1,99 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"mglrusim/internal/check"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/policy/oracle"
+	"mglrusim/internal/policy/policytest"
+	"mglrusim/internal/sim"
+)
+
+// beladyTrace is the classic reference string used in every OS textbook
+// to demonstrate Belady's algorithm. At 3 frames the optimal fault count
+// is 7 and true LRU takes 10 — both verifiable by hand.
+var beladyTrace = []pagetable.VPN{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+
+func smallTable(pages int) func() *pagetable.Table {
+	return func() *pagetable.Table {
+		regions := (pages + pagetable.PTEsPerRegion - 1) / pagetable.PTEsPerRegion
+		t := pagetable.New(regions)
+		t.MapRange(0, pages, false)
+		return t
+	}
+}
+
+func replayFaults(t *testing.T, pol policy.Policy, tr []pagetable.VPN, capacity int) int {
+	t.Helper()
+	faults, err := check.Replay(pol, tr, smallTable(16), capacity, true)
+	if err != nil {
+		t.Fatalf("replay %q: %v", pol.Name(), err)
+	}
+	return faults
+}
+
+func TestOPTMatchesHandComputedOptimum(t *testing.T) {
+	if got := replayFaults(t, oracle.NewOPT(beladyTrace), beladyTrace, 3); got != 7 {
+		t.Fatalf("OPT on Belady's reference string at 3 frames: got %d faults, textbook optimum is 7", got)
+	}
+}
+
+func TestExactLRUMatchesHandComputedCount(t *testing.T) {
+	if got := replayFaults(t, oracle.NewExactLRU(), beladyTrace, 3); got != 10 {
+		t.Fatalf("exact LRU on Belady's reference string at 3 frames: got %d faults, hand simulation gives 10", got)
+	}
+}
+
+func TestOraclesAgreeWithoutReuse(t *testing.T) {
+	// With no reuse, clairvoyance buys nothing: every access is a cold
+	// miss for any policy.
+	tr := []pagetable.VPN{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, pol := range []policy.Policy{oracle.NewExactLRU(), oracle.NewOPT(tr)} {
+		if got := replayFaults(t, pol, tr, 3); got != len(tr) {
+			t.Fatalf("%s on reuse-free trace: got %d faults, want %d cold misses", pol.Name(), got, len(tr))
+		}
+	}
+}
+
+func TestDifferentialOnHandTrace(t *testing.T) {
+	// The full differential assertions (exact-LRU == Mattson, nothing
+	// beats OPT) on a trace small enough to audit every access.
+	rep, err := check.RunDifferential(beladyTrace, smallTable(16), 3, nil, true)
+	if err != nil {
+		t.Fatalf("differential: %v\n%s", err, rep)
+	}
+	if rep.OPTFaults != 7 || rep.Faults["exact-lru"] != 10 {
+		t.Fatalf("unexpected oracle counts:\n%s", rep)
+	}
+}
+
+// TestExactLRUEvictionOrder drives the oracle by hand: after faulting in
+// 0,1,2 at capacity 3, refreshing page 0 must make page 1 — not 0 — the
+// reclaim victim.
+func TestExactLRUEvictionOrder(t *testing.T) {
+	pol := oracle.NewExactLRU()
+	k := policytest.NewWithTable(3, smallTable(16)(), 1)
+	pol.Attach(k)
+
+	eng := sim.NewEngine(1)
+	eng.Spawn("drive", false, func(v *sim.Env) {
+		for _, vpn := range []pagetable.VPN{0, 1, 2} {
+			k.FaultIn(v, pol, vpn, false, false)
+		}
+		pol.Observe(v, 0, 0) // hit: 0 becomes most recent; 1 is now LRU
+		if n := pol.Reclaim(v, 1); n != 1 {
+			t.Errorf("reclaim freed %d pages, want 1", n)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if len(k.EvictOrder) != 1 || k.EvictOrder[0] != 1 {
+		t.Fatalf("evicted %v, want [1] (page 0 was refreshed, 1 is least recent)", k.EvictOrder)
+	}
+	if pol.Len() != 2 {
+		t.Fatalf("recency list holds %d pages after one eviction, want 2", pol.Len())
+	}
+}

@@ -27,6 +27,11 @@ type Kernel struct {
 	// AgingRequests counts RequestAging calls.
 	AgingRequests int
 
+	// OnEvict, when set, is called for every EvictPage after the
+	// bookkeeping completes (the replay harness hooks it to count faults
+	// and drive auditors).
+	OnEvict func(v *sim.Env, vpn pagetable.VPN, sh policy.Shadow)
+
 	nextSlot int32
 }
 
@@ -37,6 +42,20 @@ func New(frames, regions int, seed uint64) *Kernel {
 	m := mem.New(frames)
 	t := pagetable.New(regions)
 	t.MapRange(0, regions*pagetable.PTEsPerRegion, false)
+	return &Kernel{
+		M:       m,
+		T:       t,
+		R:       rmap.New(m, rmap.CostModel{Base: 100}, rng.Stream(1)),
+		RNG:     rng.Stream(2),
+		Shadows: map[pagetable.VPN]policy.Shadow{},
+	}
+}
+
+// NewWithTable creates a test kernel over a caller-built page table (the
+// replay harness sizes tables to match recorded traces).
+func NewWithTable(frames int, t *pagetable.Table, seed uint64) *Kernel {
+	rng := sim.NewRNG(seed)
+	m := mem.New(frames)
 	return &Kernel{
 		M:       m,
 		T:       t,
@@ -71,6 +90,9 @@ func (k *Kernel) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
 	k.EvictOrder = append(k.EvictOrder, vpn)
 	fr.VPN = -1
 	k.M.Free(f)
+	if k.OnEvict != nil {
+		k.OnEvict(v, vpn, sh)
+	}
 }
 
 // FaultIn makes vpn resident (allocating a frame) and informs the policy,

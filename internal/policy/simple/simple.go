@@ -74,6 +74,9 @@ func (f *FIFO) NeedsAging() bool { return false }
 // Stats implements policy.Policy.
 func (f *FIFO) Stats() policy.Stats { return f.stats }
 
+// DebugLock implements policy.LockDebugger.
+func (f *FIFO) DebugLock() *policy.LRULock { return &f.lock }
+
 // QueueLen reports the resident queue length (tests, viz).
 func (f *FIFO) QueueLen() int { return f.queue.Len() }
 
@@ -152,6 +155,9 @@ func (r *Random) NeedsAging() bool { return false }
 
 // Stats implements policy.Policy.
 func (r *Random) Stats() policy.Stats { return r.stats }
+
+// DebugLock implements policy.LockDebugger.
+func (r *Random) DebugLock() *policy.LRULock { return &r.lock }
 
 var (
 	_ policy.Policy = (*FIFO)(nil)

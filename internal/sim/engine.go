@@ -48,6 +48,11 @@ func (e *Engine) SetQuantum(q Duration) {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Current reports the proc holding control right now, or nil when the
+// engine itself (or an After callback) is running. Verification hooks use
+// it to assert lock-discipline invariants against the acting proc.
+func (e *Engine) Current() *Proc { return e.running }
+
 // CPUs reports the number of hardware contexts.
 func (e *Engine) CPUs() int { return e.cpus }
 

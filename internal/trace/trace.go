@@ -141,6 +141,18 @@ func (a *Analyzer) MissRatio(capacity int) float64 {
 	return float64(a.t-hits) / float64(a.t)
 }
 
+// Misses returns the exact number of accesses that would miss in a
+// fully-associative LRU cache of the given page capacity, including cold
+// misses — the integer Mattson prediction the differential verification
+// harness compares real policies against bit-for-bit.
+func (a *Analyzer) Misses(capacity int) int {
+	hits := 0
+	for d := 0; d < capacity && d < len(a.distCount); d++ {
+		hits += a.distCount[d]
+	}
+	return a.t - hits
+}
+
 // MissRatioCurve evaluates MissRatio at each capacity.
 func (a *Analyzer) MissRatioCurve(capacities []int) []float64 {
 	out := make([]float64, len(capacities))

@@ -7,6 +7,7 @@ package vmm
 import (
 	"fmt"
 
+	"mglrusim/internal/check"
 	"mglrusim/internal/mem"
 	"mglrusim/internal/pagetable"
 	"mglrusim/internal/policy"
@@ -42,6 +43,15 @@ type Config struct {
 	ReadaheadWindow int
 	// RMapCost is the reverse-map walk cost model.
 	RMapCost rmap.CostModel
+	// Audit enables the invariant auditor (package check): bookkeeping
+	// invariants are asserted at fault-in, eviction, and aging
+	// checkpoints. Off by default; when off the only cost is a nil check
+	// per checkpoint. The auditor never charges simulated CPU, so
+	// enabling it does not change metrics.
+	Audit bool
+	// AuditEvery overrides the auditor's full-state scan cadence
+	// (checkpoints per O(pages) sweep). Zero keeps the auditor default.
+	AuditEvery int
 }
 
 // DefaultConfig returns calibrated defaults.
@@ -110,6 +120,11 @@ type Manager struct {
 	raOutcomes []int16
 	raMaxShift int8
 
+	// audit, when non-nil, receives checkpoint events; every checkpoint
+	// call below sits before the next possible yield point so the auditor
+	// always observes a consistent intermediate state.
+	audit *check.Auditor
+
 	counters Counters
 }
 
@@ -155,6 +170,14 @@ func New(cfg Config, eng *sim.Engine, memry *mem.Memory, table *pagetable.Table,
 	}
 	m.rm = rmap.New(memry, cfg.RMapCost, rng.Stream(0x7b))
 	pol.Attach(m)
+	if cfg.Audit {
+		m.audit = check.NewAuditor(eng, memry, table, pol)
+		if cfg.AuditEvery > 0 {
+			m.audit.Every = cfg.AuditEvery
+		}
+		m.audit.WatchLists()
+		m.audit.AddInvariant(m.auditSwapOwnership)
+	}
 	eng.Spawn("kswapd", true, m.kswapd)
 	eng.Spawn("aging", true, m.agingDaemon)
 	return m
@@ -202,6 +225,11 @@ func (m *Manager) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
 	}
 	dirty := m.table.Evict(vpn, slot)
 	m.shadows[vpn] = shadowEntry{sh: sh, valid: true}
+	if m.audit != nil {
+		// Checkpoint before the device write: the write yields, and the
+		// page may legitimately refault during it.
+		m.audit.Evicted(v, vpn)
+	}
 	if dirty || firstEvict {
 		if dirty {
 			m.versions[vpn]++
@@ -296,6 +324,11 @@ func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
 		sh = &s
 		m.shadows[vpn].valid = false
 	}
+	if m.audit != nil {
+		// Checkpoint before PageIn: PageIn charges CPU (a yield point),
+		// and concurrent reclaim could evict this page before it returns.
+		m.audit.FaultIn(v, vpn, sh != nil)
+	}
 	m.pol.PageIn(v, f, sh)
 
 	if major {
@@ -343,7 +376,13 @@ func (m *Manager) readahead(v *sim.Env, at pagetable.VPN, slot int32) {
 		if p2.File() {
 			fr.Flags |= mem.FlagFile
 		}
+		hadShadow := m.shadows[vpn2].valid
 		m.shadows[vpn2].valid = false
+		if m.audit != nil {
+			// Checkpoint before the device read (a yield point); the
+			// prefetch deliberately drops the page's shadow.
+			m.audit.PrefetchIn(v, vpn2, hadShadow)
+		}
 		m.counters.ReadaheadIn++
 		m.dev.PrefetchPage(v, s2, owner, m.versions[vpn2])
 		m.pol.PageIn(v, f, nil)
@@ -419,6 +458,9 @@ func (m *Manager) agingDaemon(v *sim.Env) {
 				lastProactive = v.Now()
 			}
 			worked := m.pol.Age(v)
+			if m.audit != nil {
+				m.audit.AgingPass(v)
+			}
 			// Yield before a possible back-to-back walk, so procs woken
 			// by this walk's completion get to observe it; otherwise a
 			// daemon whose walks take longer than the proactive interval
@@ -434,7 +476,42 @@ func (m *Manager) agingDaemon(v *sim.Env) {
 	}
 }
 
+// auditSwapOwnership cross-checks the slot-ownership table against the
+// PTEs: every assigned swap slot must be owned by the page whose PTE
+// points at it, and vice versa. Registered with the auditor's full scan.
+func (m *Manager) auditSwapOwnership() error {
+	pages := m.table.Pages()
+	for i := 0; i < pages; i++ {
+		vpn := pagetable.VPN(i)
+		slot := m.table.PTE(vpn).Swap
+		if slot == pagetable.NilSwap {
+			continue
+		}
+		if int(slot) < 0 || int(slot) >= len(m.slotOwner) {
+			return fmt.Errorf("vpn %d holds out-of-range swap slot %d", vpn, slot)
+		}
+		if owner := m.slotOwner[slot]; owner != int64(vpn) {
+			return fmt.Errorf("vpn %d holds swap slot %d but the slot is owned by vpn %d", vpn, slot, owner)
+		}
+	}
+	return nil
+}
+
 // --- accessors ---
+
+// Auditor exposes the invariant auditor, or nil when auditing is off.
+func (m *Manager) Auditor() *check.Auditor { return m.audit }
+
+// AuditErr finalizes the auditor (a last full-state scan) and returns nil
+// when no invariant was breached. Call once when the trial ends; returns
+// nil when auditing is off.
+func (m *Manager) AuditErr() error {
+	if m.audit == nil {
+		return nil
+	}
+	m.audit.Final(m.eng.Now())
+	return m.audit.Err()
+}
 
 // Counters returns fault-path counters.
 func (m *Manager) Counters() Counters { return m.counters }

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+
+	"mglrusim/internal/sim"
+)
+
+// FuzzZipfian drives the zipfian generator with arbitrary keyspace
+// sizes, skews, and RNG seeds, asserting its contract: every sample in
+// [0, n), determinism for a fixed seed, and — for meaningful skews —
+// head-heavier-than-uniform mass.
+func FuzzZipfian(f *testing.F) {
+	f.Add(int64(100), 0.99, uint64(1), false)
+	f.Add(int64(100), 0.99, uint64(1), true)
+	f.Add(int64(1), 0.5, uint64(42), false)
+	f.Add(int64(1<<20), YCSBTheta, uint64(7), true)
+	f.Add(int64(7), 0.2, uint64(0), false)
+	f.Add(int64(200001), 0.8, uint64(99), true) // tail-extrapolated zeta
+
+	f.Fuzz(func(t *testing.T, n int64, theta float64, seed uint64, scrambled bool) {
+		// Clamp to the constructor's domain rather than skipping: the
+		// interesting inputs are the extremes just inside it.
+		if n <= 0 || n > 1<<22 {
+			t.Skip()
+		}
+		if theta != theta || theta <= 0 || theta >= 1 {
+			t.Skip() // theta==1 divides by zero in the closed form, by design
+		}
+		var z *Zipfian
+		if scrambled {
+			z = NewScrambledZipfian(n, theta)
+		} else {
+			z = NewZipfian(n, theta)
+		}
+
+		const samples = 512
+		rng := sim.NewRNG(seed)
+		first := make([]int64, samples)
+		hits := make(map[int64]int)
+		for i := 0; i < samples; i++ {
+			k := z.Next(rng)
+			if k < 0 || k >= n {
+				t.Fatalf("sample %d out of range [0,%d): %d (theta=%v scrambled=%v)", i, n, k, theta, scrambled)
+			}
+			first[i] = k
+			hits[k]++
+		}
+
+		// Same seed replays identically.
+		rng = sim.NewRNG(seed)
+		for i := 0; i < samples; i++ {
+			if k := z.Next(rng); k != first[i] {
+				t.Fatalf("sample %d not deterministic: %d then %d", i, first[i], k)
+			}
+		}
+
+		// Distribution sanity for the unscrambled variant at real skew
+		// over a keyspace big enough for the head/tail contrast: the most
+		// popular key is key 0, and the hottest decile carries more than
+		// its uniform share.
+		if !scrambled && theta >= 0.6 && n >= 1000 {
+			headMass := 0
+			for k, c := range hits {
+				if k < n/10 {
+					headMass += c
+				}
+			}
+			if headMass <= samples/10 {
+				t.Fatalf("zipf(theta=%v, n=%d): hottest decile drew %d of %d samples — no skew", theta, n, headMass, samples)
+			}
+		}
+	})
+}
