@@ -1,4 +1,5 @@
-// Command pagebench regenerates the paper's figures on the simulator.
+// Command pagebench regenerates the paper's figures on the simulator and
+// runs the benchmark-regression suite.
 //
 // Usage:
 //
@@ -7,8 +8,15 @@
 //	pagebench -figure all            # the whole evaluation
 //	pagebench -trials 25 -scale 1.0  # methodology knobs
 //
+//	pagebench -bench full -benchjson BENCH_PR2.json            # measure
+//	pagebench -bench smoke -baseline BENCH_PR2.json            # regression check
+//	pagebench -figure all -cpuprofile cpu.pb.gz                # profile
+//
 // Each figure prints a plain-text table whose rows correspond to the
-// series plotted in the paper.
+// series plotted in the paper. Bench mode runs named micro/macro
+// benchmarks plus a timed figure sweep, writes machine-readable JSON, and
+// (with -baseline) exits non-zero if any result regressed past the
+// tolerance.
 package main
 
 import (
@@ -16,13 +24,20 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"mglrusim/internal/bench"
 	"mglrusim/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain returns the exit code so deferred profile writers run before
+// the process exits.
+func realMain() int {
 	var (
 		figure   = flag.String("figure", "all", "figure id (fig1..fig12), comma list, or 'all'")
 		trials   = flag.Int("trials", 25, "trials per configuration (paper: 25)")
@@ -32,32 +47,138 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-series progress")
 		audit    = flag.Bool("audit", false, "run every trial with the kernel invariant auditor enabled (slower; fails on any bookkeeping violation)")
 		csvDir   = flag.String("csv", "", "also write each figure's data points as CSV into this directory")
+
+		benchSize = flag.String("bench", "", "run the benchmark suite instead of figures: 'full' or 'smoke'")
+		benchJSON = flag.String("benchjson", "", "write the benchmark report as JSON to this path")
+		baseline  = flag.String("baseline", "", "compare the benchmark report against this committed baseline JSON")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed relative slowdown vs the baseline (0.25 = 25%)")
+		preSecs   = flag.Float64("prebaseline", 0, "pre-optimization figure-run seconds to record in the report")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "pagebench: %v\n", err)
-			os.Exit(1)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("create %s: %v", *cpuProfile, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("start cpu profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("create %s: %v", *memProfile, err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("write heap profile: %v", err)
+		}
+	}()
+
+	if *benchSize != "" {
+		return runBench(*benchSize, *benchJSON, *baseline, *tolerance, *preSecs, *verbose)
+	}
+	runFigures(*figure, *trials, *scale, *seed, *parallel, *verbose, *audit, *csvDir)
+	return 0
+}
+
+func runBench(sizeName, jsonPath, baselinePath string, tolerance, preSecs float64, verbose bool) int {
+	var size bench.Size
+	switch sizeName {
+	case "full":
+		size = bench.Full()
+	case "smoke":
+		size = bench.Smoke()
+	default:
+		fatalf("unknown bench size %q (known: full, smoke)", sizeName)
+	}
+
+	cfg := bench.Config{Size: size, PrePR2FigureRunSeconds: preSecs}
+	if verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	var base *bench.Report
+	if baselinePath != "" {
+		var err error
+		base, err = bench.LoadReport(baselinePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// Carry the pre-optimization reference forward unless overridden —
+		// only between reports of the same size, since the figure sweep
+		// differs across sizes.
+		if cfg.PrePR2FigureRunSeconds == 0 && base.Size.Name == size.Name {
+			cfg.PrePR2FigureRunSeconds = base.PrePR2FigureRunSeconds
+		}
+	}
+
+	rep, err := bench.RunReport(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-20s %14.0f ns/op %12.1f allocs/op %14.0f B/op  (%d ops)\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Ops)
+	}
+	fmt.Printf("%-20s %14.2f s (figures: %s, trials=%d, scale=%g)\n",
+		"figure-run", rep.FigureRunSeconds, strings.Join(rep.Size.Figures, ","), rep.Size.Trials, rep.Size.Scale)
+	if rep.Speedup > 0 {
+		fmt.Printf("%-20s %14.2fx vs pre-PR2 %.2fs\n", "speedup", rep.Speedup, rep.PrePR2FigureRunSeconds)
+	}
+
+	if jsonPath != "" {
+		if err := rep.WriteFile(jsonPath); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if base != nil {
+		regs := bench.Compare(base, rep, tolerance)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "pagebench: REGRESSION %s\n", r)
+		}
+		if len(regs) > 0 {
+			return 1
+		}
+		fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", baselinePath, tolerance*100)
+	}
+	return 0
+}
+
+func runFigures(figure string, trials int, scale float64, seed uint64, parallel int, verbose, audit bool, csvDir string) {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fatalf("%v", err)
 		}
 	}
 
 	opts := experiments.Options{
-		Trials:      *trials,
-		Scale:       *scale,
-		Seed:        *seed,
-		Parallelism: *parallel,
-		Audit:       *audit,
+		Trials:      trials,
+		Scale:       scale,
+		Seed:        seed,
+		Parallelism: parallel,
+		Audit:       audit,
 	}
-	if *verbose {
+	if verbose {
 		opts.Progress = os.Stderr
 	}
 	runner := experiments.NewRunner(opts)
 
 	var ids []string
-	if *figure == "all" {
+	if figure == "all" {
 		ids = experiments.FigureIDs()
 	} else {
-		for _, id := range strings.Split(*figure, ",") {
+		for _, id := range strings.Split(figure, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := experiments.Figures[id]; !ok {
 				fmt.Fprintf(os.Stderr, "pagebench: unknown figure %q (known: %s)\n",
@@ -73,24 +194,27 @@ func main() {
 		figStart := time.Now()
 		res, err := experiments.Figures[id](runner)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pagebench: %s failed: %v\n", id, err)
-			os.Exit(1)
+			fatalf("%s failed: %v", id, err)
 		}
 		fmt.Println(res.Render())
-		if *csvDir != "" {
+		if csvDir != "" {
 			if c, ok := res.(experiments.CSVer); ok {
-				path := filepath.Join(*csvDir, id+".csv")
+				path := filepath.Join(csvDir, id+".csv")
 				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "pagebench: write %s: %v\n", path, err)
-					os.Exit(1)
+					fatalf("write %s: %v", path, err)
 				}
 			}
 		}
-		if *verbose {
+		if verbose {
 			fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(figStart).Round(time.Millisecond))
 		}
 	}
-	if *verbose {
+	if verbose {
 		fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pagebench: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -1,0 +1,85 @@
+// Package bench is the repository's benchmark-regression harness: a set
+// of named micro/macro benchmarks over the simulator's hot paths, a
+// machine-readable report (BENCH_PR2.json), and a comparator that fails
+// loudly when a result regresses past a committed baseline.
+//
+// It deliberately does not depend on `go test -bench`: the suite must be
+// runnable from cmd/pagebench (so CI can produce an artifact with one
+// command) and results must be structured, not scraped from text.
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// Benchmark is one named measurement. Func must perform the operation n
+// times; construction cost inside Func amortizes as calibration grows n.
+type Benchmark struct {
+	Name string
+	// Macro marks whole-series benchmarks whose per-op cost depends on
+	// the suite size; the comparator skips them when baseline and
+	// current reports were produced at different sizes.
+	Macro bool
+	// Fixed, when non-zero, runs exactly that many ops once instead of
+	// calibrating up to MinTime (used for expensive macro benchmarks).
+	Fixed int
+	Func  func(n int)
+}
+
+// Result is the measurement of one benchmark.
+type Result struct {
+	Name        string  `json:"name"`
+	Macro       bool    `json:"macro,omitempty"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Measure runs b, growing the iteration count until the timed run lasts
+// at least minTime (testing.B-style calibration), and returns the final
+// run's figures.
+func Measure(b Benchmark, minTime time.Duration) Result {
+	if b.Fixed > 0 {
+		return runOnce(b, b.Fixed)
+	}
+	n := 1
+	for {
+		r := runOnce(b, n)
+		elapsed := time.Duration(r.NsPerOp * float64(r.Ops))
+		if elapsed >= minTime || n >= 1_000_000_000 {
+			return r
+		}
+		// Predict the n that lands past minTime, bounded to 100x growth
+		// (same guard rails as the testing package).
+		next := n * 100
+		if r.NsPerOp > 0 {
+			predicted := int(1.2 * float64(minTime) / r.NsPerOp)
+			if predicted < next {
+				next = predicted
+			}
+		}
+		if next <= n {
+			next = n + 1
+		}
+		n = next
+	}
+}
+
+func runOnce(b Benchmark, n int) Result {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	b.Func(n)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{
+		Name:        b.Name,
+		Macro:       b.Macro,
+		Ops:         n,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}
+}

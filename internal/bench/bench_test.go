@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// tinySize keeps suite tests fast: minimal calibration, one cheap figure.
+func tinySize() Size {
+	return Size{Name: "tiny", Scale: 0.1, Trials: 1, MinTime: 5 * time.Millisecond,
+		Figures: []string{"fig1"}}
+}
+
+func TestMeasureCalibrates(t *testing.T) {
+	calls := 0
+	r := Measure(Benchmark{Name: "spin", Func: func(n int) {
+		calls++
+		x := 0
+		for i := 0; i < n*1000; i++ {
+			x += i
+		}
+		_ = x
+	}}, 5*time.Millisecond)
+	if r.Ops < 2 {
+		t.Fatalf("calibration did not grow n: ops=%d", r.Ops)
+	}
+	if calls < 2 {
+		t.Fatalf("expected several calibration rounds, got %d", calls)
+	}
+	if r.NsPerOp <= 0 {
+		t.Fatalf("ns/op = %v", r.NsPerOp)
+	}
+}
+
+func TestMeasureFixedRunsOnce(t *testing.T) {
+	calls := 0
+	r := Measure(Benchmark{Name: "fixed", Fixed: 3, Func: func(n int) {
+		calls++
+		if n != 3 {
+			t.Fatalf("fixed n = %d", n)
+		}
+	}}, time.Second)
+	if calls != 1 || r.Ops != 3 {
+		t.Fatalf("fixed benchmark ran %d times with ops=%d", calls, r.Ops)
+	}
+}
+
+func TestAllocCounting(t *testing.T) {
+	r := Measure(Benchmark{Name: "alloc", Fixed: 1000, Func: func(n int) {
+		sink := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			sink = append(sink, make([]byte, 64))
+		}
+		_ = sink
+	}}, time.Second)
+	if r.AllocsPerOp < 1 {
+		t.Fatalf("allocs/op = %v, expected at least 1", r.AllocsPerOp)
+	}
+}
+
+// TestSuiteRunsTiny executes every named benchmark once at minimal size.
+func TestSuiteRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs the benchmark suite")
+	}
+	size := tinySize()
+	for _, b := range Suite(size) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if b.Fixed == 0 {
+				b.Fixed = 16 // skip calibration, one short run
+			}
+			r := Measure(b, size.MinTime)
+			if r.NsPerOp <= 0 {
+				t.Fatalf("%s: ns/op = %v", b.Name, r.NsPerOp)
+			}
+		})
+	}
+}
+
+// TestReportRoundTrip writes a report and reads it back.
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Size:             tinySize(),
+		GoMaxProcs:       1,
+		FigureRunSeconds: 1.5,
+		Results: []Result{
+			{Name: "fault-path", Ops: 100, NsPerOp: 1000, AllocsPerOp: 2, BytesPerOp: 64},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FigureRunSeconds != rep.FigureRunSeconds || len(got.Results) != 1 ||
+		got.Results[0].NsPerOp != 1000 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestComparatorCatchesSlowdown is the regression-check acceptance test: a
+// deliberate slowdown must trip the comparator; results within tolerance
+// must not.
+func TestComparatorCatchesSlowdown(t *testing.T) {
+	size := tinySize()
+	baseline := &Report{Size: size, FigureRunSeconds: 10, Results: []Result{
+		{Name: "fault-path", NsPerOp: 1000},
+		{Name: "clock-scan", NsPerOp: 2000},
+		{Name: "fig1-series", NsPerOp: 5_000_000, Macro: true},
+	}}
+
+	// Within tolerance: no findings.
+	ok := &Report{Size: size, FigureRunSeconds: 11, Results: []Result{
+		{Name: "fault-path", NsPerOp: 1100},
+		{Name: "clock-scan", NsPerOp: 1900},
+		{Name: "fig1-series", NsPerOp: 5_100_000, Macro: true},
+	}}
+	if regs := Compare(baseline, ok, 0.25); len(regs) != 0 {
+		t.Fatalf("false positives: %v", regs)
+	}
+
+	// Deliberate 2x slowdown on one micro bench and the figure run.
+	slow := &Report{Size: size, FigureRunSeconds: 25, Results: []Result{
+		{Name: "fault-path", NsPerOp: 2000},
+		{Name: "clock-scan", NsPerOp: 2000},
+		{Name: "fig1-series", NsPerOp: 5_000_000, Macro: true},
+	}}
+	regs := Compare(baseline, slow, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want fault-path and figure-run", regs)
+	}
+	names := map[string]bool{}
+	for _, r := range regs {
+		names[r.Name] = true
+		if r.Current <= r.Limit {
+			t.Fatalf("reported regression within limit: %+v", r)
+		}
+	}
+	if !names["fault-path"] || !names["figure-run"] {
+		t.Fatalf("wrong regressions: %v", regs)
+	}
+}
+
+// TestComparatorSkipsMacroAcrossSizes: macro numbers from different suite
+// sizes are incomparable and must not trip the check.
+func TestComparatorSkipsMacroAcrossSizes(t *testing.T) {
+	full := &Report{Size: Full(), FigureRunSeconds: 10, Results: []Result{
+		{Name: "fig1-series", NsPerOp: 1_000_000, Macro: true},
+		{Name: "fault-path", NsPerOp: 1000},
+	}}
+	smoke := &Report{Size: Smoke(), FigureRunSeconds: 100, Results: []Result{
+		{Name: "fig1-series", NsPerOp: 9_000_000, Macro: true},
+		{Name: "fault-path", NsPerOp: 1000},
+	}}
+	if regs := Compare(full, smoke, 0.25); len(regs) != 0 {
+		t.Fatalf("cross-size macro comparison should be skipped: %v", regs)
+	}
+	// But a micro regression still trips across sizes.
+	smoke.Results[1].NsPerOp = 5000
+	if regs := Compare(full, smoke, 0.25); len(regs) != 1 || regs[0].Name != "fault-path" {
+		t.Fatalf("micro regression missed across sizes: %v", regs)
+	}
+}

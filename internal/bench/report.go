@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// Report is the machine-readable output of one suite run (BENCH_PR2.json).
+type Report struct {
+	// Size records the suite configuration the numbers were produced at.
+	Size Size `json:"size"`
+	// GoMaxProcs captures the parallelism the run had available.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// FigureRunSeconds is the wall time of the Size.Figures sweep.
+	FigureRunSeconds float64 `json:"figure_run_seconds"`
+	// PrePR2FigureRunSeconds is the same sweep measured on the pre-PR2
+	// tree (the optimization baseline this PR is judged against). Carried
+	// forward from the baseline report when not measured directly.
+	PrePR2FigureRunSeconds float64 `json:"pre_pr2_figure_run_seconds,omitempty"`
+	// Speedup is PrePR2FigureRunSeconds / FigureRunSeconds when both are
+	// known.
+	Speedup float64 `json:"speedup,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Config parameterizes RunReport.
+type Config struct {
+	Size Size
+	// PrePR2FigureRunSeconds, when non-zero, is recorded in the report
+	// (used when regenerating the committed baseline).
+	PrePR2FigureRunSeconds float64
+	// Progress, when non-nil, receives one line per benchmark.
+	Progress io.Writer
+}
+
+// RunReport executes the full suite plus the figure-run measurement.
+func RunReport(cfg Config) (*Report, error) {
+	rep := &Report{Size: cfg.Size, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, b := range Suite(cfg.Size) {
+		r := Measure(b, cfg.Size.MinTime)
+		rep.Results = append(rep.Results, r)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "bench %-20s %12.0f ns/op %10.1f allocs/op %12.0f B/op (%d ops)\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Ops)
+		}
+	}
+	secs, err := timeFigureRun(cfg.Size, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.FigureRunSeconds = secs
+	if cfg.Progress != nil {
+		fmt.Fprintf(cfg.Progress, "bench %-20s %12.2f s\n", "figure-run", secs)
+	}
+	if cfg.PrePR2FigureRunSeconds > 0 {
+		rep.PrePR2FigureRunSeconds = cfg.PrePR2FigureRunSeconds
+		rep.Speedup = rep.PrePR2FigureRunSeconds / rep.FigureRunSeconds
+	}
+	return rep, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a report written by WriteFile.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Regression is one comparator finding: a result slower than the baseline
+// allows.
+type Regression struct {
+	Name     string
+	Baseline float64 // baseline ns/op (or seconds for figure-run)
+	Current  float64
+	Limit    float64 // baseline * (1 + tolerance)
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s regressed: %.0f -> %.0f (limit %.0f)", r.Name, r.Baseline, r.Current, r.Limit)
+}
+
+// Compare checks current against baseline with a relative tolerance
+// (0.25 = 25% slower allowed) and returns every regression found.
+//
+// Macro results and the figure-run time are only compared when the two
+// reports were produced at the same suite size; micro ns/op are per
+// operation and compare across sizes.
+func Compare(baseline, current *Report, tolerance float64) []Regression {
+	var regs []Regression
+	sameSize := baseline.Size.Name == current.Size.Name
+	base := map[string]Result{}
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok || (cur.Macro && !sameSize) {
+			continue
+		}
+		limit := b.NsPerOp * (1 + tolerance)
+		if cur.NsPerOp > limit {
+			regs = append(regs, Regression{Name: cur.Name, Baseline: b.NsPerOp, Current: cur.NsPerOp, Limit: limit})
+		}
+	}
+	if sameSize && baseline.FigureRunSeconds > 0 {
+		limit := baseline.FigureRunSeconds * (1 + tolerance)
+		if current.FigureRunSeconds > limit {
+			regs = append(regs, Regression{Name: "figure-run",
+				Baseline: baseline.FigureRunSeconds, Current: current.FigureRunSeconds, Limit: limit})
+		}
+	}
+	return regs
+}
+

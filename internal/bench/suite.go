@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/experiments"
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy/clock"
+	"mglrusim/internal/policy/mglru"
+	policytestutil "mglrusim/internal/policy/policytest"
+	"mglrusim/internal/policy/simple"
+	"mglrusim/internal/rmap"
+	"mglrusim/internal/sim"
+)
+
+// Size selects how much work the suite does. Micro benchmark ns/op are
+// size-independent (per operation); macro results and the figure run are
+// only comparable between reports of the same size.
+type Size struct {
+	Name    string        `json:"name"`
+	Scale   float64       `json:"scale"`
+	Trials  int           `json:"trials"`
+	MinTime time.Duration `json:"-"`
+	// Figures lists the figure IDs timed for the figure-run measurement.
+	Figures []string `json:"figures"`
+}
+
+// Full is the size the committed BENCH_PR2.json baseline was produced at:
+// the default byte-identity workload (all 12 figures, trials=2,
+// scale=0.2).
+func Full() Size {
+	return Size{Name: "full", Scale: 0.2, Trials: 2, MinTime: 500 * time.Millisecond,
+		Figures: experiments.FigureIDs()}
+}
+
+// Smoke is the reduced size CI runs on every push.
+func Smoke() Size {
+	return Size{Name: "smoke", Scale: 0.1, Trials: 1, MinTime: 50 * time.Millisecond,
+		Figures: []string{"fig1"}}
+}
+
+// Suite returns the named benchmarks over the simulator's hot paths.
+func Suite(size Size) []Benchmark {
+	return []Benchmark{
+		{Name: "fault-path", Func: benchFaultPath},
+		{Name: "mglru-aging-walk", Func: benchAgingWalk},
+		{Name: "clock-scan", Func: benchClockScan},
+		{Name: "rmap-chase", Func: benchRMapChase},
+		{Name: "fig1-series", Macro: true, Fixed: 1, Func: func(n int) { benchFig1Series(n, size) }},
+	}
+}
+
+const (
+	benchFrames  = 256
+	benchRegions = 1 // 512 mapped pages: a 2x over-commit against benchFrames
+)
+
+// benchFaultPath drives the fault/evict cycle with the scan-free FIFO
+// policy: every op is one page fault including the reclaim that makes
+// room for it. Isolates PageIn/Reclaim/EvictPage plus table bookkeeping.
+func benchFaultPath(n int) {
+	k := policytestutil.New(benchFrames, benchRegions, 7)
+	p := simple.NewFIFO()
+	p.Attach(k)
+	pages := pagetable.VPN(k.T.Pages())
+	policytestutil.Run(func(v *sim.Env) {
+		for i := 0; i < n; i++ {
+			vpn := pagetable.VPN(i) % pages
+			if k.Touch(vpn, i%3 == 0) {
+				continue
+			}
+			for k.M.FreePages() == 0 {
+				if p.Reclaim(v, 1) == 0 {
+					p.Age(v)
+				}
+			}
+			k.FaultIn(v, p, vpn, false, false)
+		}
+	})
+}
+
+// benchAgingWalk measures one MG-LRU aging pass over a populated table
+// (ModeAll: every region is scanned, the paper's Scan-All variant). Each
+// op re-touches a working set then walks, matching steady-state aging.
+func benchAgingWalk(n int) {
+	k := policytestutil.New(benchFrames, 4, 7)
+	p := mglru.New(mglru.ScanAll())
+	p.Attach(k)
+	policytestutil.Run(func(v *sim.Env) {
+		// Populate: one resident page per free frame, spread over regions.
+		stride := pagetable.VPN(k.T.Pages() / benchFrames)
+		for i := 0; i < benchFrames; i++ {
+			k.FaultIn(v, p, pagetable.VPN(i)*stride, false, false)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < 64; j++ {
+				k.Touch(pagetable.VPN((i*31+j)%benchFrames)*stride, false)
+			}
+			p.Age(v)
+		}
+	})
+}
+
+// benchClockScan is the fault cycle under Clock: each op's reclaim runs
+// the two-list second-chance scan with its rmap resolutions.
+func benchClockScan(n int) {
+	k := policytestutil.New(benchFrames, benchRegions, 7)
+	p := clock.New(clock.DefaultConfig())
+	p.Attach(k)
+	pages := pagetable.VPN(k.T.Pages())
+	policytestutil.Run(func(v *sim.Env) {
+		for i := 0; i < n; i++ {
+			vpn := pagetable.VPN(i) % pages
+			if k.Touch(vpn, false) {
+				continue
+			}
+			for k.M.FreePages() == 0 {
+				if p.Reclaim(v, 1) == 0 {
+					p.Age(v)
+				}
+			}
+			k.FaultIn(v, p, vpn, false, false)
+		}
+	})
+}
+
+// benchRMapChase measures raw reverse-map resolutions with the default
+// (jittered) cost model — the pointer-chase Clock pays per scanned page.
+func benchRMapChase(n int) {
+	k := policytestutil.New(benchFrames, benchRegions, 7)
+	p := simple.NewFIFO()
+	p.Attach(k)
+	r := rmap.New(k.M, rmap.DefaultCostModel(), sim.NewRNG(11))
+	policytestutil.Run(func(v *sim.Env) {
+		for i := 0; i < benchFrames; i++ {
+			k.FaultIn(v, p, pagetable.VPN(i), false, false)
+		}
+		for i := 0; i < n; i++ {
+			r.Walk(mem.FrameID(i % benchFrames))
+		}
+	})
+}
+
+// benchFig1Series runs one complete Fig-1 series (tpch under MG-LRU at
+// the paper's 50% ratio) through the experiment harness — trials, seeding,
+// metrics harvest and all. A fresh Runner per op defeats the series cache.
+func benchFig1Series(n int, size Size) {
+	for i := 0; i < n; i++ {
+		r := experiments.NewRunner(experiments.Options{
+			Trials: size.Trials, Scale: size.Scale, Seed: 0x5EED,
+		})
+		w := experiments.WorkloadByName("tpch", size.Scale)
+		p := experiments.PolicyByName(experiments.PolMGLRU)
+		if _, err := r.Run(w, p, experiments.SystemAt(0.5, core.SwapSSD)); err != nil {
+			panic(fmt.Sprintf("bench: fig1 series failed: %v", err))
+		}
+	}
+}
+
+// timeFigureRun executes the size's figure list once and returns the wall
+// time — the suite's headline macro number.
+func timeFigureRun(size Size, progress io.Writer) (float64, error) {
+	r := experiments.NewRunner(experiments.Options{
+		Trials: size.Trials, Scale: size.Scale, Seed: 0x5EED, Progress: progress,
+	})
+	start := time.Now()
+	for _, id := range size.Figures {
+		if _, err := experiments.Figures[id](r); err != nil {
+			return 0, fmt.Errorf("bench: figure %s: %w", id, err)
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"mglrusim/internal/core"
 	"mglrusim/internal/stats"
+	"mglrusim/internal/workload"
 )
 
 // Series is the result of running one (workload, policy, system)
@@ -125,68 +126,151 @@ func (o Options) normalized() Options {
 
 // Runner executes series with caching, so figures that share a
 // configuration (for example Fig 1 and Fig 2) reuse trials within one
-// harness invocation.
+// harness invocation. Concurrent Run calls for the same configuration are
+// deduplicated singleflight-style: exactly one goroutine executes the
+// series, the rest wait for its result.
 type Runner struct {
 	opts  Options
 	mu    sync.Mutex
-	cache map[string]*Series
+	cache map[string]*seriesCall
+
+	// wlMu guards workload memoization: construction (graph generation,
+	// zipf tables) is expensive and workloads are stateless across
+	// Threads calls, so one instance per spec name serves every series.
+	wlMu sync.Mutex
+	wls  map[string]workload.Workload
+}
+
+// seriesCall is one in-flight or completed series execution.
+type seriesCall struct {
+	done chan struct{} // closed when s/err are final
+	s    *Series
+	err  error
 }
 
 // NewRunner creates a Runner.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts.normalized(), cache: map[string]*Series{}}
+	return &Runner{
+		opts:  opts.normalized(),
+		cache: map[string]*seriesCall{},
+		wls:   map[string]workload.Workload{},
+	}
 }
 
 // Options returns the normalized options.
 func (r *Runner) Options() Options { return r.opts }
 
-// sysKey captures the parts of a system config that identify a series.
-func sysKey(sys core.SystemConfig) string {
-	return fmt.Sprintf("cpus=%d ratio=%.3f swap=%s", sys.CPUs, sys.Ratio, sys.Swap)
+// seedKey captures the identity triple that trial seeds are derived from.
+// Deliberately narrower than the cache key: two runs differing only in
+// VMM knobs or device parameters draw identical seeds, keeping them
+// "otherwise identical executions".
+func seedKey(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) string {
+	return fmt.Sprintf("%s|%s|cpus=%d ratio=%.3f swap=%s", w.Name, p.Name, sys.CPUs, sys.Ratio, sys.Swap)
+}
+
+// cacheKey is the full configuration fingerprint a cached series is valid
+// for: every SystemConfig field (VMM knobs, device parameters, FlushCPU —
+// all plain values, so %+v covers them recursively) plus the run options
+// that shape results. Earlier versions keyed only on (cpus, ratio, swap)
+// and silently shared trials between configs differing in anything else.
+func (r *Runner) cacheKey(sk string, sys core.SystemConfig) string {
+	return fmt.Sprintf("%s|%+v|scale=%g trials=%d seed=%d", sk, sys, r.opts.Scale, r.opts.Trials, r.opts.Seed)
+}
+
+// workload returns the memoized workload instance for spec w.
+func (r *Runner) workload(w WorkloadSpec) workload.Workload {
+	r.wlMu.Lock()
+	defer r.wlMu.Unlock()
+	wl, ok := r.wls[w.Name]
+	if !ok {
+		wl = w.Make()
+		r.wls[w.Name] = wl
+	}
+	return wl
 }
 
 // Run executes (or returns the cached) series for the triple.
 func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Series, error) {
-	key := w.Name + "|" + p.Name + "|" + sysKey(sys)
+	// Fold the runner-wide audit option in before fingerprinting so a
+	// cached non-audited series is never served to an audited run.
+	sys.VMM.Audit = sys.VMM.Audit || r.opts.Audit
+	sk := seedKey(w, p, sys)
+	key := r.cacheKey(sk, sys)
+
 	r.mu.Lock()
-	if s, ok := r.cache[key]; ok {
+	if c, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		return s, nil
+		<-c.done
+		return c.s, c.err
 	}
+	c := &seriesCall{done: make(chan struct{})}
+	r.cache[key] = c
 	r.mu.Unlock()
 
+	c.s, c.err = r.runSeries(w, p, sys, sk)
+	close(c.done)
+	if c.err != nil {
+		// Drop failed executions from the cache so a later call retries
+		// instead of replaying the error forever.
+		r.mu.Lock()
+		if r.cache[key] == c {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
+	}
+	return c.s, c.err
+}
+
+// runSeries executes all trials of one series. The first trial failure
+// closes cancel, which stops the launch loop and makes queued trials
+// return without starting a simulation — in-flight siblings are not
+// torn down mid-simulation (the engine is single-threaded per trial),
+// but no further work begins after a failure.
+func (r *Runner) runSeries(w WorkloadSpec, p PolicySpec, sys core.SystemConfig, sk string) (*Series, error) {
 	s := &Series{Workload: w.Name, Policy: p.Name, System: sys,
 		Trials: make([]core.Metrics, r.opts.Trials)}
 
 	// The workload seed is fixed per configuration; the system seed
-	// varies per trial. Workload construction can be expensive (graph
-	// generation), so build once and share: workloads are stateless
-	// across Threads calls.
-	wl := w.Make()
+	// varies per trial.
+	wl := r.workload(w)
 	workloadSeed := r.opts.Seed ^ 0xABCD
-	sys.VMM.Audit = sys.VMM.Audit || r.opts.Audit
 
 	var (
-		wg    sync.WaitGroup
-		errMu sync.Mutex
-		err   error
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		err    error
+		cancel = make(chan struct{})
 	)
+	fail := func(e error) {
+		errMu.Lock()
+		if err == nil {
+			err = e
+			close(cancel)
+		}
+		errMu.Unlock()
+	}
 	sem := make(chan struct{}, r.opts.Parallelism)
+launch:
 	for i := 0; i < r.opts.Trials; i++ {
 		i := i
+		select {
+		case <-cancel:
+			break launch
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			sysSeed := trialSeed(r.opts.Seed, key, i)
+			select {
+			case <-cancel:
+				return // a sibling already failed; skip this trial
+			default:
+			}
+			sysSeed := trialSeed(r.opts.Seed, sk, i)
 			m, e := core.RunTrial(wl, p.Make, sys, workloadSeed, sysSeed)
 			if e != nil {
-				errMu.Lock()
-				if err == nil {
-					err = fmt.Errorf("%s trial %d: %w", key, i, e)
-				}
-				errMu.Unlock()
+				fail(fmt.Errorf("%s trial %d: %w", sk, i, e))
 				return
 			}
 			s.Trials[i] = m
@@ -197,12 +281,9 @@ func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Seri
 		return nil, err
 	}
 
-	r.mu.Lock()
-	r.cache[key] = s
-	r.mu.Unlock()
 	if r.opts.Progress != nil {
 		mean := stats.Mean(s.Runtimes())
-		fmt.Fprintf(r.opts.Progress, "series %-40s %d trials, mean runtime %.2fs\n", key, r.opts.Trials, mean)
+		fmt.Fprintf(r.opts.Progress, "series %-40s %d trials, mean runtime %.2fs\n", sk, r.opts.Trials, mean)
 	}
 	return s, nil
 }

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/mem"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/policy/clock"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/stats"
+	"mglrusim/internal/workload"
+)
+
+// countingPolicy wraps a policy spec so tests can observe how many trials
+// actually executed (Make is called exactly once per trial by RunTrial).
+func countingPolicy(name string, n *atomic.Int64) PolicySpec {
+	base := PolicyByName(name)
+	return PolicySpec{Name: base.Name, Make: func() policy.Policy {
+		n.Add(1)
+		return base.Make()
+	}}
+}
+
+// failingPolicy panics on the first PageIn, turning the trial's first
+// fault into an engine error.
+type failingPolicy struct{ policy.Policy }
+
+func (failingPolicy) PageIn(v *sim.Env, f mem.FrameID, sh *policy.Shadow) {
+	panic("injected trial failure")
+}
+
+func fastOpts() Options {
+	return Options{Trials: 1, Scale: 0.1, Seed: 0xABC, Parallelism: 2}
+}
+
+// TestCacheMissOnVMMConfigChange covers the old sysKey bug: configs
+// differing only in a VMM knob used to silently share cached trials.
+func TestCacheMissOnVMMConfigChange(t *testing.T) {
+	var runs atomic.Int64
+	r := NewRunner(fastOpts())
+	w := WorkloadByName("ycsb-c", 0.1)
+	p := countingPolicy(PolClock, &runs)
+
+	sys := SystemAt(0.5, core.SwapSSD)
+	if _, err := r.Run(w, p, sys); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("first config ran %d trials, want 1", got)
+	}
+
+	tweaked := sys
+	tweaked.VMM.MajorFaultOverhead *= 2
+	if _, err := r.Run(w, p, tweaked); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("VMM-tweaked config must miss the cache: %d executions, want 2", got)
+	}
+
+	// Unchanged repeats still hit.
+	if _, err := r.Run(w, p, tweaked); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("identical repeat must hit the cache: %d executions", got)
+	}
+}
+
+// TestCacheKeyCoversFullConfig asserts the fingerprint separates configs
+// the old (cpus, ratio, swap) key conflated.
+func TestCacheKeyCoversFullConfig(t *testing.T) {
+	w := WorkloadByName("ycsb-c", 0.1)
+	p := PolicyByName(PolClock)
+	base := SystemAt(0.5, core.SwapSSD)
+	sk := seedKey(w, p, base)
+
+	r := NewRunner(fastOpts())
+	variants := []func(*core.SystemConfig){
+		func(s *core.SystemConfig) { s.VMM.Audit = true },
+		func(s *core.SystemConfig) { s.SSD.ReadLatency *= 2 },
+		func(s *core.SystemConfig) { s.ZRAM.PageSize = 8192 },
+		func(s *core.SystemConfig) { s.FlushCPU *= 2 },
+	}
+	for i, mod := range variants {
+		sys := base
+		mod(&sys)
+		if seedKey(w, p, sys) != sk {
+			t.Fatalf("variant %d: seed key must stay stable across non-identity knobs", i)
+		}
+		if r.cacheKey(sk, sys) == r.cacheKey(sk, base) {
+			t.Fatalf("variant %d: cache key does not separate the configs", i)
+		}
+	}
+
+	// Scale and trials are part of the fingerprint too.
+	small := NewRunner(Options{Trials: 1, Scale: 0.1, Seed: 0xABC})
+	big := NewRunner(Options{Trials: 2, Scale: 0.2, Seed: 0xABC})
+	if small.cacheKey(sk, base) == big.cacheKey(sk, base) {
+		t.Fatal("cache key must include scale and trial count")
+	}
+}
+
+// TestFailedTrialCancelsSiblings injects a trial that fails on its first
+// fault and asserts the series shuts down promptly instead of running the
+// remaining trials.
+func TestFailedTrialCancelsSiblings(t *testing.T) {
+	var started atomic.Int64
+	base := PolicyByName(PolClock)
+	p := PolicySpec{Name: base.Name, Make: func() policy.Policy {
+		started.Add(1)
+		return failingPolicy{clock.New(clock.DefaultConfig())}
+	}}
+	r := NewRunner(Options{Trials: 8, Scale: 0.1, Seed: 0xABC, Parallelism: 1})
+
+	_, err := r.Run(WorkloadByName("ycsb-c", 0.1), p, SystemAt(0.5, core.SwapSSD))
+	if err == nil {
+		t.Fatal("expected the injected failure to surface")
+	}
+	if !strings.Contains(err.Error(), "injected trial failure") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The failure closes the cancel channel before the failing trial
+	// releases its parallelism slot, so with Parallelism=1 no later trial
+	// may start a simulation.
+	if got := started.Load(); got != 1 {
+		t.Fatalf("%d trials started after a failure, want 1", got)
+	}
+
+	// A failed series must not be cached: the next call retries.
+	var retried atomic.Int64
+	ok := countingPolicy(PolClock, &retried)
+	ok.Name = p.Name // same cache identity as the failed series
+	if _, err := r.Run(WorkloadByName("ycsb-c", 0.1), ok, SystemAt(0.5, core.SwapSSD)); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if retried.Load() == 0 {
+		t.Fatal("retry did not re-execute the series")
+	}
+}
+
+// TestConcurrentRunsExecuteOnce hammers Run from concurrent goroutines on
+// the same and different keys (run under -race in CI) and asserts exactly
+// one execution per key.
+func TestConcurrentRunsExecuteOnce(t *testing.T) {
+	const goroutines = 8
+	opts := fastOpts()
+	opts.Trials = 2
+	r := NewRunner(opts)
+	w := WorkloadByName("ycsb-c", 0.1)
+
+	var runsA, runsB atomic.Int64
+	pA := countingPolicy(PolClock, &runsA)
+	pB := countingPolicy(PolFIFO, &runsB)
+	sysA := SystemAt(0.5, core.SwapSSD)
+	sysB := SystemAt(0.75, core.SwapSSD)
+
+	var wg sync.WaitGroup
+	results := make([]*Series, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Even goroutines hit key A, odd ones key B.
+			var s *Series
+			var err error
+			if g%2 == 0 {
+				s, err = r.Run(w, pA, sysA)
+			} else {
+				s, err = r.Run(w, pB, sysB)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = s
+		}()
+	}
+	wg.Wait()
+
+	if got := runsA.Load(); got != int64(opts.Trials) {
+		t.Fatalf("key A executed %d trials, want exactly %d (one series)", got, opts.Trials)
+	}
+	if got := runsB.Load(); got != int64(opts.Trials) {
+		t.Fatalf("key B executed %d trials, want exactly %d (one series)", got, opts.Trials)
+	}
+	for g := 2; g < goroutines; g += 2 {
+		if results[g] != results[0] {
+			t.Fatal("same-key callers must share one Series")
+		}
+	}
+	for g := 3; g < goroutines; g += 2 {
+		if results[g] != results[1] {
+			t.Fatal("same-key callers must share one Series")
+		}
+	}
+}
+
+// TestMergedWriteTailZeroCount covers Series.MergedWriteTail's zero-count
+// path: trials with no write latencies must yield an all-zero tail of the
+// right length, not a panic or a 1-element slice.
+func TestMergedWriteTailZeroCount(t *testing.T) {
+	s := &Series{Trials: []core.Metrics{
+		{ReadLat: stats.NewLatencyRecorder(0), WriteLat: stats.NewLatencyRecorder(0)},
+		{ReadLat: stats.NewLatencyRecorder(0), WriteLat: stats.NewLatencyRecorder(0)},
+	}}
+	tail := s.MergedWriteTail()
+	if len(tail) != len(stats.TailPoints) {
+		t.Fatalf("tail length %d, want %d", len(tail), len(stats.TailPoints))
+	}
+	for i, v := range tail {
+		if v != 0 {
+			t.Fatalf("tail[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestWorkloadMemoized asserts one workload instance serves every series
+// of a Runner (construction is expensive: graph generation, zipf tables).
+func TestWorkloadMemoized(t *testing.T) {
+	var makes atomic.Int64
+	r := NewRunner(fastOpts())
+	w := WorkloadByName("ycsb-c", 0.1)
+	inner := w.Make
+	w.Make = func() workload.Workload {
+		makes.Add(1)
+		return inner()
+	}
+	p := PolicyByName(PolClock)
+	if _, err := r.Run(w, p, SystemAt(0.5, core.SwapSSD)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(w, p, SystemAt(0.75, core.SwapSSD)); err != nil {
+		t.Fatal(err)
+	}
+	if got := makes.Load(); got != 1 {
+		t.Fatalf("workload built %d times across series, want 1", got)
+	}
+}

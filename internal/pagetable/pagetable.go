@@ -230,20 +230,28 @@ func (t *Table) RegionPresent(r int) int { return int(t.regionPresent[r]) }
 // ScanRegion calls fn for every PTE in region r, passing the VPN and the
 // entry. fn must not insert or evict pages.
 func (t *Table) ScanRegion(r int, fn func(VPN, *PTE)) {
-	start := t.RegionStart(r)
-	for i := 0; i < t.perRegion; i++ {
-		vpn := start + VPN(i)
-		fn(vpn, &t.ptes[vpn])
+	start, ptes := t.RegionSlice(r)
+	for i := range ptes {
+		fn(start+VPN(i), &ptes[i])
 	}
+}
+
+// RegionSlice exposes region r's PTEs directly for hot linear scans that
+// cannot afford a per-PTE indirect call. The slice aliases the table;
+// callers may flip A/D bits in place but must go through Table methods for
+// transitions that affect residency counters (Insert/Evict).
+func (t *Table) RegionSlice(r int) (start VPN, ptes []PTE) {
+	lo := r * t.perRegion
+	return VPN(lo), t.ptes[lo : lo+t.perRegion]
 }
 
 // AccessedDensity scans region r counting present and accessed PTEs.
 // Policies use it for the bloom-filter density rule ("at least one
 // accessed PTE per cache line").
 func (t *Table) AccessedDensity(r int) (present, accessed int) {
-	start := int(t.RegionStart(r))
-	for i := 0; i < t.perRegion; i++ {
-		b := t.ptes[start+i].Bits
+	_, ptes := t.RegionSlice(r)
+	for i := range ptes {
+		b := ptes[i].Bits
 		if b&BitPresent != 0 {
 			present++
 			if b&BitAccessed != 0 {

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // DefaultQuantum is the CPU accounting quantum. Charged CPU work is split
 // into chunks of at most this size so that the processor-sharing dilation
@@ -13,6 +10,12 @@ const DefaultQuantum Duration = 250 * Microsecond
 // Engine is a deterministic discrete-event simulator. Create one with
 // NewEngine, spawn procs, then call Run. An Engine must not be shared
 // between host goroutines.
+//
+// Control transfer is baton-passing: exactly one goroutine — the host
+// inside Run, or one proc — holds control at any time. A proc that parks
+// runs the dispatch loop itself and wakes the next schedulable proc
+// directly, so a context switch costs one channel send plus one receive
+// instead of a round trip through a central scheduler goroutine.
 type Engine struct {
 	now     Time
 	seq     uint64
@@ -27,6 +30,14 @@ type Engine struct {
 	running *Proc // proc holding control right now, nil when engine runs
 	stopped bool
 	failure error
+
+	// mainCh returns the baton to Run when the simulation is over
+	// (finished, stopped, or deadlocked). Buffered so dispatch can hand
+	// the baton back before Run has reached its receive.
+	mainCh chan struct{}
+	// shuttingDown redirects proc-completion batons to mainCh while
+	// shutdown unwinds killed procs one at a time.
+	shuttingDown bool
 }
 
 // NewEngine returns an engine modelling cpus hardware contexts.
@@ -34,7 +45,7 @@ func NewEngine(cpus int) *Engine {
 	if cpus <= 0 {
 		panic("sim: NewEngine requires at least one CPU")
 	}
-	return &Engine{cpus: cpus, quantum: DefaultQuantum}
+	return &Engine{cpus: cpus, quantum: DefaultQuantum, mainCh: make(chan struct{}, 1)}
 }
 
 // SetQuantum overrides the CPU accounting quantum (useful in tests).
@@ -77,22 +88,73 @@ type event struct {
 	fn   func() // run this callback in engine context
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq).
+// container/heap is deliberately not used: its interface methods box every
+// event into an `any`, which made the event queue the simulator's dominant
+// allocation site (push and pop together accounted for ~99% of all heap
+// objects in a trial).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by time, ties broken by push sequence (FIFO).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// push inserts ev, sifting a hole up instead of swapping (one write per
+// level instead of three).
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&ev, &s[parent]) {
+			break
+		}
+		s[i] = s[parent]
+		i = parent
+	}
+	s[i] = ev
+}
+
+// pop removes the minimum, sifting a hole down for the displaced last
+// element.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s[n] = event{} // drop the callback/proc references
+	*h = s[:n]
+	s = s[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && eventLess(&s[r], &s[c]) {
+				c = r
+			}
+			if !eventLess(&s[c], &last) {
+				break
+			}
+			s[i] = s[c]
+			i = c
+		}
+		s[i] = last
+	}
+	return top
+}
+
 func (e *Engine) push(ev event) uint64 {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	return ev.seq
 }
 
@@ -100,6 +162,17 @@ func (e *Engine) push(ev event) uint64 {
 // wakeups (from superseded sleeps) are ignored.
 func (e *Engine) pushProc(t Time, p *Proc) {
 	p.eventSeq = e.push(event{at: t, proc: p})
+}
+
+// canAdvanceTo reports whether the running proc may move virtual time
+// straight to t without yielding: the engine is not stopped and no pending
+// event is due at or before t. When it holds, a scheduler round trip would
+// pop only the caller's own wakeup, so Charge/SleepUntil skip the event
+// push and channel handoff and advance e.now in place. An event due exactly
+// at t forces the slow path — it was pushed earlier, carries a smaller
+// sequence number, and must run first for event order to stay identical.
+func (e *Engine) canAdvanceTo(t Time) bool {
+	return !e.stopped && (len(e.events) == 0 || e.events[0].at > t)
 }
 
 // After schedules fn to run in engine context at now+d. fn must not block;
@@ -119,8 +192,10 @@ func (e *Engine) Spawn(name string, daemon bool, fn func(*Env)) *Proc {
 		name:   name,
 		daemon: daemon,
 		engine: e,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		// Buffered: the waker may be the proc itself (a dispatch run from
+		// this proc's own handoff can pop this proc's next wakeup), so the
+		// send must complete before the receive is reached.
+		resume: make(chan struct{}, 1),
 		state:  stateReady,
 	}
 	e.procs = append(e.procs, p)
@@ -151,15 +226,42 @@ func (e *Engine) setRunnable(p *Proc, r bool) {
 // terminates daemons. It returns a non-nil error if a proc panicked or if
 // the simulation deadlocked (no events pending while procs still live).
 func (e *Engine) Run() error {
-	for !e.stopped {
-		if e.live == 0 {
-			break
+	e.dispatch()
+	<-e.mainCh
+	e.shutdown()
+	return e.failure
+}
+
+// Stop ends the simulation at the current time. Pending procs are killed by
+// Run's shutdown phase. Safe to call from engine callbacks and procs.
+func (e *Engine) Stop() { e.stopped = true }
+
+// dispatch passes the baton to the next schedulable entity. The caller
+// must have fully recorded its own state first (parked, finished, or — for
+// the host — not yet started). Inline callbacks run in the caller's
+// goroutine; when a proc's wakeup pops, dispatch sends it the baton and
+// returns so the caller can park itself. When the simulation is over the
+// baton goes back to Run via mainCh.
+func (e *Engine) dispatch() { e.dispatchFrom(nil) }
+
+// dispatchFrom is dispatch with a self-wake fast path: when the next
+// wakeup belongs to self (the proc currently parking), it reports true
+// and self simply keeps the baton — no channel operations at all. This
+// is common when inline After callbacks interleave with a proc that is
+// otherwise the earliest sleeper.
+func (e *Engine) dispatchFrom(self *Proc) bool {
+	e.running = nil
+	for {
+		if e.stopped || e.live == 0 {
+			e.mainCh <- struct{}{}
+			return false
 		}
-		if e.events.Len() == 0 {
+		if len(e.events) == 0 {
 			e.failure = e.deadlockError()
-			break
+			e.mainCh <- struct{}{}
+			return false
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		if ev.at < e.now {
 			panic("sim: event scheduled in the past")
 		}
@@ -171,45 +273,51 @@ func (e *Engine) Run() error {
 		if ev.proc.state == stateDone || ev.proc.eventSeq != ev.seq {
 			continue // stale wakeup
 		}
-		e.step(ev.proc)
-	}
-	e.shutdown()
-	return e.failure
-}
-
-// Stop ends the simulation at the current time. Pending procs are killed by
-// Run's shutdown phase. Safe to call from engine callbacks and procs.
-func (e *Engine) Stop() { e.stopped = true }
-
-// step hands control to p until it yields back.
-func (e *Engine) step(p *Proc) {
-	e.running = p
-	p.state = stateRunning
-	p.resume <- struct{}{}
-	<-p.yield
-	e.running = nil
-	if p.state == stateDone {
-		e.setRunnable(p, false)
-		if !p.daemon {
-			e.live--
+		e.running = ev.proc
+		ev.proc.state = stateRunning
+		if ev.proc == self {
+			return true
 		}
-		if p.err != nil && e.failure == nil {
-			e.failure = p.err
-			e.stopped = true
-		}
-		p.done.broadcastLocked(e)
+		ev.proc.resume <- struct{}{}
+		return false
 	}
 }
 
-// shutdown terminates all unfinished procs after Run's main loop exits.
+// finish records proc completion and passes the baton on. Runs in the
+// finishing proc's goroutine (this is the bookkeeping the central
+// scheduler used to do after each yield).
+func (e *Engine) finish(p *Proc) {
+	e.setRunnable(p, false)
+	if !p.daemon {
+		e.live--
+	}
+	if p.err != nil && e.failure == nil {
+		e.failure = p.err
+		e.stopped = true
+	}
+	p.done.broadcastLocked(e)
+	if e.shuttingDown {
+		e.mainCh <- struct{}{}
+		return
+	}
+	e.dispatch()
+}
+
+// shutdown terminates all unfinished procs after the main phase exits.
+// Each killed proc unwinds in its own goroutine and hands the baton back
+// through mainCh before the next one is resumed.
 func (e *Engine) shutdown() {
+	e.shuttingDown = true
 	for _, p := range e.procs {
 		if p.state == stateDone {
 			continue
 		}
 		p.killed = true
-		e.step(p)
+		e.running = p
+		p.resume <- struct{}{}
+		<-e.mainCh
 	}
+	e.running = nil
 }
 
 func (e *Engine) deadlockError() error {

@@ -41,8 +41,9 @@ type Proc struct {
 	daemon bool
 	engine *Engine
 
+	// resume delivers the baton (buffered, capacity 1: the sender may be
+	// this proc's own handoff-dispatch).
 	resume chan struct{}
-	yield  chan struct{}
 
 	state     procState
 	countsCPU bool   // contributes to CPU contention right now
@@ -78,7 +79,7 @@ func (p *Proc) top(fn func(*Env)) {
 			}
 		}
 		p.state = stateDone
-		p.yield <- struct{}{}
+		p.engine.finish(p)
 	}()
 	if p.killed {
 		return
@@ -86,10 +87,14 @@ func (p *Proc) top(fn func(*Env)) {
 	fn(&Env{engine: p.engine, proc: p})
 }
 
-// handoff returns control to the engine and blocks until resumed.
-// On resume during shutdown it unwinds via killSignal.
+// handoff passes the baton on (running the dispatch loop in this
+// goroutine) and blocks until resumed. The caller must have recorded the
+// proc's parked state and any wakeup event before calling. On resume
+// during shutdown it unwinds via killSignal.
 func (p *Proc) handoff() {
-	p.yield <- struct{}{}
+	if p.engine.dispatchFrom(p) {
+		return // our own wakeup was next; baton never left this goroutine
+	}
 	<-p.resume
 	if p.killed {
 		panic(killSignal)
@@ -131,8 +136,17 @@ func (v *Env) Charge(d Duration) {
 		d -= chunk
 		e.setRunnable(p, true)
 		wall := e.dilate(chunk)
+		deadline := e.now + Time(wall)
+		if e.canAdvanceTo(deadline) {
+			// Nothing can run before this quantum completes (the runnable
+			// set, and with it the dilation, cannot change without an
+			// event): advance time in place instead of a scheduler round
+			// trip through the event heap and two channel operations.
+			e.now = deadline
+			continue
+		}
 		p.state = stateSleeping
-		e.pushProc(e.now+Time(wall), p)
+		e.pushProc(deadline, p)
 		p.handoff()
 	}
 }
@@ -153,6 +167,12 @@ func (v *Env) SleepUntil(t Time) {
 		t = e.now
 	}
 	e.setRunnable(p, false)
+	if e.canAdvanceTo(t) {
+		// No event is due before the wakeup: skip the scheduler round trip
+		// and advance time in place (see Engine.canAdvanceTo).
+		e.now = t
+		return
+	}
 	p.state = stateSleeping
 	e.pushProc(t, p)
 	p.handoff()

@@ -1,6 +1,6 @@
 package stats
 
-import "sort"
+import "slices"
 
 // TailPoints are the percentiles reported in the paper's tail-latency
 // figures (Figs. 3, 8, 12).
@@ -43,7 +43,9 @@ func (l *LatencyRecorder) Mean() float64 {
 
 func (l *LatencyRecorder) sort() {
 	if !l.sorted {
-		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		// slices.Sort specializes on int64 — no per-comparison closure call.
+		// Percentile results are unaffected: values sort identically.
+		slices.Sort(l.samples)
 		l.sorted = true
 	}
 }

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven edge cases for LatencyRecorder: empty recorders and
+// merges, single samples, and extreme values near the int64 range.
+func TestLatencyRecorderEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		p       float64
+		want    float64
+	}{
+		{"empty-percentile", nil, 99, 0},
+		{"empty-p0", nil, 0, 0},
+		{"single-sample-p50", []int64{42}, 50, 42},
+		{"single-sample-p9999", []int64{42}, 99.99, 42},
+		{"two-sample-tail", []int64{10, 20}, 99.99, 19.999},
+		{"huge-values", []int64{math.MaxInt64 - 1, math.MaxInt64}, 0, float64(math.MaxInt64 - 1)},
+		{"negative-and-positive", []int64{-5, 5}, 50, 0},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			l := NewLatencyRecorder(0)
+			for _, s := range c.samples {
+				l.Record(s)
+			}
+			if got := l.Percentile(c.p); !almost(got, c.want, math.Abs(c.want)*1e-12+1e-9) {
+				t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+			}
+			if l.Count() != len(c.samples) {
+				t.Fatalf("Count = %d, want %d", l.Count(), len(c.samples))
+			}
+		})
+	}
+}
+
+func TestLatencyRecorderEmptyMerge(t *testing.T) {
+	a := NewLatencyRecorder(0)
+	b := NewLatencyRecorder(0)
+
+	// empty <- empty stays empty.
+	a.Merge(b)
+	if a.Count() != 0 || a.Mean() != 0 || a.Percentile(99) != 0 {
+		t.Fatal("merging two empty recorders must stay empty")
+	}
+	for _, v := range a.Tail() {
+		if v != 0 {
+			t.Fatal("empty tail must be all zeros")
+		}
+	}
+
+	// non-empty <- empty is a no-op.
+	a.Record(7)
+	a.Merge(b)
+	if a.Count() != 1 || a.Percentile(50) != 7 {
+		t.Fatalf("merge with empty changed data: count=%d", a.Count())
+	}
+
+	// empty <- non-empty adopts the samples.
+	b.Merge(a)
+	if b.Count() != 1 || b.Percentile(100) != 7 {
+		t.Fatalf("empty recorder did not adopt merged samples")
+	}
+}
+
+func TestLatencyRecorderMergeAfterSortStaysCorrect(t *testing.T) {
+	a := NewLatencyRecorder(0)
+	for _, v := range []int64{30, 10} {
+		a.Record(v)
+	}
+	if got := a.Percentile(0); got != 10 {
+		t.Fatalf("P0 = %v", got)
+	}
+	// The recorder sorted internally; merging afterwards must invalidate
+	// the sorted flag, not append out of order silently.
+	b := NewLatencyRecorder(0)
+	b.Record(1)
+	a.Merge(b)
+	if got := a.Percentile(0); got != 1 {
+		t.Fatalf("P0 after merge = %v, want 1", got)
+	}
+	if got := a.Percentile(100); got != 30 {
+		t.Fatalf("P100 after merge = %v, want 30", got)
+	}
+}

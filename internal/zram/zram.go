@@ -21,8 +21,16 @@ import (
 //
 // Runs shorter than 4 are folded into literals. The output is never more
 // than src length + 2*(len/256+1) bytes.
-func Compress(src []byte) []byte {
-	out := make([]byte, 0, len(src)/4+16)
+func Compress(src []byte) []byte { return AppendCompress(nil, src) }
+
+// AppendCompress appends the compressed encoding of src to dst and returns
+// the extended slice, letting hot callers reuse one scratch buffer instead
+// of allocating per page write.
+func AppendCompress(dst, src []byte) []byte {
+	out := dst
+	if out == nil {
+		out = make([]byte, 0, len(src)/4+16)
+	}
 	i := 0
 	litStart := -1
 	flushLits := func(end int) {
@@ -159,43 +167,66 @@ func FillPage(buf []byte, vpn int64, version uint32, class ContentClass) {
 // compressor on the real bytes.
 type Store struct {
 	pageSize int
-	sizes    map[int32]int
-	total    int64 // compressed bytes currently stored
-	written  int64 // uncompressed bytes ever written
-	stored   int64 // compressed bytes ever written
-	buf      []byte
+	// sizes is dense, indexed by slot: swap areas hand out slots from a
+	// contiguous range starting at 0, and the fault path hits Write/Free
+	// hard enough that map hashing showed up in profiles. 0 = unused (a
+	// compressed page is never empty).
+	sizes   []int32
+	total   int64 // compressed bytes currently stored
+	written int64 // uncompressed bytes ever written
+	stored  int64 // compressed bytes ever written
+	buf     []byte
+	cbuf    []byte // reusable compression output scratch
 }
 
 // NewStore creates a Store for pages of pageSize bytes.
 func NewStore(pageSize int) *Store {
-	return &Store{pageSize: pageSize, sizes: make(map[int32]int), buf: make([]byte, pageSize)}
+	return &Store{pageSize: pageSize, buf: make([]byte, pageSize)}
+}
+
+// grow ensures the size table covers slot.
+func (s *Store) grow(slot int32) {
+	if int(slot) < len(s.sizes) {
+		return
+	}
+	n := len(s.sizes)*2 + 64
+	if n <= int(slot) {
+		n = int(slot) + 1
+	}
+	sizes := make([]int32, n)
+	copy(sizes, s.sizes)
+	s.sizes = sizes
 }
 
 // Write compresses the synthetic contents of (vpn, version, class) into
 // slot and returns the compressed size in bytes.
 func (s *Store) Write(slot int32, vpn int64, version uint32, class ContentClass) int {
 	FillPage(s.buf, vpn, version, class)
-	c := Compress(s.buf)
-	if old, ok := s.sizes[slot]; ok {
-		s.total -= int64(old)
-	}
-	s.sizes[slot] = len(c)
-	s.total += int64(len(c))
+	s.cbuf = AppendCompress(s.cbuf[:0], s.buf)
+	n := int32(len(s.cbuf))
+	s.grow(slot)
+	s.total += int64(n - s.sizes[slot])
+	s.sizes[slot] = n
 	s.written += int64(s.pageSize)
-	s.stored += int64(len(c))
-	return len(c)
+	s.stored += int64(n)
+	return int(n)
 }
 
 // Free releases slot's storage.
 func (s *Store) Free(slot int32) {
-	if old, ok := s.sizes[slot]; ok {
-		s.total -= int64(old)
-		delete(s.sizes, slot)
+	if int(slot) < len(s.sizes) {
+		s.total -= int64(s.sizes[slot])
+		s.sizes[slot] = 0
 	}
 }
 
 // SlotSize reports the compressed size of slot, or 0 if unused.
-func (s *Store) SlotSize(slot int32) int { return s.sizes[slot] }
+func (s *Store) SlotSize(slot int32) int {
+	if int(slot) >= len(s.sizes) {
+		return 0
+	}
+	return int(s.sizes[slot])
+}
 
 // CompressedBytes reports the bytes currently held by the pool.
 func (s *Store) CompressedBytes() int64 { return s.total }
