@@ -6,7 +6,11 @@
 //	pagebench -figure fig1            # one figure
 //	pagebench -figure fig1,fig2      # several
 //	pagebench -figure all            # the whole evaluation
+//	pagebench -figure ext1           # extension: degraded-device sweep
 //	pagebench -trials 25 -scale 1.0  # methodology knobs
+//
+//	pagebench -figure all -checkpoint ckpt/                    # crash-safe runs
+//	pagebench -figure all -faults severe -watchdog 60s...      # fault injection
 //
 //	pagebench -bench full -benchjson BENCH_PR2.json            # measure
 //	pagebench -bench smoke -baseline BENCH_PR2.json            # regression check
@@ -17,29 +21,72 @@
 // benchmarks plus a timed figure sweep, writes machine-readable JSON, and
 // (with -baseline) exits non-zero if any result regressed past the
 // tolerance.
+//
+// With -checkpoint, every completed series is persisted to the given
+// directory; an interrupted run (SIGINT or SIGKILL) resumed with the same
+// flags re-executes only unfinished series and produces byte-identical
+// figures. SIGINT flushes the profile writers before exiting with code
+// 130.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"mglrusim/internal/bench"
+	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/experiments"
+	"mglrusim/internal/fault"
+	"mglrusim/internal/sim"
 )
+
+// exitInterrupted is the distinct exit code for a SIGINT-terminated run
+// (128 + SIGINT, the shell convention).
+const exitInterrupted = 130
 
 func main() { os.Exit(realMain()) }
 
-// realMain returns the exit code so deferred profile writers run before
-// the process exits.
+// flusher collects cleanup work — profile writers, output flushes — that
+// must run exactly once whether the process exits normally or on SIGINT.
+type flusher struct {
+	mu   sync.Mutex
+	fns  []func()
+	done bool
+}
+
+func (f *flusher) add(fn func()) {
+	f.mu.Lock()
+	f.fns = append(f.fns, fn)
+	f.mu.Unlock()
+}
+
+func (f *flusher) run() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return
+	}
+	f.done = true
+	// LIFO, like defers: StopCPUProfile before the file close it depends on.
+	for i := len(f.fns) - 1; i >= 0; i-- {
+		f.fns[i]()
+	}
+}
+
+// realMain returns the exit code so the cleanup registry runs before the
+// process exits.
 func realMain() int {
 	var (
-		figure   = flag.String("figure", "all", "figure id (fig1..fig12), comma list, or 'all'")
+		figure   = flag.String("figure", "all", "figure id (fig1..fig12, ext1...), comma list, or 'all'")
 		trials   = flag.Int("trials", 25, "trials per configuration (paper: 25)")
 		scale    = flag.Float64("scale", 1.0, "workload footprint scale factor")
 		seed     = flag.Uint64("seed", 0x5EED, "base seed")
@@ -47,6 +94,11 @@ func realMain() int {
 		verbose  = flag.Bool("v", false, "print per-series progress")
 		audit    = flag.Bool("audit", false, "run every trial with the kernel invariant auditor enabled (slower; fails on any bookkeeping violation)")
 		csvDir   = flag.String("csv", "", "also write each figure's data points as CSV into this directory")
+
+		ckptDir  = flag.String("checkpoint", "", "persist completed series into this directory and resume from it")
+		faults   = flag.String("faults", "", "fault-injection preset applied to every series: off, mild, severe")
+		watchdog = flag.Duration("watchdog", 0, "virtual-time progress watchdog window (e.g. 60s of simulated time; 0 = off)")
+		retries  = flag.Int("retries", 0, "per-trial retries of transient fault-injected failures")
 
 		benchSize = flag.String("bench", "", "run the benchmark suite instead of figures: 'full' or 'smoke'")
 		benchJSON = flag.String("benchjson", "", "write the benchmark report as JSON to this path")
@@ -59,36 +111,71 @@ func realMain() int {
 	)
 	flag.Parse()
 
+	fl := &flusher{}
+	defer fl.run()
+
+	// SIGINT: flush everything registered (profiles; checkpoint writes are
+	// already atomic per series) and exit with a distinct code. A second
+	// SIGINT during cleanup falls back to the default handler.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		signal.Stop(sigc)
+		fmt.Fprintln(os.Stderr, "pagebench: interrupted — flushing profiles and exiting (completed series are checkpointed)")
+		fl.run()
+		os.Exit(exitInterrupted)
+	}()
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fatalf("create %s: %v", *cpuProfile, err)
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatalf("start cpu profile: %v", err)
 		}
-		defer pprof.StopCPUProfile()
+		fl.add(func() { f.Close() })
+		fl.add(pprof.StopCPUProfile)
 	}
-	defer func() {
-		if *memProfile == "" {
-			return
-		}
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fatalf("create %s: %v", *memProfile, err)
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatalf("write heap profile: %v", err)
-		}
-	}()
+	if *memProfile != "" {
+		path := *memProfile
+		fl.add(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pagebench: create %s: %v\n", path, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pagebench: write heap profile: %v\n", err)
+			}
+		})
+	}
 
 	if *benchSize != "" {
 		return runBench(*benchSize, *benchJSON, *baseline, *tolerance, *preSecs, *verbose)
 	}
-	runFigures(*figure, *trials, *scale, *seed, *parallel, *verbose, *audit, *csvDir)
+
+	plan, ok := fault.Preset(*faults)
+	if !ok {
+		fatalf("unknown fault preset %q (known: off, mild, severe)", *faults)
+	}
+	runFigures(figureConfig{
+		figure:   *figure,
+		trials:   *trials,
+		scale:    *scale,
+		seed:     *seed,
+		parallel: *parallel,
+		verbose:  *verbose,
+		audit:    *audit,
+		csvDir:   *csvDir,
+		ckptDir:  *ckptDir,
+		plan:     plan,
+		watchdog: sim.Duration(watchdog.Nanoseconds()),
+		retries:  *retries,
+	})
 	return 0
 }
 
@@ -155,34 +242,76 @@ func runBench(sizeName, jsonPath, baselinePath string, tolerance, preSecs float6
 	return 0
 }
 
-func runFigures(figure string, trials int, scale float64, seed uint64, parallel int, verbose, audit bool, csvDir string) {
-	if csvDir != "" {
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+type figureConfig struct {
+	figure   string
+	trials   int
+	scale    float64
+	seed     uint64
+	parallel int
+	verbose  bool
+	audit    bool
+	csvDir   string
+	ckptDir  string
+	plan     fault.Plan
+	watchdog sim.Duration
+	retries  int
+}
+
+// figureFn resolves a figure or extension-experiment ID.
+func figureFn(id string) (experiments.FigureFunc, bool) {
+	if fn, ok := experiments.Figures[id]; ok {
+		return fn, true
+	}
+	fn, ok := experiments.Extensions[id]
+	return fn, ok
+}
+
+func knownFigures() string {
+	return strings.Join(append(experiments.FigureIDs(), experiments.ExtensionIDs()...), ", ")
+}
+
+func runFigures(cfg figureConfig) {
+	if cfg.csvDir != "" {
+		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
 			fatalf("%v", err)
 		}
 	}
 
 	opts := experiments.Options{
-		Trials:      trials,
-		Scale:       scale,
-		Seed:        seed,
-		Parallelism: parallel,
-		Audit:       audit,
+		Trials:      cfg.trials,
+		Scale:       cfg.scale,
+		Seed:        cfg.seed,
+		Parallelism: cfg.parallel,
+		Audit:       cfg.audit,
+		Fault:       cfg.plan,
+		Watchdog:    cfg.watchdog,
+		Retries:     cfg.retries,
 	}
-	if verbose {
+	if cfg.ckptDir != "" {
+		store, err := checkpoint.Open(cfg.ckptDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Checkpoint = store
+		if cfg.verbose && store.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "pagebench: resuming with %d checkpointed series in %s\n", store.Len(), store.Dir())
+		}
+	}
+	if cfg.verbose {
 		opts.Progress = os.Stderr
 	}
 	runner := experiments.NewRunner(opts)
 
 	var ids []string
-	if figure == "all" {
+	if cfg.figure == "all" {
+		// "all" is the paper's evaluation: the twelve figures. Extension
+		// experiments run only when named explicitly.
 		ids = experiments.FigureIDs()
 	} else {
-		for _, id := range strings.Split(figure, ",") {
+		for _, id := range strings.Split(cfg.figure, ",") {
 			id = strings.TrimSpace(id)
-			if _, ok := experiments.Figures[id]; !ok {
-				fmt.Fprintf(os.Stderr, "pagebench: unknown figure %q (known: %s)\n",
-					id, strings.Join(experiments.FigureIDs(), ", "))
+			if _, ok := figureFn(id); !ok {
+				fmt.Fprintf(os.Stderr, "pagebench: unknown figure %q (known: %s)\n", id, knownFigures())
 				os.Exit(2)
 			}
 			ids = append(ids, id)
@@ -192,24 +321,25 @@ func runFigures(figure string, trials int, scale float64, seed uint64, parallel 
 	start := time.Now()
 	for _, id := range ids {
 		figStart := time.Now()
-		res, err := experiments.Figures[id](runner)
+		fn, _ := figureFn(id)
+		res, err := fn(runner)
 		if err != nil {
 			fatalf("%s failed: %v", id, err)
 		}
 		fmt.Println(res.Render())
-		if csvDir != "" {
+		if cfg.csvDir != "" {
 			if c, ok := res.(experiments.CSVer); ok {
-				path := filepath.Join(csvDir, id+".csv")
+				path := filepath.Join(cfg.csvDir, id+".csv")
 				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
 					fatalf("write %s: %v", path, err)
 				}
 			}
 		}
-		if verbose {
+		if cfg.verbose {
 			fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(figStart).Round(time.Millisecond))
 		}
 	}
-	if verbose {
+	if cfg.verbose {
 		fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
 	}
 }

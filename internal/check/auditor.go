@@ -209,6 +209,11 @@ func (a *Auditor) Evicted(v *sim.Env, vpn pagetable.VPN) {
 	a.checkpoint(now, "evict")
 }
 
+// Reaped tells the auditor that vpn's swap copy and shadow entry were
+// discarded by the OOM reaper: the page may legitimately refault later
+// without a shadow, so it leaves the evicted set.
+func (a *Auditor) Reaped(vpn pagetable.VPN) { delete(a.evicted, vpn) }
+
 // AgingPass is the aging checkpoint, called after each background aging
 // run.
 func (a *Auditor) AgingPass(v *sim.Env) {

@@ -1,0 +1,91 @@
+// Package checkpoint is a small content-addressed blob store the
+// experiment harness uses to persist completed series across crashes and
+// SIGINT/SIGKILL. Each entry is one file named by the SHA-256 of its
+// logical key, written atomically (tmp + rename), so a store is never
+// observed half-written: a killed run leaves either the complete previous
+// state or the complete new state, and resume simply skips entries that
+// are present and valid.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store persists keyed blobs under one directory.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a logical key — arbitrary length, arbitrary bytes — to a
+// fixed-size filesystem-safe name.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the blob stored for key, or ok=false when absent or
+// unreadable (an unreadable entry is indistinguishable from a missing one
+// on purpose: resume re-executes and overwrites it).
+func (s *Store) Get(key string) (data []byte, ok bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil || len(data) == 0 {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores data for key atomically: the blob is written to a temp file
+// in the same directory and renamed into place, so a crash mid-Put never
+// corrupts an existing entry.
+func (s *Store) Put(key string, data []byte) error {
+	dst := s.path(key)
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: put: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: put: %w", err)
+	}
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: put: %w", err)
+	}
+	return nil
+}
+
+// Len counts stored entries (completed series), for resume reporting.
+func (s *Store) Len() int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}

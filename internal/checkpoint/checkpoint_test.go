@@ -1,0 +1,89 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on empty store succeeded")
+	}
+	if err := s.Put("series|a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("series|b", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("series|a"); !ok || !bytes.Equal(got, []byte("alpha")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	// Overwrite replaces, not duplicates.
+	if err := s.Put("series|a", []byte("alpha2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("series|a"); !bytes.Equal(got, []byte("alpha2")) {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d", s.Len())
+	}
+}
+
+// TestKeysAreHashNamed: arbitrary keys — long, with path separators —
+// must map to flat fixed-size file names, and no temp files may linger
+// after a Put.
+func TestKeysAreHashNamed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "w|p|" + string(make([]byte, 4096)) + "/../../evil"
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("store dir holds %d entries, want 1 (no temp leftovers)", len(entries))
+	}
+	name := entries[0].Name()
+	if filepath.Ext(name) != ".json" || len(name) != 64+len(".json") {
+		t.Fatalf("entry name %q is not a sha256 hex name", name)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "x" {
+		t.Fatalf("round-trip through hashed name failed: %q, %v", got, ok)
+	}
+}
+
+// TestReopenSeesPriorState: a new Store over the same directory (a
+// resumed process) serves what the previous one wrote.
+func TestReopenSeesPriorState(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("reopened store lost data: %q, %v", got, ok)
+	}
+}

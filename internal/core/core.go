@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"mglrusim/internal/fault"
 	"mglrusim/internal/mem"
 	"mglrusim/internal/pagetable"
 	"mglrusim/internal/policy"
@@ -57,6 +58,16 @@ type SystemConfig struct {
 	// accumulated per-access compute is charged to the engine in batches
 	// of roughly this size.
 	FlushCPU sim.Duration
+	// Fault is the fault-injection plan (internal/fault). The zero plan
+	// installs no wrapper anywhere, keeping un-faulted runs byte-identical
+	// to builds without the fault plane.
+	Fault fault.Plan
+	// Watchdog, when positive, spawns a virtual-time progress watchdog:
+	// if the workload completes no accesses for a full window the trial
+	// fails with a *LivelockError instead of spinning forever. Off by
+	// default — the watchdog is an extra daemon and so perturbs event
+	// ordering slightly; enable it when running with fault injection.
+	Watchdog sim.Duration
 }
 
 // DefaultSystemConfig mirrors the paper's testbed at 50% capacity with
@@ -96,6 +107,28 @@ type Metrics struct {
 	// SegmentFaults attributes major faults to address-space segments
 	// (populated when the workload implements workload.Segmented).
 	SegmentFaults map[string]uint64
+	// FaultLat holds per-major-fault service times (trap to PTE install,
+	// including device time and injected retries) — the fault-latency CDF
+	// the degraded-device sweep plots.
+	FaultLat *stats.LatencyRecorder
+	// Injected counts what the fault plane injected (zero when the plan
+	// is disabled).
+	Injected fault.Stats
+}
+
+// LivelockError reports a trial whose workload made no progress for a
+// full watchdog window: the virtual system is livelocked (or stalled past
+// any plausible I/O time) and would otherwise simulate forever. The
+// watchdog daemon panics it; the engine surfaces it as the trial error,
+// where the experiment harness classifies it as retryable.
+type LivelockError struct {
+	At     sim.Time
+	Window sim.Duration
+}
+
+// Error implements error.
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("core: no workload progress for %v (livelock watchdog fired at %v)", sim.Time(e.Window), e.At)
 }
 
 // Faults is the headline fault count the paper plots.
@@ -152,6 +185,22 @@ func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 		dev = swap.NewSSD(sys.SSD, eng, sysRNG.Stream(1))
 	}
 
+	// The fault wrapper and its RNG streams exist only when the plan
+	// injects device faults, so a disabled plan leaves the un-faulted
+	// stream sequence — and with it every metric — untouched.
+	var fdev *fault.Device
+	if sys.Fault.DeviceEnabled() {
+		var backing swap.Device
+		if sys.Fault.NeedsBacking() && sys.Swap == SwapZRAM {
+			backing = swap.NewSSD(sys.SSD, eng, sysRNG.Stream(4))
+		}
+		fdev = fault.Wrap(dev, sys.Fault, backing, sysRNG.Stream(5))
+		dev = fdev
+	}
+	if sys.Fault.SwapSlots > 0 {
+		sys.VMM.SwapSlots = sys.Fault.SwapSlots
+	}
+
 	pol := mk()
 	mgr := vmm.New(sys.VMM, eng, memory, table, dev, pol, sysRNG.Stream(2))
 
@@ -179,6 +228,26 @@ func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 		})
 	}
 
+	if sys.Watchdog > 0 {
+		window := sys.Watchdog
+		eng.Spawn("watchdog", true, func(v *sim.Env) {
+			var last uint64
+			for {
+				v.Sleep(window)
+				// Accesses counts completed workload touches; it freezes
+				// exactly when every app thread is stuck (reclaim livelock,
+				// permanently stalled device). Daemon-only activity like
+				// fruitless kswapd bursts deliberately does not count as
+				// progress.
+				cur := mgr.Counters().Accesses
+				if cur == last {
+					panic(&LivelockError{At: v.Now(), Window: window})
+				}
+				last = cur
+			}
+		})
+	}
+
 	if err := eng.Run(); err != nil {
 		return Metrics{}, err
 	}
@@ -193,8 +262,12 @@ func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 		Device:         mgr.DeviceStats(),
 		ReadLat:        readLat,
 		WriteLat:       writeLat,
+		FaultLat:       mgr.FaultLatencies(),
 		FootprintPages: footprint,
 		CapacityPages:  capacity,
+	}
+	if fdev != nil {
+		m.Injected = fdev.FaultStats()
 	}
 	for _, p := range procs {
 		m.AppCPU += p.CPUTime()

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/fault"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/stats"
+	"mglrusim/internal/swap"
+	"mglrusim/internal/vmm"
+)
+
+// checkpointVersion guards the on-disk series format: a stored envelope
+// from a different version is treated as absent and re-executed.
+const checkpointVersion = 1
+
+// seriesEnvelope is the persisted form of one completed Series. The full
+// cache key is embedded so a hash-named file is self-verifying, and
+// latency recorders are flattened to their raw samples — exact integer
+// nanoseconds, so a resumed series reproduces every percentile (and with
+// it every figure byte) identically. All numeric fields are integers or
+// Go-JSON float64s, both of which round-trip exactly.
+type seriesEnvelope struct {
+	Version  int
+	Key      string
+	Workload string
+	Policy   string
+	System   core.SystemConfig
+	Trials   []trialMetrics
+}
+
+// trialMetrics mirrors core.Metrics with recorders flattened.
+type trialMetrics struct {
+	Runtime        sim.Time
+	AppCPU         sim.Duration
+	Counters       vmm.Counters
+	Policy         policy.Stats
+	Device         swap.Stats
+	ReadLat        []int64
+	WriteLat       []int64
+	FaultLat       []int64
+	FootprintPages int
+	CapacityPages  int
+	SegmentFaults  map[string]uint64 `json:",omitempty"`
+	Injected       fault.Stats
+}
+
+func samplesOf(l *stats.LatencyRecorder) []int64 {
+	if l == nil {
+		return nil
+	}
+	return l.Samples()
+}
+
+func recorderOf(samples []int64) *stats.LatencyRecorder {
+	l := stats.NewLatencyRecorder(len(samples))
+	for _, s := range samples {
+		l.Record(s)
+	}
+	return l
+}
+
+// encodeSeries serializes s for the checkpoint store under key.
+func encodeSeries(key string, s *Series) ([]byte, error) {
+	env := seriesEnvelope{
+		Version:  checkpointVersion,
+		Key:      key,
+		Workload: s.Workload,
+		Policy:   s.Policy,
+		System:   s.System,
+		Trials:   make([]trialMetrics, len(s.Trials)),
+	}
+	for i, m := range s.Trials {
+		env.Trials[i] = trialMetrics{
+			Runtime:        m.Runtime,
+			AppCPU:         m.AppCPU,
+			Counters:       m.Counters,
+			Policy:         m.Policy,
+			Device:         m.Device,
+			ReadLat:        samplesOf(m.ReadLat),
+			WriteLat:       samplesOf(m.WriteLat),
+			FaultLat:       samplesOf(m.FaultLat),
+			FootprintPages: m.FootprintPages,
+			CapacityPages:  m.CapacityPages,
+			SegmentFaults:  m.SegmentFaults,
+			Injected:       m.Injected,
+		}
+	}
+	return json.Marshal(env)
+}
+
+// decodeSeries restores a persisted series. ok is false when the blob is
+// unparsable, from a different format version, or stored under a
+// different logical key (hash collision or stale file) — all of which
+// mean "re-execute".
+func decodeSeries(key string, data []byte) (*Series, bool) {
+	var env seriesEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, false
+	}
+	if env.Version != checkpointVersion || env.Key != key {
+		return nil, false
+	}
+	s := &Series{
+		Workload: env.Workload,
+		Policy:   env.Policy,
+		System:   env.System,
+		Trials:   make([]core.Metrics, len(env.Trials)),
+	}
+	for i, t := range env.Trials {
+		s.Trials[i] = core.Metrics{
+			Runtime:        t.Runtime,
+			AppCPU:         t.AppCPU,
+			Counters:       t.Counters,
+			Policy:         t.Policy,
+			Device:         t.Device,
+			ReadLat:        recorderOf(t.ReadLat),
+			WriteLat:       recorderOf(t.WriteLat),
+			FaultLat:       recorderOf(t.FaultLat),
+			FootprintPages: t.FootprintPages,
+			CapacityPages:  t.CapacityPages,
+			SegmentFaults:  t.SegmentFaults,
+			Injected:       t.Injected,
+		}
+	}
+	return s, true
+}

@@ -1,13 +1,19 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
+	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/core"
+	"mglrusim/internal/fault"
+	"mglrusim/internal/sim"
 	"mglrusim/internal/stats"
+	"mglrusim/internal/vmm"
 	"mglrusim/internal/workload"
 )
 
@@ -84,6 +90,44 @@ func (s *Series) MergedWriteTail() []float64 {
 	return agg.Tail()
 }
 
+// MergedFaultTail aggregates all trials' major-fault service times at
+// the paper's tail points (the fault-latency CDF of the degraded-device
+// sweep). Trials without a recorder contribute nothing.
+func (s *Series) MergedFaultTail() []float64 {
+	agg := stats.NewLatencyRecorder(0)
+	for _, m := range s.Trials {
+		if m.FaultLat != nil {
+			agg.Merge(m.FaultLat)
+		}
+	}
+	if agg.Count() == 0 {
+		return make([]float64, len(stats.TailPoints))
+	}
+	return agg.Tail()
+}
+
+// MeanFaultNS returns the mean major-fault service time across all
+// trials, in nanoseconds.
+func (s *Series) MeanFaultNS() float64 {
+	agg := stats.NewLatencyRecorder(0)
+	for _, m := range s.Trials {
+		if m.FaultLat != nil {
+			agg.Merge(m.FaultLat)
+		}
+	}
+	return agg.Mean()
+}
+
+// InjectionTotals sums the fault plane's injection counters across all
+// trials.
+func (s *Series) InjectionTotals() fault.Stats {
+	var t fault.Stats
+	for _, m := range s.Trials {
+		t.Add(m.Injected)
+	}
+	return t
+}
+
 // Options configures a harness run.
 type Options struct {
 	// Trials per configuration (the paper uses 25).
@@ -99,6 +143,25 @@ type Options struct {
 	// Audit runs every trial with the invariant auditor enabled
 	// (internal/check); any bookkeeping violation fails the series.
 	Audit bool
+	// Fault applies a fault-injection plan (internal/fault) to every
+	// system configuration that does not already carry its own plan. The
+	// zero plan injects nothing.
+	Fault fault.Plan
+	// Watchdog enables the per-trial virtual-time progress watchdog for
+	// configurations that do not set their own window: a trial making no
+	// workload progress for this long fails with a typed LivelockError
+	// instead of simulating forever. Zero disables.
+	Watchdog sim.Duration
+	// Retries bounds per-trial re-execution of transient, injection-
+	// induced failures (hard device errors, livelocks, OOM with nothing
+	// to reap). Each retry perturbs the trial's system seed; results are
+	// still deterministic for a fixed (seed, plan, retry budget). Zero
+	// disables retries.
+	Retries int
+	// Checkpoint, when non-nil, persists each completed series and
+	// resumes from persisted ones, so a crashed or interrupted figure run
+	// re-executes only what it had not finished.
+	Checkpoint *checkpoint.Store
 	// Progress, when non-nil, receives one line per completed series.
 	Progress io.Writer
 }
@@ -191,9 +254,17 @@ func (r *Runner) workload(w WorkloadSpec) workload.Workload {
 
 // Run executes (or returns the cached) series for the triple.
 func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Series, error) {
-	// Fold the runner-wide audit option in before fingerprinting so a
-	// cached non-audited series is never served to an audited run.
+	// Fold the runner-wide options into the system config before
+	// fingerprinting, so a cached (or checkpointed) series is never served
+	// across a differing audit/fault/watchdog setting. Configs carrying
+	// their own plan or window win over the runner-wide defaults.
 	sys.VMM.Audit = sys.VMM.Audit || r.opts.Audit
+	if !sys.Fault.Enabled() && r.opts.Fault.Enabled() {
+		sys.Fault = r.opts.Fault
+	}
+	if sys.Watchdog == 0 {
+		sys.Watchdog = r.opts.Watchdog
+	}
 	sk := seedKey(w, p, sys)
 	key := r.cacheKey(sk, sys)
 
@@ -207,7 +278,7 @@ func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Seri
 	r.cache[key] = c
 	r.mu.Unlock()
 
-	c.s, c.err = r.runSeries(w, p, sys, sk)
+	c.s, c.err = r.runSeriesCheckpointed(w, p, sys, sk, key)
 	close(c.done)
 	if c.err != nil {
 		// Drop failed executions from the cache so a later call retries
@@ -219,6 +290,35 @@ func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Seri
 		r.mu.Unlock()
 	}
 	return c.s, c.err
+}
+
+// runSeriesCheckpointed wraps runSeries with the persistent series store:
+// a valid stored result short-circuits execution entirely (resume), and a
+// fresh success is persisted before being returned. Store write failures
+// degrade to a progress note — persistence is best-effort, the run's own
+// results are never at risk.
+func (r *Runner) runSeriesCheckpointed(w WorkloadSpec, p PolicySpec, sys core.SystemConfig, sk, key string) (*Series, error) {
+	if r.opts.Checkpoint != nil {
+		if data, ok := r.opts.Checkpoint.Get(key); ok {
+			if s, ok := decodeSeries(key, data); ok {
+				if r.opts.Progress != nil {
+					fmt.Fprintf(r.opts.Progress, "series %-40s resumed from checkpoint (%d trials)\n", sk, len(s.Trials))
+				}
+				return s, nil
+			}
+		}
+	}
+	s, err := r.runSeries(w, p, sys, sk)
+	if err == nil && r.opts.Checkpoint != nil {
+		data, encErr := encodeSeries(key, s)
+		if encErr == nil {
+			encErr = r.opts.Checkpoint.Put(key, data)
+		}
+		if encErr != nil && r.opts.Progress != nil {
+			fmt.Fprintf(r.opts.Progress, "series %-40s checkpoint write failed: %v\n", sk, encErr)
+		}
+	}
+	return s, err
 }
 
 // runSeries executes all trials of one series. The first trial failure
@@ -268,7 +368,7 @@ launch:
 			default:
 			}
 			sysSeed := trialSeed(r.opts.Seed, sk, i)
-			m, e := core.RunTrial(wl, p.Make, sys, workloadSeed, sysSeed)
+			m, e := r.runTrialResilient(wl, p.Make, sys, workloadSeed, sysSeed, sk, i)
 			if e != nil {
 				fail(fmt.Errorf("%s trial %d: %w", sk, i, e))
 				return
@@ -288,6 +388,57 @@ launch:
 	return s, nil
 }
 
+// runTrialResilient executes one trial with panic→error recovery and the
+// configured retry budget. Attempt 0 uses sysSeed unchanged (so runs with
+// Retries=0 are byte-identical to the pre-resilience harness); retryable
+// failures re-execute with a deterministically perturbed seed, modeling
+// "rerun the execution" the way an operator would after a hard device
+// error.
+func (r *Runner) runTrialResilient(wl workload.Workload, mk core.PolicyFactory, sys core.SystemConfig,
+	workloadSeed, sysSeed uint64, sk string, trial int) (core.Metrics, error) {
+	for attempt := 0; ; attempt++ {
+		m, err := safeRunTrial(wl, mk, sys, workloadSeed, sysSeed+uint64(attempt)*0xBF58476D1CE4E5B9)
+		if err == nil {
+			return m, nil
+		}
+		if attempt >= r.opts.Retries || !Retryable(err) {
+			return core.Metrics{}, err
+		}
+		if r.opts.Progress != nil {
+			fmt.Fprintf(r.opts.Progress, "series %-40s trial %d attempt %d failed transiently, retrying: %v\n", sk, trial, attempt, err)
+		}
+	}
+}
+
+// safeRunTrial converts a panicking trial — a policy bug, a model
+// violation — into an error, so one broken cell cannot take down the
+// whole harness process.
+func safeRunTrial(wl workload.Workload, mk core.PolicyFactory, sys core.SystemConfig,
+	workloadSeed, sysSeed uint64) (m core.Metrics, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = fmt.Errorf("trial panicked: %w\n%s", e, debug.Stack())
+			} else {
+				err = fmt.Errorf("trial panicked: %v\n%s", p, debug.Stack())
+			}
+		}
+	}()
+	return core.RunTrial(wl, mk, sys, workloadSeed, sysSeed)
+}
+
+// Retryable reports whether err is a transient, injection-induced trial
+// failure worth re-executing with a perturbed seed: a hard injected
+// device error, a watchdog-detected livelock, or an OOM with no reapable
+// victim. Deterministic failures (policy panics, invariant violations)
+// are not retryable — rerunning would only hide them.
+func Retryable(err error) bool {
+	var hard *fault.HardError
+	var live *core.LivelockError
+	var oom *vmm.OOMError
+	return errors.As(err, &hard) || errors.As(err, &live) || errors.As(err, &oom)
+}
+
 // trialSeed derives a per-trial system seed that differs across series
 // and trials but is stable for a given base seed.
 func trialSeed(base uint64, key string, trial int) uint64 {
@@ -298,18 +449,70 @@ func trialSeed(base uint64, key string, trial int) uint64 {
 	return h*2654435761 + uint64(trial)*0x9E3779B97F4A7C15 + 1
 }
 
-// RunMatrix executes every (workload, policy) combination under sys.
-func (r *Runner) RunMatrix(ws []WorkloadSpec, ps []PolicySpec, sys core.SystemConfig) (map[string]map[string]*Series, error) {
-	out := map[string]map[string]*Series{}
+// MatrixCellError annotates one failed (workload, policy) cell of a
+// matrix run.
+type MatrixCellError struct {
+	Workload, Policy string
+	Err              error
+}
+
+// Error implements error.
+func (e MatrixCellError) Error() string {
+	return fmt.Sprintf("%s/%s: %v", e.Workload, e.Policy, e.Err)
+}
+
+// Unwrap exposes the underlying trial error for errors.As classification.
+func (e MatrixCellError) Unwrap() error { return e.Err }
+
+// MatrixResult is the outcome of RunMatrix: every completed cell plus
+// per-cell failure annotations. A panicking or livelocked trial fails
+// only its own cell; the rest of the matrix still runs and is returned.
+type MatrixResult struct {
+	// Series maps workload name → policy name → completed series.
+	// Failed cells are absent.
+	Series map[string]map[string]*Series
+	// Failed lists the cells that did not complete, in sweep order.
+	Failed []MatrixCellError
+}
+
+// Get returns the series for (workload, policy), or nil if that cell
+// failed or was never run.
+func (m *MatrixResult) Get(workload, policy string) *Series {
+	return m.Series[workload][policy]
+}
+
+// Complete reports whether every cell succeeded.
+func (m *MatrixResult) Complete() bool { return len(m.Failed) == 0 }
+
+// Err summarizes the failed cells, or nil when the matrix is complete.
+func (m *MatrixResult) Err() error {
+	if len(m.Failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("experiments: %d matrix cell(s) failed; first: %w", len(m.Failed), m.Failed[0])
+}
+
+// RunMatrix executes every (workload, policy) combination under sys,
+// degrading gracefully: a failing cell is recorded in the result's Failed
+// list and the sweep continues. The returned error is non-nil only when
+// no cell completed at all (the result still carries the annotations).
+func (r *Runner) RunMatrix(ws []WorkloadSpec, ps []PolicySpec, sys core.SystemConfig) (*MatrixResult, error) {
+	out := &MatrixResult{Series: map[string]map[string]*Series{}}
+	completed := 0
 	for _, w := range ws {
-		out[w.Name] = map[string]*Series{}
+		out.Series[w.Name] = map[string]*Series{}
 		for _, p := range ps {
 			s, err := r.Run(w, p, sys)
 			if err != nil {
-				return nil, err
+				out.Failed = append(out.Failed, MatrixCellError{Workload: w.Name, Policy: p.Name, Err: err})
+				continue
 			}
-			out[w.Name][p.Name] = s
+			out.Series[w.Name][p.Name] = s
+			completed++
 		}
+	}
+	if completed == 0 && len(out.Failed) > 0 {
+		return out, fmt.Errorf("experiments: every matrix cell failed; first: %w", out.Failed[0])
 	}
 	return out, nil
 }

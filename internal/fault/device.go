@@ -1,0 +1,245 @@
+package fault
+
+import (
+	"mglrusim/internal/sim"
+	"mglrusim/internal/swap"
+)
+
+// stormClock lazily materializes the seeded storm schedule. Storm windows
+// are drawn in virtual-time order as device operations observe the clock,
+// so the schedule is a pure function of (seed, plan) regardless of how
+// many I/Os occur.
+type stormClock struct {
+	cfg   StormConfig
+	rng   *sim.RNG
+	next  sim.Time // start of the next not-yet-begun storm
+	end   sim.Time // end of the most recent storm
+	stall bool     // the most recent storm is a full stall
+	init  bool
+}
+
+func (s *stormClock) gap() sim.Time {
+	return sim.Time(s.rng.ExpFloat64() * float64(sim.Second) / s.cfg.Rate)
+}
+
+// at advances the schedule to now and reports whether a storm is active,
+// whether it is a stall, and when it ends. began counts storms (and stall
+// storms) that started at or before now since the last call.
+func (s *stormClock) at(now sim.Time) (active, stall bool, end sim.Time, began, stallsBegan uint64) {
+	if !s.init {
+		s.init = true
+		s.next = s.gap()
+	}
+	for now >= s.next {
+		dur := sim.Time(s.rng.ExpFloat64() * float64(s.cfg.MeanDuration))
+		if dur < 1 {
+			dur = 1
+		}
+		s.end = s.next + dur
+		s.stall = s.cfg.StallProb > 0 && s.rng.Bool(s.cfg.StallProb)
+		began++
+		if s.stall {
+			stallsBegan++
+		}
+		// The next storm arrives a fresh exponential gap after this one
+		// ends (storms never overlap).
+		s.next = s.end + s.gap()
+	}
+	return now < s.end, s.stall, s.end, began, stallsBegan
+}
+
+// Device wraps a swap.Device and injects the plan's device-level faults.
+// It implements swap.Device, so the memory manager is oblivious to it.
+// All injection randomness comes from its own RNG stream, drawn in
+// operation order — never from the wrapped device's stream — so enabling
+// a sub-fault does not perturb the inner device's jitter sequence.
+type Device struct {
+	inner   swap.Device
+	backing swap.Device // writeback target for pool pressure; may be nil
+	plan    Plan
+	rng     *sim.RNG
+	storm   stormClock
+
+	// writtenBack marks slots whose latest copy lives on the backing SSD
+	// rather than in the wrapped device.
+	writtenBack map[swap.Slot]struct{}
+
+	maxBackoff sim.Duration
+	stats      Stats
+}
+
+// Wrap applies plan to inner. backing is the writeback SSD for zram pool
+// pressure; pass nil when the plan has no writeback. rng must be a
+// dedicated stream.
+func Wrap(inner swap.Device, plan Plan, backing swap.Device, rng *sim.RNG) *Device {
+	d := &Device{
+		inner:      inner,
+		backing:    backing,
+		plan:       plan,
+		rng:        rng,
+		storm:      stormClock{cfg: plan.Storms, rng: rng.Stream(1)},
+		maxBackoff: plan.ReadErrors.Backoff * 32,
+	}
+	if plan.NeedsBacking() && backing != nil {
+		d.writtenBack = make(map[swap.Slot]struct{}, 256)
+	}
+	return d
+}
+
+// Name implements Device, passing the wrapped medium's name through (the
+// wrapper is an overlay, not a medium).
+func (d *Device) Name() string { return d.inner.Name() }
+
+// stormDelay applies the active storm window to the calling proc: a full
+// stall blocks until the storm ends; a latency storm sleeps a jittered
+// extra delay.
+func (d *Device) stormDelay(v *sim.Env) {
+	if !d.plan.Storms.Enabled() {
+		return
+	}
+	active, stall, end, began, stallsBegan := d.storm.at(v.Now())
+	d.stats.Storms += began
+	d.stats.StallStorms += stallsBegan
+	if !active {
+		return
+	}
+	if stall {
+		d.stats.StormDelay += int64(end - v.Now())
+		v.SleepUntil(end)
+		return
+	}
+	extra := d.plan.Storms.ExtraLatency
+	if d.plan.Storms.Jitter > 0 {
+		extra = sim.Duration(float64(extra) * d.rng.LogNormal(0, d.plan.Storms.Jitter))
+	}
+	if extra < 1 {
+		extra = 1
+	}
+	d.stats.StormDelay += extra
+	v.Sleep(extra)
+}
+
+// readFrom routes a read to the backing SSD when the slot's latest copy
+// was written back there.
+func (d *Device) readFrom(v *sim.Env, slot swap.Slot, vpn int64, version uint32) {
+	if _, ok := d.writtenBack[slot]; ok {
+		d.stats.WritebackReads++
+		d.backing.ReadPage(v, slot, vpn, version)
+		return
+	}
+	d.inner.ReadPage(v, slot, vpn, version)
+}
+
+// ReadPage implements Device: storm delay, then the inner read, retried
+// with exponential backoff on injected transient errors. Exhausting the
+// retry budget panics a *HardError, failing the trial the way an
+// uncorrectable media error fails a real swap-in.
+func (d *Device) ReadPage(v *sim.Env, slot swap.Slot, vpn int64, version uint32) {
+	d.stormDelay(v)
+	cfg := d.plan.ReadErrors
+	backoff := cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		d.readFrom(v, slot, vpn, version)
+		if !cfg.Enabled() || !d.rng.Bool(cfg.Prob) {
+			return
+		}
+		d.stats.TransientReadErrors++
+		if attempt >= cfg.MaxRetries {
+			d.stats.HardReadErrors++
+			panic(&HardError{Device: d.inner.Name(), Slot: slot, Attempts: attempt + 1})
+		}
+		d.stats.ReadRetries++
+		if backoff > 0 {
+			v.Sleep(backoff)
+			if backoff < d.maxBackoff {
+				backoff *= 2
+			}
+		}
+	}
+}
+
+// overLimit reports whether the wrapped device's compressed pool has
+// reached the configured mem limit.
+func (d *Device) overLimit() bool {
+	cfg := d.plan.ZRAM
+	return cfg.Enabled() && d.inner.Stats().CompressedBytes >= cfg.MemLimitBytes
+}
+
+// WritePage implements Device: storm delay, then either the inner write
+// or — when the compressed pool is over its mem limit — a writeback to
+// the backing SSD or a reclaim stall.
+func (d *Device) WritePage(v *sim.Env, slot swap.Slot, vpn int64, version uint32) {
+	d.stormDelay(v)
+	if d.overLimit() {
+		if d.writtenBack != nil {
+			d.stats.WritebackPages++
+			d.writtenBack[slot] = struct{}{}
+			d.backing.WritePage(v, slot, vpn, version)
+			return
+		}
+		// No writeback target: the reclaiming thread stalls, as a real
+		// zram allocation does under mem_limit pressure, then the write
+		// proceeds (the pool over-commits rather than losing the page).
+		d.stats.PoolStalls++
+		if d.plan.ZRAM.StallDelay > 0 {
+			d.stats.PoolStallTime += d.plan.ZRAM.StallDelay
+			v.Sleep(d.plan.ZRAM.StallDelay)
+		}
+	}
+	if d.writtenBack != nil {
+		// A fresh write into the pool supersedes any written-back copy.
+		delete(d.writtenBack, slot)
+	}
+	d.inner.WritePage(v, slot, vpn, version)
+}
+
+// PrefetchPage implements Device. Readahead rides the anchoring demand
+// read's I/O, which already paid the storm delay, so only routing
+// applies: written-back slots decompress-free but pay the backing SSD's
+// per-page completion cost.
+func (d *Device) PrefetchPage(v *sim.Env, slot swap.Slot, vpn int64, version uint32) {
+	if _, ok := d.writtenBack[slot]; ok {
+		d.stats.WritebackReads++
+		d.backing.PrefetchPage(v, slot, vpn, version)
+		return
+	}
+	d.inner.PrefetchPage(v, slot, vpn, version)
+}
+
+// FreeSlot implements Device.
+func (d *Device) FreeSlot(slot swap.Slot) {
+	if d.writtenBack != nil {
+		delete(d.writtenBack, slot)
+	}
+	d.inner.FreeSlot(slot)
+	if d.backing != nil {
+		d.backing.FreeSlot(slot)
+	}
+}
+
+// Drain implements Device.
+func (d *Device) Drain(v *sim.Env) {
+	d.inner.Drain(v)
+	if d.backing != nil {
+		d.backing.Drain(v)
+	}
+}
+
+// Stats implements Device, merging inner and backing device activity.
+func (d *Device) Stats() swap.Stats {
+	s := d.inner.Stats()
+	if d.backing != nil {
+		b := d.backing.Stats()
+		s.Reads += b.Reads
+		s.Writes += b.Writes
+		s.ReadTime += b.ReadTime
+		s.WriteTime += b.WriteTime
+		s.WriteStalls += b.WriteStalls
+	}
+	return s
+}
+
+// FaultStats reports what the wrapper injected.
+func (d *Device) FaultStats() Stats { return d.stats }
+
+var _ swap.Device = (*Device)(nil)

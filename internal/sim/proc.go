@@ -74,7 +74,15 @@ func (p *Proc) top(fn func(*Env)) {
 	<-p.resume // wait for the first schedule
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(killSignalType); !ok {
+			switch e := r.(type) {
+			case killSignalType:
+				// Engine shutdown; not a failure.
+			case error:
+				// Preserve typed panics (fault.HardError, vmm.OOMError,
+				// core.LivelockError) so callers can errors.As-classify
+				// transient trial failures.
+				p.err = fmt.Errorf("sim: proc %q panicked: %w", p.name, e)
+			default:
 				p.err = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
 			}
 		}

@@ -11,6 +11,8 @@
 package swap
 
 import (
+	"fmt"
+
 	"mglrusim/internal/sim"
 	"mglrusim/internal/zram"
 )
@@ -23,13 +25,14 @@ const NilSlot Slot = -1
 
 // Area allocates swap slots.
 type Area struct {
-	free []Slot
-	cap  int
+	free  []Slot
+	alloc []bool // per-slot allocation state, guards Free
+	cap   int
 }
 
 // NewArea creates an area with capacity slots.
 func NewArea(capacity int) *Area {
-	a := &Area{cap: capacity, free: make([]Slot, 0, capacity)}
+	a := &Area{cap: capacity, free: make([]Slot, 0, capacity), alloc: make([]bool, capacity)}
 	for i := capacity - 1; i >= 0; i-- {
 		a.free = append(a.free, Slot(i))
 	}
@@ -43,11 +46,29 @@ func (a *Area) Alloc() Slot {
 	}
 	s := a.free[len(a.free)-1]
 	a.free = a.free[:len(a.free)-1]
+	a.alloc[s] = true
 	return s
 }
 
-// Free returns slot s to the area.
-func (a *Area) Free(s Slot) { a.free = append(a.free, s) }
+// Free returns slot s to the area. An out-of-range or already-free slot
+// would corrupt the free list (the same slot handed to two owners), so
+// both panic instead of being silently accepted.
+func (a *Area) Free(s Slot) {
+	if s < 0 || int(s) >= a.cap {
+		panic(fmt.Sprintf("swap: Free of out-of-range slot %d (capacity %d)", s, a.cap))
+	}
+	if !a.alloc[s] {
+		panic(fmt.Sprintf("swap: double free of slot %d", s))
+	}
+	a.alloc[s] = false
+	a.free = append(a.free, s)
+}
+
+// Allocated reports whether s is currently allocated. Out-of-range slots
+// report false.
+func (a *Area) Allocated(s Slot) bool {
+	return s >= 0 && int(s) < a.cap && a.alloc[s]
+}
 
 // InUse reports allocated slots.
 func (a *Area) InUse() int { return a.cap - len(a.free) }

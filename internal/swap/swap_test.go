@@ -32,6 +32,43 @@ func TestAreaAllocFree(t *testing.T) {
 	}
 }
 
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestFreeGuards: Free used to silently accept double-frees and
+// out-of-range slots, corrupting the free count. Both now panic, and
+// Allocated exposes ownership for the auditor's cross-check.
+func TestFreeGuards(t *testing.T) {
+	a := NewArea(4)
+	s := a.Alloc()
+	if !a.Allocated(s) {
+		t.Fatal("Allocated(live slot) = false")
+	}
+	a.Free(s)
+	if a.Allocated(s) {
+		t.Fatal("Allocated(freed slot) = true")
+	}
+	mustPanic(t, "double free", func() { a.Free(s) })
+	mustPanic(t, "out-of-range free", func() { a.Free(Slot(99)) })
+	mustPanic(t, "negative free", func() { a.Free(Slot(-1)) })
+	if a.Allocated(Slot(99)) || a.Allocated(Slot(-1)) {
+		t.Fatal("Allocated must be false out of range, not panic")
+	}
+	// The guard must not break legitimate reuse.
+	s2 := a.Alloc()
+	a.Free(s2)
+	if a.InUse() != 0 {
+		t.Fatalf("in use = %d after balanced alloc/free", a.InUse())
+	}
+}
+
 // Property: alloc never double-hands-out a slot under random interleaving.
 func TestAreaUniqueProperty(t *testing.T) {
 	f := func(ops []bool) bool {

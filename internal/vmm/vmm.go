@@ -13,6 +13,7 @@ import (
 	"mglrusim/internal/policy"
 	"mglrusim/internal/rmap"
 	"mglrusim/internal/sim"
+	"mglrusim/internal/stats"
 	"mglrusim/internal/swap"
 )
 
@@ -43,6 +44,11 @@ type Config struct {
 	ReadaheadWindow int
 	// RMapCost is the reverse-map walk cost model.
 	RMapCost rmap.CostModel
+	// SwapSlots caps the swap area at this many slots (zero sizes it to
+	// the footprint plus slack, which can never fill). A cap makes
+	// swap-area exhaustion reachable, which triggers the badness-score
+	// OOM-killer model instead of the historical panic.
+	SwapSlots int
 	// Audit enables the invariant auditor (package check): bookkeeping
 	// invariants are asserted at fault-in, eviction, and aging
 	// checkpoints. Off by default; when off the only cost is a nil check
@@ -80,6 +86,8 @@ type Counters struct {
 	ReadaheadIn    uint64 // pages brought in speculatively by readahead
 	ReadaheadHits  uint64 // prefetched pages touched before eviction
 	ReadaheadWaste uint64 // prefetched pages evicted untouched
+	OOMKills       uint64 // swap-exhaustion OOM victim selections
+	OOMReapedSlots uint64 // swap slots reclaimed by the OOM reaper
 }
 
 // TotalFaults is the figure the paper plots: demand faults of both kinds.
@@ -125,6 +133,12 @@ type Manager struct {
 	// always observes a consistent intermediate state.
 	audit *check.Auditor
 
+	// faultLat records end-to-end major-fault service times (trap to PTE
+	// install, including device time and retries). Recording is host-side
+	// only — it never charges simulated CPU or yields — so it cannot
+	// perturb the simulation.
+	faultLat *stats.LatencyRecorder
+
 	counters Counters
 }
 
@@ -142,6 +156,10 @@ func New(cfg Config, eng *sim.Engine, memry *mem.Memory, table *pagetable.Table,
 	if cfg.AgingPoll <= 0 {
 		cfg.AgingPoll = 1 * sim.Millisecond
 	}
+	slots := table.Pages() + 64
+	if cfg.SwapSlots > 0 && cfg.SwapSlots < slots {
+		slots = cfg.SwapSlots
+	}
 	m := &Manager{
 		cfg:       cfg,
 		eng:       eng,
@@ -150,11 +168,12 @@ func New(cfg Config, eng *sim.Engine, memry *mem.Memory, table *pagetable.Table,
 		dev:       dev,
 		pol:       pol,
 		rng:       rng.Stream(0x7a),
-		area:      swap.NewArea(table.Pages() + 64),
+		area:      swap.NewArea(slots),
 		shadows:   make([]shadowEntry, table.Pages()),
 		versions:  make([]uint32, table.Pages()),
 		faultsAt:  make([]uint32, table.Pages()),
-		slotOwner: make([]int64, table.Pages()+64),
+		slotOwner: make([]int64, slots),
+		faultLat:  stats.NewLatencyRecorder(1024),
 	}
 	for i := range m.slotOwner {
 		m.slotOwner[i] = -1
@@ -211,8 +230,11 @@ func (m *Manager) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
 	slot := pte.Swap
 	if firstEvict {
 		slot = m.area.Alloc()
-		if slot == swap.NilSlot {
-			panic("vmm: swap area exhausted")
+		for slot == swap.NilSlot {
+			// Swap exhausted: reap the highest-badness victim's slots and
+			// retry, the way the kernel OOM-kills when swap is full.
+			m.oomKill(v, vpn)
+			slot = m.area.Alloc()
 		}
 		// Slot adjacency is frozen at first eviction: pages evicted
 		// together become a readahead cluster for the rest of the run.
@@ -291,6 +313,10 @@ func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
 		return // raced with another thread's fault-in
 	}
 	major := pte.Swap != pagetable.NilSwap
+	if major {
+		start := v.Now()
+		defer func() { m.faultLat.Record(int64(v.Now() - start)) }()
+	}
 
 	f := m.ensureFrame(v)
 
@@ -344,6 +370,11 @@ func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
 // — which makes readahead effectiveness, and with it the total fault
 // count, vary across otherwise identical runs.
 func (m *Manager) readahead(v *sim.Env, at pagetable.VPN, slot int32) {
+	if slot < 0 {
+		// The OOM reaper discarded the anchoring slot while the demand
+		// read was in flight; there is no cluster to anchor at.
+		return
+	}
 	w := int32(1) << m.raShift[m.table.RegionOf(at)]
 	if w <= 1 || m.cfg.ReadaheadWindow <= 1 {
 		return
@@ -494,6 +525,15 @@ func (m *Manager) auditSwapOwnership() error {
 			return fmt.Errorf("vpn %d holds swap slot %d but the slot is owned by vpn %d", vpn, slot, owner)
 		}
 	}
+	// Area-level cross-check: a slot is allocated in the area exactly when
+	// the ownership table assigns it. Divergence means a slot was freed
+	// while still owned (use after free) or leaked after its owner let go.
+	for s := 0; s < m.area.Capacity(); s++ {
+		held := m.slotOwner[s] >= 0
+		if alloc := m.area.Allocated(swap.Slot(s)); alloc != held {
+			return fmt.Errorf("swap slot %d: area allocated=%v but ownership table says owned=%v", s, alloc, held)
+		}
+	}
 	return nil
 }
 
@@ -515,6 +555,10 @@ func (m *Manager) AuditErr() error {
 
 // Counters returns fault-path counters.
 func (m *Manager) Counters() Counters { return m.counters }
+
+// FaultLatencies exposes the major-fault service-time recorder: the
+// paper-style fault-latency CDF of the trial. Valid after the trial ends.
+func (m *Manager) FaultLatencies() *stats.LatencyRecorder { return m.faultLat }
 
 // PolicyStats returns the attached policy's counters.
 func (m *Manager) PolicyStats() policy.Stats { return m.pol.Stats() }

@@ -34,8 +34,10 @@
 package mglrusim
 
 import (
+	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/core"
 	"mglrusim/internal/experiments"
+	"mglrusim/internal/fault"
 	"mglrusim/internal/mem"
 	"mglrusim/internal/pagetable"
 	"mglrusim/internal/policy"
@@ -279,6 +281,14 @@ var Figures = experiments.Figures
 // FigureIDs lists the figure IDs in paper order.
 func FigureIDs() []string { return experiments.FigureIDs() }
 
+// Extensions maps extension-experiment IDs to their functions: sweeps
+// that go beyond the paper's twelve figures ("ext1" is the
+// degraded-device sweep). Figures stays exactly the paper's set.
+var Extensions = experiments.Extensions
+
+// ExtensionIDs lists the extension experiment IDs.
+func ExtensionIDs() []string { return experiments.ExtensionIDs() }
+
 // PolicyNames lists the canonical policy names accepted by PolicyByName.
 func PolicyNames() []string {
 	return []string{
@@ -289,6 +299,35 @@ func PolicyNames() []string {
 
 // PolicyByName returns the factory for a canonical policy name.
 func PolicyByName(name string) PolicyFactory { return experiments.PolicyByName(name).Make }
+
+// --- fault injection & resilience ---
+
+// FaultPlan is a deterministic fault-injection scenario: SSD latency
+// storms and device stalls, transient read errors with bounded retry,
+// zram pool mem-limit exhaustion with writeback-to-SSD fallback, and a
+// swap-area cap that makes the OOM-killer model reachable. Set it on
+// SystemConfig.Fault; the zero plan injects nothing and is byte-identical
+// to an unfaulted run.
+type FaultPlan = fault.Plan
+
+// FaultStats counts what a plan injected (Metrics.Injected).
+type FaultStats = fault.Stats
+
+// FaultPreset resolves a named plan: "off", "mild", "severe".
+func FaultPreset(name string) (FaultPlan, bool) { return fault.Preset(name) }
+
+// FaultMild models occasional latency turbulence on an aging SSD.
+func FaultMild() FaultPlan { return fault.Mild() }
+
+// FaultSevere models a failing device: frequent storms, stalls, errors.
+func FaultSevere() FaultPlan { return fault.Severe() }
+
+// CheckpointStore persists completed experiment series so interrupted
+// figure runs resume instead of re-executing (ExperimentOptions.Checkpoint).
+type CheckpointStore = checkpoint.Store
+
+// OpenCheckpoint opens (creating if needed) a checkpoint directory.
+func OpenCheckpoint(dir string) (*CheckpointStore, error) { return checkpoint.Open(dir) }
 
 // --- statistics re-exports ---
 
