@@ -100,6 +100,9 @@ func realMain() int {
 		watchdog = flag.Duration("watchdog", 0, "virtual-time progress watchdog window (e.g. 60s of simulated time; 0 = off)")
 		retries  = flag.Int("retries", 0, "per-trial retries of transient fault-injected failures")
 
+		traceDir        = flag.String("trace", "", "write per-trial telemetry (Chrome trace JSON, counter CSV, flight dumps) into this directory")
+		metricsInterval = flag.Duration("metrics-interval", 0, "virtual-time cadence of counter snapshots in traced runs (simulated time; 0 = 10ms)")
+
 		benchSize = flag.String("bench", "", "run the benchmark suite instead of figures: 'full' or 'smoke'")
 		benchJSON = flag.String("benchjson", "", "write the benchmark report as JSON to this path")
 		baseline  = flag.String("baseline", "", "compare the benchmark report against this committed baseline JSON")
@@ -163,18 +166,20 @@ func realMain() int {
 		fatalf("unknown fault preset %q (known: off, mild, severe)", *faults)
 	}
 	runFigures(figureConfig{
-		figure:   *figure,
-		trials:   *trials,
-		scale:    *scale,
-		seed:     *seed,
-		parallel: *parallel,
-		verbose:  *verbose,
-		audit:    *audit,
-		csvDir:   *csvDir,
-		ckptDir:  *ckptDir,
-		plan:     plan,
-		watchdog: sim.Duration(watchdog.Nanoseconds()),
-		retries:  *retries,
+		figure:          *figure,
+		trials:          *trials,
+		scale:           *scale,
+		seed:            *seed,
+		parallel:        *parallel,
+		verbose:         *verbose,
+		audit:           *audit,
+		csvDir:          *csvDir,
+		ckptDir:         *ckptDir,
+		plan:            plan,
+		watchdog:        sim.Duration(watchdog.Nanoseconds()),
+		retries:         *retries,
+		traceDir:        *traceDir,
+		metricsInterval: sim.Duration(metricsInterval.Nanoseconds()),
 	})
 	return 0
 }
@@ -243,18 +248,20 @@ func runBench(sizeName, jsonPath, baselinePath string, tolerance, preSecs float6
 }
 
 type figureConfig struct {
-	figure   string
-	trials   int
-	scale    float64
-	seed     uint64
-	parallel int
-	verbose  bool
-	audit    bool
-	csvDir   string
-	ckptDir  string
-	plan     fault.Plan
-	watchdog sim.Duration
-	retries  int
+	figure          string
+	trials          int
+	scale           float64
+	seed            uint64
+	parallel        int
+	verbose         bool
+	audit           bool
+	csvDir          string
+	ckptDir         string
+	plan            fault.Plan
+	watchdog        sim.Duration
+	retries         int
+	traceDir        string
+	metricsInterval sim.Duration
 }
 
 // figureFn resolves a figure or extension-experiment ID.
@@ -278,14 +285,16 @@ func runFigures(cfg figureConfig) {
 	}
 
 	opts := experiments.Options{
-		Trials:      cfg.trials,
-		Scale:       cfg.scale,
-		Seed:        cfg.seed,
-		Parallelism: cfg.parallel,
-		Audit:       cfg.audit,
-		Fault:       cfg.plan,
-		Watchdog:    cfg.watchdog,
-		Retries:     cfg.retries,
+		Trials:          cfg.trials,
+		Scale:           cfg.scale,
+		Seed:            cfg.seed,
+		Parallelism:     cfg.parallel,
+		Audit:           cfg.audit,
+		Fault:           cfg.plan,
+		Watchdog:        cfg.watchdog,
+		Retries:         cfg.retries,
+		TraceDir:        cfg.traceDir,
+		MetricsInterval: cfg.metricsInterval,
 	}
 	if cfg.ckptDir != "" {
 		store, err := checkpoint.Open(cfg.ckptDir)

@@ -1,29 +1,33 @@
 // Command policyviz runs one trial and renders an ASCII timeline of the
 // replacement policy's internal state: generation occupancy for MG-LRU,
-// active/inactive balance for Clock, alongside resident/free memory and
-// the cumulative fault count. It makes the policies' dynamics — gen
-// rotation, list churn, reclaim pressure — visible at a glance.
+// active/inactive balance for Clock, alongside resident memory and the
+// cumulative fault count. It makes the policies' dynamics — gen rotation,
+// list churn, reclaim pressure — visible at a glance.
+//
+// The timeline is rendered from the telemetry plane's counter samples
+// (internal/telemetry): the trial runs with a Tracer attached, and the
+// table below is exactly the gauge time-series every traced pagebench run
+// writes as CSV. -trace additionally saves the full span trace as Chrome
+// trace-event JSON (load it in Perfetto / chrome://tracing).
 //
 // Usage:
 //
 //	policyviz -workload pagerank -policy mglru -interval 250ms
+//	policyviz -workload tpch -policy mglru -trace tpch.trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"mglrusim/internal/core"
 	"mglrusim/internal/experiments"
-	"mglrusim/internal/policy"
-	"mglrusim/internal/policy/clock"
-	"mglrusim/internal/policy/mglru"
-	"mglrusim/internal/policy/simple"
 	"mglrusim/internal/sim"
-	"mglrusim/internal/vmm"
+	"mglrusim/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +39,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale")
 		seed     = flag.Uint64("seed", 1, "system seed")
 		interval = flag.Duration("interval", 250*time.Millisecond, "virtual sampling interval")
+		traceOut = flag.String("trace", "", "also write the span trace as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -48,40 +53,114 @@ func main() {
 
 	fmt.Printf("policyviz: %s under %s (%.0f%% ratio, %s swap)\n",
 		spec.Name, pol.Name, *ratio*100, kind)
-	fmt.Printf("%-9s %-8s %-8s %-9s %s\n", "time", "resident", "faults", "window", "occupancy")
 
-	obs := func(now sim.Time, p policy.Policy, mgr *vmm.Manager) {
-		var state, window string
-		switch pp := p.(type) {
-		case *mglru.MGLRU:
-			window = fmt.Sprintf("[%d,%d]", pp.MinSeq(), pp.MaxSeq())
-			var parts []string
-			for seq := pp.MinSeq(); seq <= pp.MaxSeq(); seq++ {
-				parts = append(parts, bar(pp.GenLen(seq), mgr.Mem().Size()))
-			}
-			state = strings.Join(parts, "|")
-		case *clock.Clock:
-			window = "act/inact"
-			state = bar(pp.ActiveLen(), mgr.Mem().Size()) + "|" + bar(pp.InactiveLen(), mgr.Mem().Size())
-		case *simple.FIFO:
-			window = "queue"
-			state = bar(pp.QueueLen(), mgr.Mem().Size())
-		default:
-			state = "(opaque policy)"
-		}
-		fmt.Printf("%-9s %-8d %-8d %-9s %s\n",
-			now.String(), mgr.ResidentPages(), mgr.Counters().TotalFaults(), window, state)
-	}
-
-	m, err := core.RunTrialObserved(spec.Make(), pol.Make, sys, 42, *seed,
-		sim.Duration(interval.Nanoseconds()), obs)
+	tr := telemetry.New(telemetry.Config{
+		MetricsInterval: sim.Duration(interval.Nanoseconds()),
+	})
+	m, err := core.RunTrialOpts(spec.Make(), pol.Make, sys, 42, *seed,
+		core.TrialOptions{Telemetry: tr})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "policyviz: %v\n", err)
 		os.Exit(1)
 	}
+
+	render(os.Stdout, tr)
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "policyviz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %s (%d events)\n", *traceOut, tr.EventCount())
+	}
+
 	fmt.Printf("\ndone: runtime=%.2fs faults=%d swapouts=%d readahead=%d (hits %d)\n",
 		m.RuntimeSeconds(), m.Counters.TotalFaults(), m.Counters.SwapOuts,
 		m.Counters.ReadaheadIn, m.Counters.ReadaheadHits)
+}
+
+// render prints the counter time-series as the policy-state timeline.
+// Everything shown is reconstructed purely from named gauges, so the same
+// view can be rebuilt offline from a traced run's counters.csv.
+func render(w *os.File, tr *telemetry.Tracer) {
+	cols := columnIndex(tr.CounterNames())
+	times, rows := tr.CounterSeries()
+
+	resident := cols["vmm.resident_pages"]
+	free := cols["vmm.free_pages"]
+	major := cols["vmm.major_faults"]
+	minor := cols["vmm.minor_faults"]
+	minSeq, hasMGLRU := cols["mglru.min_seq"]
+	maxSeq := cols["mglru.max_seq"]
+	active, hasClock := cols["clock.active.len"]
+	inactive := cols["clock.inactive.len"]
+	gens := genColumns(tr.CounterNames(), cols)
+
+	fmt.Fprintf(w, "%-9s %-8s %-8s %-9s %s\n", "time", "resident", "faults", "window", "occupancy")
+	for i, row := range rows {
+		// Frames are conserved: resident + free is the memory size, which
+		// gives the bar scale without reaching into the manager.
+		memPages := int(row[resident] + row[free])
+		var state, window string
+		switch {
+		case hasMGLRU && len(gens) > 0:
+			lo, hi := row[minSeq], row[maxSeq]
+			window = fmt.Sprintf("[%d,%d]", lo, hi)
+			var parts []string
+			for seq := lo; seq <= hi; seq++ {
+				parts = append(parts, bar(int(row[gens[int(seq)%len(gens)]]), memPages))
+			}
+			state = strings.Join(parts, "|")
+		case hasClock:
+			window = "act/inact"
+			state = bar(int(row[active]), memPages) + "|" + bar(int(row[inactive]), memPages)
+		default:
+			state = "(opaque policy)"
+		}
+		fmt.Fprintf(w, "%-9s %-8d %-8d %-9s %s\n",
+			times[i].String(), row[resident], row[major]+row[minor], window, state)
+	}
+}
+
+// columnIndex maps gauge name to its column in the sample rows.
+func columnIndex(names []string) map[string]int {
+	m := make(map[string]int, len(names))
+	for i, n := range names {
+		m[n] = i
+	}
+	return m
+}
+
+// genColumns returns the columns of the per-generation occupancy gauges
+// ("mglru.gen<i>.len") ordered by ring-slot index, so a generation seq
+// maps to gens[seq % len(gens)].
+func genColumns(names []string, cols map[string]int) []int {
+	type slot struct{ idx, col int }
+	var slots []slot
+	for _, n := range names {
+		var i int
+		if _, err := fmt.Sscanf(n, "mglru.gen%d.len", &i); err == nil {
+			slots = append(slots, slot{i, cols[n]})
+		}
+	}
+	sort.Slice(slots, func(a, b int) bool { return slots[a].idx < slots[b].idx })
+	out := make([]int, len(slots))
+	for i, s := range slots {
+		out[i] = s.col
+	}
+	return out
+}
+
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // bar renders n as a proportional mini-bar against total memory.

@@ -1,0 +1,41 @@
+// Command tracecheck validates Chrome trace-event JSON files produced by
+// the telemetry plane (internal/telemetry). It is the CI gate behind the
+// trace-smoke job: every event must carry the fields Perfetto and
+// chrome://tracing require, with a known phase.
+//
+// Usage:
+//
+//	tracecheck trace-dir/*.trace.json
+//
+// Exit status is 0 when every file validates, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mglrusim/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = telemetry.ValidateTrace(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Printf("tracecheck: %s: ok\n", path)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mglrusim/internal/policy/simple"
 	"mglrusim/internal/rmap"
 	"mglrusim/internal/sim"
+	"mglrusim/internal/telemetry"
 )
 
 // Size selects how much work the suite does. Micro benchmark ns/op are
@@ -50,6 +51,7 @@ func Suite(size Size) []Benchmark {
 		{Name: "mglru-aging-walk", Func: benchAgingWalk},
 		{Name: "clock-scan", Func: benchClockScan},
 		{Name: "rmap-chase", Func: benchRMapChase},
+		{Name: "telemetry-span", Func: benchTelemetrySpan},
 		{Name: "fig1-series", Macro: true, Fixed: 1, Func: func(n int) { benchFig1Series(n, size) }},
 	}
 }
@@ -143,6 +145,23 @@ func benchRMapChase(n int) {
 			r.Walk(mem.FrameID(i % benchFrames))
 		}
 	})
+}
+
+// benchTelemetrySpan measures one recorded span (Begin + EndArg) on a
+// live tracer — the marginal cost a traced run pays per instrumented
+// event. The nil-tracer (tracing off) cost is guarded by the unchanged
+// fault-path/clock-scan numbers against the committed baseline.
+func benchTelemetrySpan(n int) {
+	tr := telemetry.New(telemetry.Config{MaxEvents: n})
+	var now sim.Time
+	tr.Bind(func() sim.Time { return now })
+	track := tr.Track("bench")
+	for i := 0; i < n; i++ {
+		now = sim.Time(i)
+		sp := tr.Begin(track, "op")
+		now++
+		sp.EndArg(int64(i))
+	}
 }
 
 // benchFig1Series runs one complete Fig-1 series (tpch under MG-LRU at

@@ -15,6 +15,7 @@ import (
 	"mglrusim/internal/sim"
 	"mglrusim/internal/stats"
 	"mglrusim/internal/swap"
+	"mglrusim/internal/telemetry"
 	"mglrusim/internal/vmm"
 	"mglrusim/internal/workload"
 )
@@ -151,10 +152,36 @@ func RunTrial(w workload.Workload, mk PolicyFactory, sys SystemConfig, workloadS
 // visualization tools use it to watch list/generation occupancy evolve.
 type Observer func(now sim.Time, pol policy.Policy, mgr *vmm.Manager)
 
+// TrialOptions bundles the per-trial hooks that are not part of the
+// system's identity: SystemConfig stays plain values (it is fingerprinted
+// and persisted by the experiment harness), so anything carrying pointers
+// or callbacks rides here instead.
+type TrialOptions struct {
+	// SampleEvery and Observer enable the legacy polling hook.
+	SampleEvery sim.Duration
+	Observer    Observer
+	// Telemetry, when non-nil, is threaded through the whole stack: the
+	// manager, policy, swap devices, and fault plane record spans on it, a
+	// sampler daemon snapshots its gauges every Telemetry.MetricsInterval,
+	// and workload request/barrier boundaries become events. Telemetry
+	// never charges simulated CPU, but its daemon (like the watchdog) is
+	// one more proc in the event order: traced runs are deterministic
+	// against other traced runs, not byte-identical to untraced ones.
+	Telemetry *telemetry.Tracer
+}
+
 // RunTrialObserved is RunTrial with a sampling hook invoked every
 // sampleEvery of virtual time (0 or nil observer disables sampling).
 func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	workloadSeed, systemSeed uint64, sampleEvery sim.Duration, obs Observer) (Metrics, error) {
+	return RunTrialOpts(w, mk, sys, workloadSeed, systemSeed,
+		TrialOptions{SampleEvery: sampleEvery, Observer: obs})
+}
+
+// RunTrialOpts is the fully-optioned trial entry point.
+func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
+	workloadSeed, systemSeed uint64, opts TrialOptions) (Metrics, error) {
+	sampleEvery, obs := opts.SampleEvery, opts.Observer
 	if sys.CPUs <= 0 {
 		return Metrics{}, fmt.Errorf("core: CPUs must be positive")
 	}
@@ -204,6 +231,34 @@ func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	pol := mk()
 	mgr := vmm.New(sys.VMM, eng, memory, table, dev, pol, sysRNG.Stream(2))
 
+	// Telemetry wiring. Order matters for byte-determinism of the output:
+	// gauges and tracks are exported in registration order, so the sequence
+	// below (manager, policy, system-level, device-level) is fixed.
+	tr := opts.Telemetry
+	if tr != nil {
+		tr.Bind(eng.Now)
+		mgr.SetTracer(tr)
+		if reg, ok := pol.(telemetry.Registrant); ok {
+			reg.RegisterTelemetry(tr)
+		}
+		tr.Gauge("policy.evicted", func() int64 { return int64(pol.Stats().Evicted) })
+		tr.Gauge("policy.rotated", func() int64 { return int64(pol.Stats().Rotated) })
+		tr.Gauge("policy.refaults", func() int64 { return int64(pol.Stats().Refaults) })
+		tr.Gauge("policy.pte_scanned", func() int64 { return int64(pol.Stats().PTEScanned) })
+		tr.Gauge("policy.regions_scanned", func() int64 { return int64(pol.Stats().RegionsScanned) })
+		tr.Gauge("policy.rmap_walks", func() int64 { return int64(pol.Stats().RMapWalks) })
+		tr.Gauge("policy.aging_runs", func() int64 { return int64(pol.Stats().AgingRuns) })
+		tr.Gauge("policy.scan_cpu_ns", func() int64 { return int64(pol.Stats().ScanCPU) })
+		tr.Gauge("dev.reads", func() int64 { return int64(mgr.DeviceStats().Reads) })
+		tr.Gauge("dev.writes", func() int64 { return int64(mgr.DeviceStats().Writes) })
+		tr.Gauge("dev.write_stalls", func() int64 { return int64(mgr.DeviceStats().WriteStalls) })
+		tr.Gauge("dev.writeback_bytes", func() int64 { return int64(mgr.DeviceStats().Writes) * 4096 })
+		tr.Gauge("dev.compressed_bytes", func() int64 { return mgr.DeviceStats().CompressedBytes })
+		if ts, ok := dev.(swap.TracerSetter); ok {
+			ts.SetTracer(tr)
+		}
+	}
+
 	// The plan RNG is fixed per configuration ("otherwise identical
 	// executions"); the trial RNG drives dynamic task scheduling.
 	streams := w.Threads(sim.NewRNG(workloadSeed), sysRNG.Stream(3))
@@ -215,7 +270,7 @@ func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	for i, st := range streams {
 		st := st
 		procs[i] = eng.Spawn(fmt.Sprintf("app-%d", i), false, func(v *sim.Env) {
-			runThread(v, st, mgr, barrier, sys.FlushCPU, readLat, writeLat)
+			runThread(v, st, mgr, barrier, sys.FlushCPU, readLat, writeLat, tr)
 		})
 	}
 
@@ -224,6 +279,17 @@ func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 			for {
 				obs(v.Now(), pol, mgr)
 				v.Sleep(sampleEvery)
+			}
+		})
+	}
+
+	if iv := tr.MetricsInterval(); iv > 0 {
+		// The counter sampler is a daemon like kswapd: it perturbs event
+		// ordering deterministically and charges no CPU.
+		eng.Spawn("telemetry", true, func(v *sim.Env) {
+			for {
+				tr.Sample()
+				v.Sleep(iv)
 			}
 		})
 	}
@@ -290,10 +356,14 @@ func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 // (resident accesses) touches the engine only at flush points — faults,
 // barriers, request boundaries, or when the accumulator fills.
 func runThread(v *sim.Env, st workload.Stream, mgr *vmm.Manager, barrier *sim.Barrier,
-	flushAt sim.Duration, readLat, writeLat *stats.LatencyRecorder) {
+	flushAt sim.Duration, readLat, writeLat *stats.LatencyRecorder, tr *telemetry.Tracer) {
 	var acc sim.Duration
 	var reqStart sim.Time
 	var reqClass workload.ReqClass
+	var track telemetry.TrackID
+	if tr != nil {
+		track = tr.Track(v.Proc().Name())
+	}
 	flush := func() {
 		if acc > 0 {
 			v.Charge(acc)
@@ -318,6 +388,12 @@ func runThread(v *sim.Env, st workload.Stream, mgr *vmm.Manager, barrier *sim.Ba
 			}
 		case workload.OpBarrier:
 			flush()
+			if tr != nil {
+				// Workload phase boundary: barriers separate the phases of
+				// phase-structured workloads (pagerank iterations, tpch query
+				// stages).
+				tr.Instant(track, "barrier", 0)
+			}
 			barrier.Await(v)
 		case workload.OpReqStart:
 			flush()
@@ -330,6 +406,13 @@ func runThread(v *sim.Env, st workload.Stream, mgr *vmm.Manager, barrier *sim.Ba
 				readLat.Record(lat)
 			} else {
 				writeLat.Record(lat)
+			}
+			if tr != nil {
+				name := "req-write"
+				if reqClass == workload.ReqRead {
+					name = "req-read"
+				}
+				tr.Emit(track, name, reqStart, lat, lat)
 			}
 		}
 	}

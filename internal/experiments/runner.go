@@ -13,6 +13,7 @@ import (
 	"mglrusim/internal/fault"
 	"mglrusim/internal/sim"
 	"mglrusim/internal/stats"
+	"mglrusim/internal/telemetry"
 	"mglrusim/internal/vmm"
 	"mglrusim/internal/workload"
 )
@@ -164,6 +165,19 @@ type Options struct {
 	Checkpoint *checkpoint.Store
 	// Progress, when non-nil, receives one line per completed series.
 	Progress io.Writer
+	// TraceDir, when non-empty, enables per-trial telemetry: every executed
+	// trial writes a Chrome trace-event JSON and a counter CSV into the
+	// directory, and failed or OOM-degraded trials additionally write a
+	// flight-recorder dump. File names are deterministic functions of the
+	// configuration and trial index, so same-seed runs produce identical
+	// artifact sets regardless of Parallelism. Tracing does not change
+	// metrics, seeds, or cache keys; note that series resumed from a
+	// checkpoint skip execution and therefore write no artifacts.
+	TraceDir string
+	// MetricsInterval is the virtual-time cadence of counter snapshots in
+	// traced runs. Zero defaults to 10 simulated milliseconds when TraceDir
+	// is set.
+	MetricsInterval sim.Duration
 }
 
 // DefaultOptions mirrors the paper's methodology.
@@ -183,6 +197,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 0x5EED
+	}
+	if o.TraceDir != "" && o.MetricsInterval <= 0 {
+		o.MetricsInterval = 10 * sim.Millisecond
 	}
 	return o
 }
@@ -308,7 +325,7 @@ func (r *Runner) runSeriesCheckpointed(w WorkloadSpec, p PolicySpec, sys core.Sy
 			}
 		}
 	}
-	s, err := r.runSeries(w, p, sys, sk)
+	s, err := r.runSeries(w, p, sys, sk, key)
 	if err == nil && r.opts.Checkpoint != nil {
 		data, encErr := encodeSeries(key, s)
 		if encErr == nil {
@@ -326,9 +343,10 @@ func (r *Runner) runSeriesCheckpointed(w WorkloadSpec, p PolicySpec, sys core.Sy
 // return without starting a simulation — in-flight siblings are not
 // torn down mid-simulation (the engine is single-threaded per trial),
 // but no further work begins after a failure.
-func (r *Runner) runSeries(w WorkloadSpec, p PolicySpec, sys core.SystemConfig, sk string) (*Series, error) {
+func (r *Runner) runSeries(w WorkloadSpec, p PolicySpec, sys core.SystemConfig, sk, key string) (*Series, error) {
 	s := &Series{Workload: w.Name, Policy: p.Name, System: sys,
 		Trials: make([]core.Metrics, r.opts.Trials)}
+	traceBase := r.traceBase(sk, key)
 
 	// The workload seed is fixed per configuration; the system seed
 	// varies per trial.
@@ -368,7 +386,7 @@ launch:
 			default:
 			}
 			sysSeed := trialSeed(r.opts.Seed, sk, i)
-			m, e := r.runTrialResilient(wl, p.Make, sys, workloadSeed, sysSeed, sk, i)
+			m, e := r.runTrialResilient(wl, p.Make, sys, workloadSeed, sysSeed, sk, traceBase, i)
 			if e != nil {
 				fail(fmt.Errorf("%s trial %d: %w", sk, i, e))
 				return
@@ -395,9 +413,13 @@ launch:
 // "rerun the execution" the way an operator would after a hard device
 // error.
 func (r *Runner) runTrialResilient(wl workload.Workload, mk core.PolicyFactory, sys core.SystemConfig,
-	workloadSeed, sysSeed uint64, sk string, trial int) (core.Metrics, error) {
+	workloadSeed, sysSeed uint64, sk, traceBase string, trial int) (core.Metrics, error) {
 	for attempt := 0; ; attempt++ {
-		m, err := safeRunTrial(wl, mk, sys, workloadSeed, sysSeed+uint64(attempt)*0xBF58476D1CE4E5B9)
+		tr := r.newTracer()
+		m, err := safeRunTrial(wl, mk, sys, workloadSeed, sysSeed+uint64(attempt)*0xBF58476D1CE4E5B9, tr)
+		if tr != nil {
+			r.writeTrialArtifacts(traceBase, trial, attempt, tr, m, err)
+		}
 		if err == nil {
 			return m, nil
 		}
@@ -414,7 +436,7 @@ func (r *Runner) runTrialResilient(wl workload.Workload, mk core.PolicyFactory, 
 // violation — into an error, so one broken cell cannot take down the
 // whole harness process.
 func safeRunTrial(wl workload.Workload, mk core.PolicyFactory, sys core.SystemConfig,
-	workloadSeed, sysSeed uint64) (m core.Metrics, err error) {
+	workloadSeed, sysSeed uint64, tr *telemetry.Tracer) (m core.Metrics, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			if e, ok := p.(error); ok {
@@ -424,7 +446,7 @@ func safeRunTrial(wl workload.Workload, mk core.PolicyFactory, sys core.SystemCo
 			}
 		}
 	}()
-	return core.RunTrial(wl, mk, sys, workloadSeed, sysSeed)
+	return core.RunTrialOpts(wl, mk, sys, workloadSeed, sysSeed, core.TrialOptions{Telemetry: tr})
 }
 
 // Retryable reports whether err is a transient, injection-induced trial

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/telemetry"
+)
+
+// newTracer returns a fresh per-trial tracer, or nil when tracing is off.
+// Each trial (and each retry attempt) gets its own tracer: the engine is
+// single-threaded per trial, so per-trial recording is inherently
+// parallelism-independent.
+func (r *Runner) newTracer() *telemetry.Tracer {
+	if r.opts.TraceDir == "" {
+		return nil
+	}
+	return telemetry.New(telemetry.Config{MetricsInterval: r.opts.MetricsInterval})
+}
+
+// traceBase derives the deterministic artifact-name prefix for a series:
+// a human-readable slug of the seed key plus a short hash of the full
+// cache key, so two series sharing a seed key but differing in system
+// knobs (which the seed key deliberately omits) cannot collide on disk.
+// Returns "" when tracing is off.
+func (r *Runner) traceBase(sk, key string) string {
+	if r.opts.TraceDir == "" {
+		return ""
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%s-%08x", slugify(sk), h.Sum32())
+}
+
+// slugify maps a seed key to a filesystem-safe name: every run of
+// characters outside [a-zA-Z0-9._] becomes one '-'.
+func slugify(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	dash := false
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_':
+			b.WriteRune(c)
+			dash = false
+		default:
+			if !dash {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// writeTrialArtifacts persists one attempt's telemetry. Successful trials
+// write the trace JSON and counter CSV; failed attempts write them under
+// an attempt-suffixed name plus a flight-recorder dump; trials that
+// completed but took OOM kills also dump the flight ring — that is the
+// "degraded run became post-mortem-debuggable" contract. All writes are
+// best-effort: telemetry must never fail a run that produced results.
+func (r *Runner) writeTrialArtifacts(base string, trial, attempt int, tr *telemetry.Tracer, m core.Metrics, trialErr error) {
+	name := fmt.Sprintf("%s-t%02d", base, trial)
+	if trialErr != nil {
+		// Keep every failed attempt: a retry overwriting its predecessor
+		// would hide the evidence the dump exists to preserve.
+		name = fmt.Sprintf("%s-a%d", name, attempt)
+	}
+	if err := os.MkdirAll(r.opts.TraceDir, 0o755); err != nil {
+		r.traceWarn(err)
+		return
+	}
+	write := func(suffix string, emit func(f io.Writer) error) {
+		f, err := os.Create(filepath.Join(r.opts.TraceDir, name+suffix))
+		if err == nil {
+			err = emit(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			r.traceWarn(err)
+		}
+	}
+	write(".trace.json", tr.WriteTrace)
+	write(".counters.csv", tr.WriteCounters)
+	switch {
+	case trialErr != nil:
+		reason, _, _ := strings.Cut(trialErr.Error(), "\n")
+		write(".flight.txt", func(f io.Writer) error { return tr.WriteFlight(f, reason) })
+	case m.Counters.OOMKills > 0:
+		reason := fmt.Sprintf("completed degraded: %d oom kill(s), %d slot(s) reaped",
+			m.Counters.OOMKills, m.Counters.OOMReapedSlots)
+		write(".flight.txt", func(f io.Writer) error { return tr.WriteFlight(f, reason) })
+	}
+}
+
+func (r *Runner) traceWarn(err error) {
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, "telemetry: artifact write failed: %v\n", err)
+	}
+}

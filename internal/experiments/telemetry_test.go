@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/fault"
+	"mglrusim/internal/telemetry"
+)
+
+// readDirFiles returns name→content for every regular file in dir.
+func readDirFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(ents))
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// TestTraceParallelDeterminism: tracing is per-trial and the engine is
+// single-threaded per trial, so the artifacts a traced run writes must be
+// byte-identical whatever the harness parallelism — the trace of a run is
+// part of its reproducible output, not a best-effort log.
+func TestTraceParallelDeterminism(t *testing.T) {
+	w := WorkloadByName("ycsb-c", 0.1)
+	p := PolicyByName(PolMGLRU)
+	sys := SystemAt(0.5, core.SwapSSD)
+
+	run := func(parallelism int) (map[string][]byte, *Series) {
+		dir := t.TempDir()
+		opts := Options{Trials: 2, Scale: 0.1, Seed: 0x5EED,
+			Parallelism: parallelism, TraceDir: dir}
+		s, err := NewRunner(opts).Run(w, p, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return readDirFiles(t, dir), s
+	}
+	seq, sa := run(1)
+	par, sb := run(8)
+
+	if len(seq) == 0 {
+		t.Fatal("traced run wrote no artifacts")
+	}
+	if !bytes.Equal(encodeOrDie(t, "k", sa), encodeOrDie(t, "k", sb)) {
+		t.Fatal("traced series metrics diverged across parallelism")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("artifact sets differ: %d files sequential vs %d parallel", len(seq), len(par))
+	}
+	var traces, counters int
+	for name, data := range seq {
+		other, ok := par[name]
+		if !ok {
+			t.Fatalf("artifact %s missing from parallel run", name)
+		}
+		if !bytes.Equal(data, other) {
+			t.Fatalf("artifact %s differs between -parallel=1 and -parallel=8", name)
+		}
+		switch {
+		case strings.HasSuffix(name, ".trace.json"):
+			traces++
+			if err := telemetry.ValidateTrace(data); err != nil {
+				t.Fatalf("artifact %s is not a valid trace: %v", name, err)
+			}
+		case strings.HasSuffix(name, ".counters.csv"):
+			counters++
+			if !strings.HasPrefix(string(data), "time_ns,") {
+				t.Fatalf("artifact %s missing counter header", name)
+			}
+		}
+	}
+	if traces != 2 || counters != 2 {
+		t.Fatalf("want 2 traces and 2 counter CSVs for 2 trials, got %d/%d", traces, counters)
+	}
+}
+
+// TestFlightRecorderDumpOnOOM: a severe fault plan with a starved swap
+// area must leave a post-mortem — either the trial dies with an OOM error
+// or completes degraded with kills — and in both cases a non-empty flight
+// dump lands next to the trace.
+func TestFlightRecorderDumpOnOOM(t *testing.T) {
+	dir := t.TempDir()
+	plan := fault.Severe()
+	plan.SwapSlots = 16
+
+	opts := Options{Trials: 1, Scale: 0.1, Seed: 0x00D, Parallelism: 1,
+		TraceDir: dir, Fault: plan, Retries: 0}
+	w := WorkloadByName("ycsb-c", 0.1)
+	p := PolicyByName(PolClock)
+	sys := SystemAt(0.5, core.SwapSSD)
+
+	s, err := NewRunner(opts).Run(w, p, sys)
+	if err == nil && s.Trials[0].Counters.OOMKills == 0 {
+		t.Fatal("starved swap area produced no OOM kills; flight-dump test is vacuous")
+	}
+
+	files := readDirFiles(t, dir)
+	var dumps int
+	for name, data := range files {
+		if !strings.HasSuffix(name, ".flight.txt") {
+			continue
+		}
+		dumps++
+		if len(data) == 0 {
+			t.Fatalf("flight dump %s is empty", name)
+		}
+		body := string(data)
+		if !strings.Contains(body, "oom") && !strings.Contains(body, "events ") {
+			t.Fatalf("flight dump %s lacks both a reason and events:\n%s", name, body)
+		}
+	}
+	if dumps == 0 {
+		t.Fatalf("no flight dump written; artifacts: %v", keys(files))
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

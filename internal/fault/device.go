@@ -3,6 +3,7 @@ package fault
 import (
 	"mglrusim/internal/sim"
 	"mglrusim/internal/swap"
+	"mglrusim/internal/telemetry"
 )
 
 // stormClock lazily materializes the seeded storm schedule. Storm windows
@@ -66,6 +67,25 @@ type Device struct {
 
 	maxBackoff sim.Duration
 	stats      Stats
+
+	tr      *telemetry.Tracer
+	trTrack telemetry.TrackID // the fault plane's own lane
+}
+
+// SetTracer implements swap.TracerSetter: injected events (storm windows,
+// read retries, pool pressure) land on a dedicated "fault-plane" track, and
+// the tracer is forwarded to the wrapped and backing devices.
+func (d *Device) SetTracer(tr *telemetry.Tracer) {
+	d.tr = tr
+	if tr != nil {
+		d.trTrack = tr.Track("fault-plane")
+	}
+	if ts, ok := d.inner.(swap.TracerSetter); ok {
+		ts.SetTracer(tr)
+	}
+	if ts, ok := d.backing.(swap.TracerSetter); ok {
+		ts.SetTracer(tr)
+	}
 }
 
 // Wrap applies plan to inner. backing is the writeback SSD for zram pool
@@ -100,11 +120,17 @@ func (d *Device) stormDelay(v *sim.Env) {
 	active, stall, end, began, stallsBegan := d.storm.at(v.Now())
 	d.stats.Storms += began
 	d.stats.StallStorms += stallsBegan
+	if d.tr != nil && began > 0 {
+		d.tr.Instant(d.trTrack, "storm-begin", int64(stallsBegan))
+	}
 	if !active {
 		return
 	}
 	if stall {
 		d.stats.StormDelay += int64(end - v.Now())
+		if d.tr != nil {
+			d.tr.Emit(d.trTrack, "storm-stall", v.Now(), int64(end-v.Now()), 0)
+		}
 		v.SleepUntil(end)
 		return
 	}
@@ -146,9 +172,16 @@ func (d *Device) ReadPage(v *sim.Env, slot swap.Slot, vpn int64, version uint32)
 		d.stats.TransientReadErrors++
 		if attempt >= cfg.MaxRetries {
 			d.stats.HardReadErrors++
+			if d.tr != nil {
+				// Newest flight-recorder entry when the HardError unwinds.
+				d.tr.Instant(d.trTrack, "hard-read-error", int64(slot))
+			}
 			panic(&HardError{Device: d.inner.Name(), Slot: slot, Attempts: attempt + 1})
 		}
 		d.stats.ReadRetries++
+		if d.tr != nil {
+			d.tr.Instant(d.trTrack, "read-retry", int64(slot))
+		}
 		if backoff > 0 {
 			v.Sleep(backoff)
 			if backoff < d.maxBackoff {
@@ -174,6 +207,9 @@ func (d *Device) WritePage(v *sim.Env, slot swap.Slot, vpn int64, version uint32
 		if d.writtenBack != nil {
 			d.stats.WritebackPages++
 			d.writtenBack[slot] = struct{}{}
+			if d.tr != nil {
+				d.tr.Instant(d.trTrack, "pool-writeback", int64(slot))
+			}
 			d.backing.WritePage(v, slot, vpn, version)
 			return
 		}
@@ -181,6 +217,9 @@ func (d *Device) WritePage(v *sim.Env, slot swap.Slot, vpn int64, version uint32
 		// zram allocation does under mem_limit pressure, then the write
 		// proceeds (the pool over-commits rather than losing the page).
 		d.stats.PoolStalls++
+		if d.tr != nil {
+			d.tr.Instant(d.trTrack, "pool-stall", int64(slot))
+		}
 		if d.plan.ZRAM.StallDelay > 0 {
 			d.stats.PoolStallTime += d.plan.ZRAM.StallDelay
 			v.Sleep(d.plan.ZRAM.StallDelay)

@@ -13,6 +13,7 @@ import (
 	"mglrusim/internal/mem"
 	"mglrusim/internal/policy"
 	"mglrusim/internal/sim"
+	"mglrusim/internal/telemetry"
 )
 
 // List identities.
@@ -68,6 +69,17 @@ func (c *Clock) Attach(k policy.Kernel) {
 	c.k = k
 	c.inactive = mem.NewList(k.Mem(), listInactive)
 	c.active = mem.NewList(k.Mem(), listActive)
+}
+
+// RegisterTelemetry implements telemetry.Registrant: list occupancy
+// becomes a pair of gauges so traced runs can watch the active:inactive
+// balance evolve. Call after Attach.
+func (c *Clock) RegisterTelemetry(tr *telemetry.Tracer) {
+	if tr == nil {
+		return
+	}
+	tr.Gauge("clock.active.len", func() int64 { return int64(c.active.Len()) })
+	tr.Gauge("clock.inactive.len", func() int64 { return int64(c.inactive.Len()) })
 }
 
 // ActiveLen and InactiveLen expose list occupancy for tests and the

@@ -81,6 +81,9 @@ func (g *MGLRU) Age(v *sim.Env) bool {
 		if g.nrGens() > g.cfg.MaxGens {
 			panic("mglru: generation window exceeded MaxGens")
 		}
+		if g.tr != nil {
+			g.tr.Instant(g.trTrack, "inc-max-seq", int64(g.maxSeq))
+		}
 		return true
 	}
 	return false

@@ -1,11 +1,14 @@
 package mglru
 
 import (
+	"fmt"
+
 	"mglrusim/internal/bloom"
 	"mglrusim/internal/mem"
 	"mglrusim/internal/pidctl"
 	"mglrusim/internal/policy"
 	"mglrusim/internal/sim"
+	"mglrusim/internal/telemetry"
 )
 
 // MGLRU is the Multi-Generational LRU policy.
@@ -41,6 +44,11 @@ type MGLRU struct {
 	// scans) for the following walk.
 	cur, next *bloom.Filter
 
+	// tr, when non-nil, receives generation-window instants; nil tracing
+	// costs one pointer check at each site.
+	tr      *telemetry.Tracer
+	trTrack telemetry.TrackID
+
 	stats policy.Stats
 }
 
@@ -68,6 +76,24 @@ func (g *MGLRU) Attach(k policy.Kernel) {
 	seed := g.rng.Uint64()
 	g.cur = bloom.NewForItems(regions, seed)
 	g.next = bloom.NewForItems(regions, seed^0xabcdef123456789)
+}
+
+// RegisterTelemetry implements telemetry.Registrant: the generation window
+// and per-slot ring occupancy become gauges (the per-generation series
+// policyviz renders), and window movements become instants on an "mglru"
+// track. Call after Attach.
+func (g *MGLRU) RegisterTelemetry(tr *telemetry.Tracer) {
+	g.tr = tr
+	if tr == nil {
+		return
+	}
+	g.trTrack = tr.Track("mglru")
+	tr.Gauge("mglru.min_seq", func() int64 { return int64(g.minSeq) })
+	tr.Gauge("mglru.max_seq", func() int64 { return int64(g.maxSeq) })
+	for i := range g.gens {
+		l := g.gens[i]
+		tr.Gauge(fmt.Sprintf("mglru.gen%d.len", i), func() int64 { return int64(l.Len()) })
+	}
 }
 
 // genList returns the list for sequence seq.
@@ -174,6 +200,9 @@ func (g *MGLRU) advanceMinSeq() {
 	for g.nrGens() > g.cfg.MinGens && g.genList(g.minSeq).Empty() {
 		g.minSeq++
 		g.tiers.Decay()
+		if g.tr != nil {
+			g.tr.Instant(g.trTrack, "inc-min-seq", int64(g.minSeq))
+		}
 	}
 }
 

@@ -11,8 +11,13 @@ var TailPoints = []float64{50, 90, 99, 99.9, 99.99}
 // scales are small enough that exact percentiles are affordable, and
 // exactness matters at p99.99.
 type LatencyRecorder struct {
+	// samples stays in insertion order for the recorder's lifetime —
+	// Samples() and everything persisted from it (checkpoint envelopes)
+	// must not depend on whether a percentile was queried first.
 	samples []int64
-	sorted  bool
+	// sorted is a lazily-built sorted copy serving percentile queries,
+	// invalidated by Record/Merge.
+	sorted []int64
 }
 
 // NewLatencyRecorder returns a recorder with capacity hint n.
@@ -23,7 +28,7 @@ func NewLatencyRecorder(n int) *LatencyRecorder {
 // Record adds one latency observation.
 func (l *LatencyRecorder) Record(ns int64) {
 	l.samples = append(l.samples, ns)
-	l.sorted = false
+	l.sorted = nil
 }
 
 // Count reports the number of recorded observations.
@@ -41,13 +46,17 @@ func (l *LatencyRecorder) Mean() float64 {
 	return s / float64(len(l.samples))
 }
 
-func (l *LatencyRecorder) sort() {
-	if !l.sorted {
+func (l *LatencyRecorder) sort() []int64 {
+	if l.sorted == nil {
 		// slices.Sort specializes on int64 — no per-comparison closure call.
-		// Percentile results are unaffected: values sort identically.
-		slices.Sort(l.samples)
-		l.sorted = true
+		// Sorting a copy keeps l.samples in insertion order: an earlier
+		// version sorted in place, silently reordering what Samples()
+		// exposed (and the checkpoint layer persisted) depending on whether
+		// a percentile had been queried first.
+		l.sorted = append(make([]int64, 0, len(l.samples)), l.samples...)
+		slices.Sort(l.sorted)
 	}
+	return l.sorted
 }
 
 // Percentile returns the p-th percentile latency in nanoseconds.
@@ -56,17 +65,17 @@ func (l *LatencyRecorder) Percentile(p float64) float64 {
 	if len(l.samples) == 0 {
 		return 0
 	}
-	l.sort()
-	if len(l.samples) == 1 {
-		return float64(l.samples[0])
+	s := l.sort()
+	if len(s) == 1 {
+		return float64(s[0])
 	}
-	rank := p / 100 * float64(len(l.samples)-1)
+	rank := p / 100 * float64(len(s)-1)
 	lo := int(rank)
 	frac := rank - float64(lo)
-	if lo+1 >= len(l.samples) {
-		return float64(l.samples[len(l.samples)-1])
+	if lo+1 >= len(s) {
+		return float64(s[len(s)-1])
 	}
-	return float64(l.samples[lo])*(1-frac) + float64(l.samples[lo+1])*frac
+	return float64(s[lo])*(1-frac) + float64(s[lo+1])*frac
 }
 
 // Tail returns the latencies at each of TailPoints.
@@ -78,11 +87,15 @@ func (l *LatencyRecorder) Tail() []float64 {
 	return out
 }
 
-// Samples exposes the raw observations (unsorted order not guaranteed).
-func (l *LatencyRecorder) Samples() []int64 { return l.samples }
+// Samples returns a copy of the raw observations in insertion order. The
+// order is stable regardless of percentile queries, so persisted sample
+// sets are byte-identical however the recorder was used.
+func (l *LatencyRecorder) Samples() []int64 {
+	return append(make([]int64, 0, len(l.samples)), l.samples...)
+}
 
 // Merge appends all observations from other.
 func (l *LatencyRecorder) Merge(other *LatencyRecorder) {
 	l.samples = append(l.samples, other.samples...)
-	l.sorted = false
+	l.sorted = nil
 }

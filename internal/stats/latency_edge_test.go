@@ -88,3 +88,39 @@ func TestLatencyRecorderMergeAfterSortStaysCorrect(t *testing.T) {
 		t.Fatalf("P100 after merge = %v, want 30", got)
 	}
 }
+
+// TestSamplesOrderStableAcrossQueries is the regression test for the
+// Samples() aliasing bug: the returned slice used to be the internal one,
+// which the lazy percentile sort reordered in place — so anything that
+// persisted Samples() (the experiment checkpoint layer) produced different
+// bytes depending on whether a percentile had been computed first.
+func TestSamplesOrderStableAcrossQueries(t *testing.T) {
+	in := []int64{30, 10, 20, 50, 40}
+	l := NewLatencyRecorder(0)
+	for _, s := range in {
+		l.Record(s)
+	}
+	before := l.Samples()
+	l.Percentile(99) // triggers the lazy sort
+	l.Tail()
+	after := l.Samples()
+	for i := range in {
+		if before[i] != in[i] {
+			t.Fatalf("Samples()[%d] = %d before queries, want insertion order %d", i, before[i], in[i])
+		}
+		if after[i] != in[i] {
+			t.Fatalf("Samples()[%d] = %d after percentile queries, want insertion order %d", i, after[i], in[i])
+		}
+	}
+	// The returned slice must be caller-owned: mutating it cannot corrupt
+	// the recorder.
+	after[0] = -999
+	if got := l.Samples()[0]; got != in[0] {
+		t.Fatalf("mutating a returned slice leaked into the recorder: got %d", got)
+	}
+	// And queries after more records still see every sample.
+	l.Record(5)
+	if got := l.Percentile(0); got != 5 {
+		t.Fatalf("P0 after post-query Record = %v, want 5", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"mglrusim/internal/sim"
+	"mglrusim/internal/telemetry"
 	"mglrusim/internal/zram"
 )
 
@@ -85,6 +86,13 @@ type Stats struct {
 	LifetimeCompressRatio float64      // zram only
 }
 
+// TracerSetter is implemented by devices (and wrappers) that accept a
+// telemetry tracer for swap I/O spans. A nil tracer must be accepted and
+// restore the untraced fast path.
+type TracerSetter interface {
+	SetTracer(tr *telemetry.Tracer)
+}
+
 // Device is a swap medium. ReadPage is the demand-fault path and always
 // blocks the calling proc for the device's service time. WritePage is the
 // reclaim path; depending on the medium it may be asynchronous (SSD
@@ -140,6 +148,18 @@ type SSD struct {
 	inWrite int
 	wcond   sim.Cond
 	stats   Stats
+	tr      *telemetry.Tracer
+	trTrack telemetry.TrackID // the device's own lane
+}
+
+// SetTracer implements TracerSetter: reads, writes, and writeback stalls
+// become spans on an "ssd" track (service windows) and the stalled proc's
+// own track.
+func (d *SSD) SetTracer(tr *telemetry.Tracer) {
+	d.tr = tr
+	if tr != nil {
+		d.trTrack = tr.Track("ssd")
+	}
 }
 
 // NewSSD creates an SSD attached to eng with a dedicated RNG stream.
@@ -184,6 +204,9 @@ func (d *SSD) ReadPage(v *sim.Env, slot Slot, vpn int64, version uint32) {
 	done := d.service(d.cfg.ReadLatency)
 	d.stats.Reads++
 	d.stats.ReadTime += int64(done - v.Now())
+	if d.tr != nil {
+		d.tr.Emit(d.trTrack, "ssd-read", v.Now(), int64(done-v.Now()), int64(slot))
+	}
 	v.SleepUntil(done)
 }
 
@@ -191,14 +214,22 @@ func (d *SSD) ReadPage(v *sim.Env, slot Slot, vpn int64, version uint32) {
 // the caller blocks first if too many writebacks are already in flight —
 // this is the reclaim backpressure that can stall eviction under thrash.
 func (d *SSD) WritePage(v *sim.Env, slot Slot, vpn int64, version uint32) {
+	var stall telemetry.Span
+	if d.tr != nil && d.inWrite >= d.cfg.MaxDirtyWrites {
+		stall = d.tr.Begin(d.tr.Track(v.Proc().Name()), "writeback-stall")
+	}
 	for d.inWrite >= d.cfg.MaxDirtyWrites {
 		d.stats.WriteStalls++
 		v.Wait(&d.wcond)
 	}
+	stall.End()
 	done := d.service(d.cfg.WriteLatency)
 	d.inWrite++
 	d.stats.Writes++
 	d.stats.WriteTime += int64(done - v.Now())
+	if d.tr != nil {
+		d.tr.Emit(d.trTrack, "ssd-write", v.Now(), int64(done-v.Now()), int64(slot))
+	}
 	d.eng.After(int64(done-v.Now()), func() {
 		d.inWrite--
 		d.wcond.Broadcast(d.eng)
@@ -262,7 +293,12 @@ type ZRAM struct {
 	store *zram.Store
 	class ClassFn
 	stats Stats
+	tr    *telemetry.Tracer
 }
+
+// SetTracer implements TracerSetter: [de]compression windows become spans
+// on the requesting proc's track, since ZRAM I/O *is* CPU work there.
+func (d *ZRAM) SetTracer(tr *telemetry.Tracer) { d.tr = tr }
 
 // NewZRAM creates a ZRAM device. class may be nil, defaulting everything
 // to structured content.
@@ -294,6 +330,9 @@ func (d *ZRAM) ReadPage(v *sim.Env, slot Slot, vpn int64, version uint32) {
 	lat := d.jittered(d.cfg.ReadLatency)
 	d.stats.Reads++
 	d.stats.ReadTime += lat
+	if d.tr != nil {
+		d.tr.Emit(d.tr.Track(v.Proc().Name()), "zram-read", v.Now(), lat, int64(slot))
+	}
 	v.Charge(lat)
 }
 
@@ -304,6 +343,9 @@ func (d *ZRAM) WritePage(v *sim.Env, slot Slot, vpn int64, version uint32) {
 	d.stats.Writes++
 	d.stats.WriteTime += lat
 	d.store.Write(slot, vpn, version, d.class(vpn))
+	if d.tr != nil {
+		d.tr.Emit(d.tr.Track(v.Proc().Name()), "zram-write", v.Now(), lat, int64(slot))
+	}
 	v.Charge(lat)
 }
 

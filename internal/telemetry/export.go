@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// tracePID is the synthetic process ID used for every track: the whole
+// simulator is rendered as one Perfetto process with one thread per track.
+const tracePID = 1
+
+// writeMicros renders virtual nanoseconds as the microsecond decimal the
+// trace_event format expects, with fixed three-digit nanosecond precision.
+// Integer arithmetic keeps the formatting byte-deterministic (no float
+// rounding at the mercy of the value's magnitude).
+func writeMicros(w *bufio.Writer, ns int64) {
+	if ns < 0 {
+		// Spans never run backwards in virtual time; clamp defensively so a
+		// bug upstream yields a loadable (if wrong) trace instead of garbage.
+		ns = 0
+	}
+	w.WriteString(strconv.FormatInt(ns/1000, 10))
+	fmt.Fprintf(w, ".%03d", ns%1000)
+}
+
+// WriteTrace emits the full event log as Chrome trace_event JSON
+// ("JSON object format": a traceEvents array plus metadata). Load the file
+// in https://ui.perfetto.dev or chrome://tracing.
+//
+// Output is byte-deterministic: metadata first (process name, then one
+// thread_name record per track in registration order), then events in
+// record order. Thread IDs are track registration order + 1.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[` + "\n")
+	fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"mglrusim"}}`, tracePID)
+	for i, name := range t.tracks {
+		bw.WriteString(",\n")
+		fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			tracePID, i+1, jsonString(name))
+	}
+	for i := range t.events {
+		ev := &t.events[i]
+		bw.WriteString(",\n")
+		fmt.Fprintf(bw, `{"name":%s,"ph":"%s","pid":%d,"tid":%d,"ts":`,
+			jsonString(ev.Name), phase(ev), tracePID, int(ev.Track)+1)
+		writeMicros(bw, int64(ev.Ts))
+		if !ev.Instant {
+			bw.WriteString(`,"dur":`)
+			writeMicros(bw, ev.Dur)
+		} else {
+			// Thread-scoped instant.
+			bw.WriteString(`,"s":"t"`)
+		}
+		if ev.HasArg {
+			fmt.Fprintf(bw, `,"args":{"v":%d}`, ev.Arg)
+		}
+		bw.WriteString("}")
+	}
+	bw.WriteString("\n],")
+	fmt.Fprintf(bw, `"displayTimeUnit":"ns","otherData":{"clock":"virtual","dropped_events":%d}}`, t.dropped)
+	bw.WriteString("\n")
+	return bw.Flush()
+}
+
+func phase(ev *Event) string {
+	if ev.Instant {
+		return "i"
+	}
+	return "X"
+}
+
+// jsonString quotes a name for direct embedding in the hand-built JSON.
+// strconv.Quote's escaping rules are a superset of JSON's needs for the
+// ASCII identifiers used as event/track names.
+func jsonString(s string) string { return strconv.Quote(s) }
+
+// WriteCounters emits the sampled counter series as CSV: a time_ns column
+// followed by one column per gauge in registration order.
+func (t *Tracer) WriteCounters(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("time_ns")
+	if t != nil {
+		for _, g := range t.gauges {
+			bw.WriteByte(',')
+			bw.WriteString(g.name)
+		}
+		for i, ts := range t.sampleT {
+			bw.WriteByte('\n')
+			bw.WriteString(strconv.FormatInt(int64(ts), 10))
+			for _, v := range t.samples[i] {
+				bw.WriteByte(',')
+				bw.WriteString(strconv.FormatInt(v, 10))
+			}
+		}
+	}
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// WriteFlight dumps the flight-recorder ring as human-readable text, newest
+// event last. The reason line records why the dump was taken (the trial
+// error, or a degradation marker such as observed OOM kills).
+func (t *Tracer) WriteFlight(w io.Writer, reason string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "flight recorder dump\nreason: %s\n", reason)
+	if t == nil {
+		bw.WriteString("tracer: nil\n")
+		return bw.Flush()
+	}
+	events := t.RingEvents()
+	first := uint64(0)
+	if t.ringPos > uint64(len(events)) {
+		first = t.ringPos - uint64(len(events))
+	}
+	fmt.Fprintf(bw, "events %d..%d of %d (ring %d, log dropped %d)\n",
+		first, t.ringPos, t.ringPos, len(t.ring), t.dropped)
+	for _, ev := range events {
+		fmt.Fprintf(bw, "[%12d ns] %-14s %-20s", int64(ev.Ts), t.trackName(ev.Track), ev.Name)
+		if !ev.Instant {
+			fmt.Fprintf(bw, " dur=%dns", ev.Dur)
+		}
+		if ev.HasArg {
+			fmt.Fprintf(bw, " v=%d", ev.Arg)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func (t *Tracer) trackName(id TrackID) string {
+	if int(id) < len(t.tracks) {
+		return t.tracks[id]
+	}
+	return fmt.Sprintf("track-%d", id)
+}
+
+// ValidateTrace checks data against the Chrome trace-event JSON object
+// format: a traceEvents array whose records carry the fields each phase
+// requires. It returns the first violation found, or nil for a loadable
+// trace.
+func ValidateTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("missing traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		if _, ok := ev["name"].(string); !ok {
+			return fmt.Errorf("event %d: missing string field %q", i, "name")
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			return fmt.Errorf("event %d: missing string field %q", i, "ph")
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			return fmt.Errorf("event %d: missing numeric field %q", i, "pid")
+		}
+		if _, ok := ev["tid"].(float64); !ok {
+			return fmt.Errorf("event %d: missing numeric field %q", i, "tid")
+		}
+		switch ph {
+		case "M":
+			// Metadata records need no timestamp.
+		case "X":
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("event %d: complete event missing numeric %q", i, "ts")
+			}
+			if _, ok := ev["dur"].(float64); !ok {
+				return fmt.Errorf("event %d: complete event missing numeric %q", i, "dur")
+			}
+		case "i", "I":
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("event %d: instant event missing numeric %q", i, "ts")
+			}
+		case "B", "E", "b", "e", "n", "C", "s", "t", "f":
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("event %d: phase %q missing numeric %q", i, ph, "ts")
+			}
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, ph)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package telemetry is the simulator's virtual-time observability plane.
+//
+// It provides three cooperating facilities, all stamped with *simulated*
+// nanoseconds so that output is a pure function of the seeds:
+//
+//   - Spans and instants: begin/end events on named tracks (one track per
+//     simulated thread or kernel daemon), exported as Chrome trace_event
+//     JSON loadable in Perfetto or chrome://tracing.
+//   - Counters: a registry of gauge closures sampled at a configurable
+//     virtual-time cadence into a time-series CSV.
+//   - Flight recorder: a fixed-size ring of the most recent events that can
+//     be dumped when a trial fails (OOM, livelock, panic, audit error), so
+//     degraded runs are post-mortem-debuggable without a full trace.
+//
+// A nil *Tracer is valid everywhere: every method nil-checks its receiver,
+// and instrumented subsystems additionally guard their own tracer fields,
+// mirroring the Config.Audit pattern — tracing off must cost nothing on the
+// hot path beyond a pointer test.
+//
+// Determinism: tracks, gauges, and events are kept in registration/record
+// order (maps are used only for lookup), and all exporters format numbers
+// with explicit integer arithmetic, so same-seed trials produce
+// byte-identical artifacts regardless of host parallelism.
+package telemetry
+
+import (
+	"mglrusim/internal/sim"
+)
+
+// Config sizes a Tracer.
+type Config struct {
+	// RingSize is the flight-recorder capacity in events. 0 selects
+	// DefaultRingSize; negative disables the ring.
+	RingSize int
+	// MetricsInterval is the virtual-time cadence at which the owner should
+	// call Sample. The tracer itself does not schedule sampling — the trial
+	// runner spawns a daemon — but the chosen cadence travels with the
+	// tracer so every layer agrees on it.
+	MetricsInterval sim.Duration
+	// MaxEvents bounds the retained full event log (the flight ring is
+	// unaffected). 0 selects DefaultMaxEvents. Overflow events are counted
+	// in Dropped and still feed the ring.
+	MaxEvents int
+}
+
+// DefaultRingSize is the flight-recorder capacity when Config.RingSize is 0.
+const DefaultRingSize = 256
+
+// DefaultMaxEvents caps the retained event log when Config.MaxEvents is 0.
+const DefaultMaxEvents = 1 << 20
+
+// TrackID names a registered track (a Perfetto thread lane).
+type TrackID int32
+
+// Event is one recorded trace event. Complete spans carry a duration;
+// instants do not.
+type Event struct {
+	Track   TrackID
+	Ts      sim.Time
+	Dur     sim.Duration
+	Name    string
+	Arg     int64
+	Instant bool
+	HasArg  bool
+}
+
+type gauge struct {
+	name string
+	fn   func() int64
+}
+
+// Tracer records spans, instants, and counter samples for one trial.
+// It is not safe for concurrent use; the simulation engine is
+// single-threaded by construction, which is what makes output
+// deterministic.
+type Tracer struct {
+	cfg     Config
+	clock   func() sim.Time
+	tracks  []string
+	trackID map[string]TrackID
+	events  []Event
+	dropped uint64
+	ring    []Event
+	ringPos uint64 // total events ever offered to the ring
+	gauges  []gauge
+	sampleT []sim.Time
+	samples [][]int64
+}
+
+// New builds a Tracer. The clock is unbound until Bind is called; events
+// recorded before then are stamped at time 0.
+func New(cfg Config) *Tracer {
+	if cfg.RingSize == 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.RingSize < 0 {
+		cfg.RingSize = 0
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	}
+	return &Tracer{
+		cfg:     cfg,
+		trackID: make(map[string]TrackID),
+		ring:    make([]Event, cfg.RingSize),
+	}
+}
+
+// Bind attaches the virtual clock (normally sim.Engine.Now). Safe on nil.
+func (t *Tracer) Bind(clock func() sim.Time) {
+	if t == nil {
+		return
+	}
+	t.clock = clock
+}
+
+// MetricsInterval reports the configured sampling cadence (0 on nil).
+func (t *Tracer) MetricsInterval() sim.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.cfg.MetricsInterval
+}
+
+func (t *Tracer) now() sim.Time {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Track returns the ID for a named track, registering it on first use.
+// Track order (and therefore exported thread IDs) is first-use order.
+// On a nil tracer it returns 0; the ID is only meaningful when passed back
+// to the same tracer, so the placeholder is harmless.
+func (t *Tracer) Track(name string) TrackID {
+	if t == nil {
+		return 0
+	}
+	if id, ok := t.trackID[name]; ok {
+		return id
+	}
+	id := TrackID(len(t.tracks))
+	t.tracks = append(t.tracks, name)
+	t.trackID[name] = id
+	return id
+}
+
+func (t *Tracer) record(ev Event) {
+	if len(t.events) < t.cfg.MaxEvents {
+		t.events = append(t.events, ev)
+	} else {
+		t.dropped++
+	}
+	if n := uint64(len(t.ring)); n > 0 {
+		t.ring[t.ringPos%n] = ev
+		t.ringPos++
+	}
+}
+
+// Span is an open interval started by Begin. The zero Span (and any Span
+// from a nil tracer) is inert: End/EndArg on it do nothing.
+type Span struct {
+	t     *Tracer
+	track TrackID
+	name  string
+	start sim.Time
+}
+
+// Begin opens a span on a track. Close it with End or EndArg.
+func (t *Tracer) Begin(track TrackID, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, track: track, name: name, start: t.now()}
+}
+
+// End closes the span at the current virtual time.
+func (s Span) End() { s.end(0, false) }
+
+// EndArg closes the span and attaches one integer argument (rendered as
+// args.v in the trace, e.g. pages scanned during the span).
+func (s Span) EndArg(arg int64) { s.end(arg, true) }
+
+func (s Span) end(arg int64, hasArg bool) {
+	if s.t == nil {
+		return
+	}
+	now := s.t.now()
+	s.t.record(Event{
+		Track: s.track, Ts: s.start, Dur: sim.Duration(now - s.start),
+		Name: s.name, Arg: arg, HasArg: hasArg,
+	})
+}
+
+// Emit records a complete span with explicit start and duration, for
+// callers that already know the completion time — e.g. an asynchronous
+// device submission whose service time is booked up front.
+func (t *Tracer) Emit(track TrackID, name string, ts sim.Time, dur sim.Duration, arg int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Track: track, Ts: ts, Dur: dur, Name: name, Arg: arg, HasArg: true})
+}
+
+// Instant records a zero-duration event with one integer argument.
+func (t *Tracer) Instant(track TrackID, name string, arg int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Track: track, Ts: t.now(), Name: name, Arg: arg, Instant: true, HasArg: true})
+}
+
+// Gauge registers a named counter closure. Closures are invoked on every
+// Sample in registration order; they must be cheap and side-effect-free.
+func (t *Tracer) Gauge(name string, fn func() int64) {
+	if t == nil {
+		return
+	}
+	t.gauges = append(t.gauges, gauge{name: name, fn: fn})
+}
+
+// Sample snapshots every registered gauge at the current virtual time,
+// appending one row to the counter time series.
+func (t *Tracer) Sample() {
+	if t == nil || len(t.gauges) == 0 {
+		return
+	}
+	row := make([]int64, len(t.gauges))
+	for i := range t.gauges {
+		row[i] = t.gauges[i].fn()
+	}
+	t.sampleT = append(t.sampleT, t.now())
+	t.samples = append(t.samples, row)
+}
+
+// CounterNames returns the registered gauge names in registration order.
+func (t *Tracer) CounterNames() []string {
+	if t == nil {
+		return nil
+	}
+	out := make([]string, len(t.gauges))
+	for i := range t.gauges {
+		out[i] = t.gauges[i].name
+	}
+	return out
+}
+
+// CounterSeries returns the sampled rows: one timestamp per row, columns
+// aligned with CounterNames. The returned slices alias internal storage;
+// callers must not mutate them.
+func (t *Tracer) CounterSeries() ([]sim.Time, [][]int64) {
+	if t == nil {
+		return nil, nil
+	}
+	return t.sampleT, t.samples
+}
+
+// EventCount reports how many events were retained in the full log.
+func (t *Tracer) EventCount() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped reports events discarded from the full log after MaxEvents.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// RingEvents returns the flight-recorder contents oldest-first.
+func (t *Tracer) RingEvents() []Event {
+	if t == nil || len(t.ring) == 0 || t.ringPos == 0 {
+		return nil
+	}
+	n := uint64(len(t.ring))
+	if t.ringPos <= n {
+		out := make([]Event, t.ringPos)
+		copy(out, t.ring[:t.ringPos])
+		return out
+	}
+	out := make([]Event, 0, n)
+	start := t.ringPos % n
+	out = append(out, t.ring[start:]...)
+	out = append(out, t.ring[:start]...)
+	return out
+}
+
+// Registrant is implemented by subsystems (replacement policies, devices)
+// that want to register their own gauges and tracks once a tracer is
+// attached to the trial.
+type Registrant interface {
+	RegisterTelemetry(t *Tracer)
+}

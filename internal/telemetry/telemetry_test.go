@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mglrusim/internal/sim"
+)
+
+// fakeClock is a settable virtual clock for driving the tracer without an
+// engine.
+type fakeClock struct{ t sim.Time }
+
+func (c *fakeClock) now() sim.Time { return c.t }
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Bind(func() sim.Time { return 0 })
+	id := tr.Track("app")
+	sp := tr.Begin(id, "work")
+	sp.End()
+	sp.EndArg(3)
+	tr.Instant(id, "mark", 1)
+	tr.Gauge("g", func() int64 { return 1 })
+	tr.Sample()
+	if tr.EventCount() != 0 || tr.Dropped() != 0 || tr.RingEvents() != nil {
+		t.Fatal("nil tracer retained state")
+	}
+	if names := tr.CounterNames(); names != nil {
+		t.Fatalf("nil tracer reported counters %v", names)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("nil trace invalid: %v", err)
+	}
+	buf.Reset()
+	if err := tr.WriteCounters(&buf); err != nil {
+		t.Fatalf("nil WriteCounters: %v", err)
+	}
+	buf.Reset()
+	if err := tr.WriteFlight(&buf, "because"); err != nil {
+		t.Fatalf("nil WriteFlight: %v", err)
+	}
+	if !strings.Contains(buf.String(), "because") {
+		t.Fatal("flight dump lost its reason")
+	}
+}
+
+func TestSpansAndInstantsRecord(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Config{})
+	tr.Bind(clk.now)
+	app := tr.Track("app-0")
+	daemon := tr.Track("kswapd")
+	if app == daemon {
+		t.Fatal("distinct tracks share an ID")
+	}
+	if again := tr.Track("app-0"); again != app {
+		t.Fatalf("re-registration changed ID: %d != %d", again, app)
+	}
+
+	clk.t = 1000
+	sp := tr.Begin(app, "fault")
+	clk.t = 4000
+	sp.EndArg(7)
+	tr.Instant(daemon, "wake", 2)
+
+	if tr.EventCount() != 2 {
+		t.Fatalf("events = %d, want 2", tr.EventCount())
+	}
+	evs := tr.RingEvents()
+	if len(evs) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(evs))
+	}
+	if evs[0].Ts != 1000 || evs[0].Dur != 3000 || evs[0].Name != "fault" || !evs[0].HasArg || evs[0].Arg != 7 {
+		t.Fatalf("span recorded wrong: %+v", evs[0])
+	}
+	if !evs[1].Instant || evs[1].Ts != 4000 {
+		t.Fatalf("instant recorded wrong: %+v", evs[1])
+	}
+}
+
+func TestRingWrapKeepsNewestOldestFirst(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Config{RingSize: 4})
+	tr.Bind(clk.now)
+	tk := tr.Track("t")
+	for i := 0; i < 10; i++ {
+		clk.t = sim.Time(i)
+		tr.Instant(tk, "e", int64(i))
+	}
+	evs := tr.RingEvents()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Arg != want {
+			t.Fatalf("ring[%d].Arg = %d, want %d (oldest-first)", i, ev.Arg, want)
+		}
+	}
+}
+
+func TestMaxEventsDropsButRingSurvives(t *testing.T) {
+	tr := New(Config{RingSize: 2, MaxEvents: 3})
+	tk := tr.Track("t")
+	for i := 0; i < 5; i++ {
+		tr.Instant(tk, "e", int64(i))
+	}
+	if tr.EventCount() != 3 {
+		t.Fatalf("log kept %d, want 3", tr.EventCount())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.RingEvents()
+	if len(evs) != 2 || evs[1].Arg != 4 {
+		t.Fatalf("ring lost post-overflow events: %+v", evs)
+	}
+}
+
+func TestCounterSamplingAndCSV(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Config{MetricsInterval: 5 * sim.Millisecond})
+	tr.Bind(clk.now)
+	var a, b int64
+	tr.Gauge("scan.pages", func() int64 { return a })
+	tr.Gauge("evict.pages", func() int64 { return b })
+	if got := tr.MetricsInterval(); got != 5*sim.Millisecond {
+		t.Fatalf("interval = %d", got)
+	}
+
+	clk.t = 0
+	tr.Sample()
+	a, b = 10, 3
+	clk.t = 5 * sim.Time(sim.Millisecond)
+	tr.Sample()
+
+	var buf bytes.Buffer
+	if err := tr.WriteCounters(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_ns,scan.pages,evict.pages\n0,0,0\n5000000,10,3\n"
+	if buf.String() != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestTraceJSONValidAndDeterministic(t *testing.T) {
+	build := func() []byte {
+		clk := &fakeClock{}
+		tr := New(Config{})
+		tr.Bind(clk.now)
+		app := tr.Track("app-0")
+		kd := tr.Track("kswapd")
+		clk.t = 1500
+		sp := tr.Begin(app, "major-fault")
+		clk.t = 2750
+		sp.End()
+		tr.Instant(kd, "watermark", 12)
+		var buf bytes.Buffer
+		if err := tr.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one, two := build(), build()
+	if !bytes.Equal(one, two) {
+		t.Fatal("identical histories produced different trace bytes")
+	}
+	if err := ValidateTrace(one); err != nil {
+		t.Fatalf("trace failed schema validation: %v\n%s", err, one)
+	}
+	s := string(one)
+	// Timestamps are microseconds with fixed nanosecond precision.
+	if !strings.Contains(s, `"ts":1.500`) || !strings.Contains(s, `"dur":1.250`) {
+		t.Fatalf("timestamp formatting wrong:\n%s", s)
+	}
+	if !strings.Contains(s, `"name":"kswapd"`) {
+		t.Fatalf("thread metadata missing:\n%s", s)
+	}
+}
+
+func TestValidateTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents":[`,
+		"no array":      `{}`,
+		"unnamed event": `{"traceEvents":[{"ph":"X","pid":1,"tid":1,"ts":0,"dur":1}]}`,
+		"bad phase":     `{"traceEvents":[{"name":"x","ph":"Z","pid":1,"tid":1,"ts":0}]}`,
+		"X without dur": `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":1,"ts":0}]}`,
+	}
+	for label, doc := range cases {
+		if err := ValidateTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: validator accepted %s", label, doc)
+		}
+	}
+}
+
+func TestFlightDumpContents(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Config{RingSize: 8})
+	tr.Bind(clk.now)
+	tk := tr.Track("oom")
+	clk.t = 42
+	tr.Instant(tk, "oom-kill", 3)
+	var buf bytes.Buffer
+	if err := tr.WriteFlight(&buf, "vmm: out of memory"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"reason: vmm: out of memory", "oom-kill", "v=3", "42 ns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

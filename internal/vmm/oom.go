@@ -55,10 +55,19 @@ func (m *Manager) oomKill(v *sim.Env, evicting pagetable.VPN) {
 		}
 	}
 	if victim < 0 {
+		if m.tr != nil {
+			// Last words for the flight recorder: the panic unwinds to the
+			// engine, and the harness dumps the ring with this as the newest
+			// event.
+			m.tr.Instant(m.tr.Track(v.Proc().Name()), "oom-unreapable", int64(evicting))
+		}
 		panic(&OOMError{At: v.Now(), VPN: evicting, Used: m.area.InUse()})
 	}
 	m.counters.OOMKills++
 	m.counters.OOMReapedSlots += uint64(reapable)
+	if m.tr != nil {
+		m.tr.Instant(m.tr.Track(v.Proc().Name()), "oom-kill", int64(victim))
+	}
 	m.reapRegion(victim)
 }
 

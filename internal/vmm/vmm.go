@@ -15,6 +15,7 @@ import (
 	"mglrusim/internal/sim"
 	"mglrusim/internal/stats"
 	"mglrusim/internal/swap"
+	"mglrusim/internal/telemetry"
 )
 
 // Config tunes memory-manager behaviour.
@@ -138,6 +139,14 @@ type Manager struct {
 	// only — it never charges simulated CPU or yields — so it cannot
 	// perturb the simulation.
 	faultLat *stats.LatencyRecorder
+
+	// tr, when non-nil, receives telemetry spans and gauges. Like audit,
+	// tracing off costs one nil check per instrumented site; the manager
+	// never charges simulated CPU for recording, so enabling it does not
+	// change metrics.
+	tr       *telemetry.Tracer
+	trKswapd telemetry.TrackID
+	trAging  telemetry.TrackID
 
 	counters Counters
 }
@@ -316,6 +325,12 @@ func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
 	if major {
 		start := v.Now()
 		defer func() { m.faultLat.Record(int64(v.Now() - start)) }()
+		if m.tr != nil {
+			// One track per faulting proc; the span covers the full service
+			// time including readahead.
+			sp := m.tr.Begin(m.tr.Track(v.Proc().Name()), "major-fault")
+			defer sp.EndArg(int64(vpn))
+		}
 	}
 
 	f := m.ensureFrame(v)
@@ -442,7 +457,12 @@ func (m *Manager) ensureFrame(v *sim.Env) mem.FrameID {
 		// Allocation failed: direct reclaim on the faulting thread.
 		m.counters.DirectReclaims++
 		m.kswapdCond.Broadcast(v.Engine())
+		var sp telemetry.Span
+		if m.tr != nil {
+			sp = m.tr.Begin(m.tr.Track(v.Proc().Name()), "direct-reclaim")
+		}
 		n := m.pol.Reclaim(v, m.cfg.ReclaimBatch)
+		sp.EndArg(int64(n))
 		if n == 0 {
 			// No progress — let kswapd/aging run and retry.
 			if attempt > 10000 {
@@ -460,8 +480,17 @@ func (m *Manager) kswapd(v *sim.Env) {
 	for {
 		v.WaitFor(&m.kswapdCond, m.memry.BelowLow)
 		m.counters.KswapdBursts++
+		var sp telemetry.Span
+		if m.tr != nil {
+			// The low-watermark crossing that woke the burst, then the burst
+			// itself with total pages reclaimed as its argument.
+			m.tr.Instant(m.trKswapd, "watermark-low", int64(m.memry.FreePages()))
+			sp = m.tr.Begin(m.trKswapd, "kswapd-burst")
+		}
+		var reclaimed int64
 		for m.memry.BelowHigh() {
 			n := m.pol.Reclaim(v, m.cfg.KswapdBatch)
+			reclaimed += int64(n)
 			if n == 0 {
 				// No progress; back off so the system can move.
 				v.Sleep(200 * sim.Microsecond)
@@ -470,6 +499,7 @@ func (m *Manager) kswapd(v *sim.Env) {
 				}
 			}
 		}
+		sp.EndArg(reclaimed)
 	}
 }
 
@@ -488,7 +518,16 @@ func (m *Manager) agingDaemon(v *sim.Env) {
 			if proactiveDue {
 				lastProactive = v.Now()
 			}
+			var sp telemetry.Span
+			if m.tr != nil {
+				sp = m.tr.Begin(m.trAging, "aging-pass")
+			}
 			worked := m.pol.Age(v)
+			workedArg := int64(0)
+			if worked {
+				workedArg = 1
+			}
+			sp.EndArg(workedArg)
 			if m.audit != nil {
 				m.audit.AgingPass(v)
 			}
@@ -541,6 +580,35 @@ func (m *Manager) auditSwapOwnership() error {
 
 // Auditor exposes the invariant auditor, or nil when auditing is off.
 func (m *Manager) Auditor() *check.Auditor { return m.audit }
+
+// SetTracer attaches the telemetry tracer and registers the manager's
+// gauges. Call after New and before the engine runs: the daemons read the
+// field only at instrumented sites, so late binding is safe, but gauges
+// must be registered before the first sample. A nil tracer (the default)
+// keeps every instrumented site on the single-nil-check fast path.
+func (m *Manager) SetTracer(tr *telemetry.Tracer) {
+	m.tr = tr
+	if tr == nil {
+		return
+	}
+	m.trKswapd = tr.Track("kswapd")
+	m.trAging = tr.Track("aging")
+	tr.Gauge("vmm.resident_pages", func() int64 { return int64(m.table.PresentPages()) })
+	tr.Gauge("vmm.free_pages", func() int64 { return int64(m.memry.FreePages()) })
+	tr.Gauge("vmm.swap_in_use", func() int64 { return int64(m.area.InUse()) })
+	tr.Gauge("vmm.major_faults", func() int64 { return int64(m.counters.MajorFaults) })
+	tr.Gauge("vmm.minor_faults", func() int64 { return int64(m.counters.MinorFaults) })
+	tr.Gauge("vmm.swap_ins", func() int64 { return int64(m.counters.SwapIns) })
+	tr.Gauge("vmm.swap_outs", func() int64 { return int64(m.counters.SwapOuts) })
+	tr.Gauge("vmm.direct_reclaims", func() int64 { return int64(m.counters.DirectReclaims) })
+	tr.Gauge("vmm.kswapd_bursts", func() int64 { return int64(m.counters.KswapdBursts) })
+	tr.Gauge("vmm.readahead_in", func() int64 { return int64(m.counters.ReadaheadIn) })
+	tr.Gauge("vmm.oom_kills", func() int64 { return int64(m.counters.OOMKills) })
+}
+
+// Tracer exposes the attached telemetry tracer (nil when tracing is off),
+// so downstream instrumentation can share the trial's sink.
+func (m *Manager) Tracer() *telemetry.Tracer { return m.tr }
 
 // AuditErr finalizes the auditor (a last full-state scan) and returns nil
 // when no invariant was breached. Call once when the trial ends; returns
