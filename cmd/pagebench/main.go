@@ -10,10 +10,11 @@
 //	pagebench -trials 25 -scale 1.0  # methodology knobs
 //
 //	pagebench -figure all -checkpoint ckpt/                    # crash-safe runs
+//	pagebench -figure all -checkpoint ckpt/ -workers 4         # multi-process scale-out
 //	pagebench -figure all -faults severe -watchdog 60s...      # fault injection
 //
-//	pagebench -bench full -benchjson BENCH_PR2.json            # measure
-//	pagebench -bench smoke -baseline BENCH_PR2.json            # regression check
+//	pagebench -bench full -benchjson BENCH_PR5.json            # measure
+//	pagebench -bench smoke -baseline BENCH_PR5.json            # regression check
 //	pagebench -figure all -cpuprofile cpu.pb.gz                # profile
 //
 // Each figure prints a plain-text table whose rows correspond to the
@@ -27,18 +28,28 @@
 // flags re-executes only unfinished series and produces byte-identical
 // figures. SIGINT flushes the profile writers before exiting with code
 // 130.
+//
+// With -workers N (requires -checkpoint), pagebench becomes a shard
+// coordinator: it re-invokes itself N times in -worker mode, and the
+// workers self-schedule the figure cells through on-disk leases under
+// <checkpoint>/shard, surviving worker crashes and SIGKILL. SIGINT
+// drains the fleet — each worker finishes its in-flight cell and
+// checkpoints it — and the run resumes with the same flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -46,12 +57,19 @@ import (
 	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/experiments"
 	"mglrusim/internal/fault"
+	"mglrusim/internal/shard"
 	"mglrusim/internal/sim"
+	"mglrusim/internal/telemetry"
 )
 
 // exitInterrupted is the distinct exit code for a SIGINT-terminated run
 // (128 + SIGINT, the shell convention).
 const exitInterrupted = 130
+
+// interruptHook, when set, takes over SIGINT/SIGTERM handling: the shard
+// modes install a drain function here so an interrupt finishes in-flight
+// cells and checkpoints them instead of exiting mid-cell.
+var interruptHook atomic.Pointer[func()]
 
 func main() { os.Exit(realMain()) }
 
@@ -96,6 +114,11 @@ func realMain() int {
 		csvDir   = flag.String("csv", "", "also write each figure's data points as CSV into this directory")
 
 		ckptDir  = flag.String("checkpoint", "", "persist completed series into this directory and resume from it")
+
+		workers       = flag.Int("workers", 0, "run figure cells across N supervised worker processes sharing -checkpoint (0 = in-process)")
+		workerMode    = flag.Bool("worker", false, "run as one shard worker over the -checkpoint queue (spawned by -workers; exits when the queue is resolved)")
+		leaseTTL      = flag.Duration("lease-ttl", 10*time.Second, "shard lease time-to-live; bounds how long a crashed worker's cell stays claimed")
+		shardAttempts = flag.Int("shard-attempts", 5, "per-cell execution budget before a failing cell is quarantined")
 		faults   = flag.String("faults", "", "fault-injection preset applied to every series: off, mild, severe")
 		watchdog = flag.Duration("watchdog", 0, "virtual-time progress watchdog window (e.g. 60s of simulated time; 0 = off)")
 		retries  = flag.Int("retries", 0, "per-trial retries of transient fault-injected failures")
@@ -125,6 +148,13 @@ func realMain() int {
 	go func() {
 		<-sigc
 		signal.Stop(sigc)
+		if h := interruptHook.Load(); h != nil {
+			// Shard mode: drain instead of exiting — the mode's main path
+			// observes the drain, flushes, and chooses the exit code. A
+			// second interrupt falls through to default termination.
+			(*h)()
+			return
+		}
 		fmt.Fprintln(os.Stderr, "pagebench: interrupted — flushing profiles and exiting (completed series are checkpointed)")
 		fl.run()
 		os.Exit(exitInterrupted)
@@ -165,7 +195,59 @@ func realMain() int {
 	if !ok {
 		fatalf("unknown fault preset %q (known: off, mild, severe)", *faults)
 	}
-	runFigures(figureConfig{
+	if *workerMode && *workers > 0 {
+		fatalf("-worker and -workers are mutually exclusive (-worker is the spawned side)")
+	}
+	if (*workerMode || *workers > 0) && *ckptDir == "" {
+		fatalf("shard execution requires -checkpoint (the store the fleet shares)")
+	}
+
+	// The coordinator re-invokes this binary per worker with the identical
+	// methodology flags, so the cells workers enumerate — and the keys they
+	// file results under — are exactly the coordinator's.
+	var workerArgs []string
+	if *workers > 0 {
+		perWorker := *parallel
+		if perWorker == 0 {
+			// Split the machine across the fleet instead of letting every
+			// worker default to GOMAXPROCS.
+			if perWorker = runtime.NumCPU() / *workers; perWorker < 1 {
+				perWorker = 1
+			}
+		}
+		workerArgs = []string{
+			"-worker",
+			"-figure", *figure,
+			"-trials", strconv.Itoa(*trials),
+			"-scale", strconv.FormatFloat(*scale, 'g', -1, 64),
+			"-seed", strconv.FormatUint(*seed, 10),
+			"-parallel", strconv.Itoa(perWorker),
+			"-checkpoint", *ckptDir,
+			"-lease-ttl", leaseTTL.String(),
+			"-shard-attempts", strconv.Itoa(*shardAttempts),
+			"-retries", strconv.Itoa(*retries),
+		}
+		if *faults != "" {
+			workerArgs = append(workerArgs, "-faults", *faults)
+		}
+		if *watchdog != 0 {
+			workerArgs = append(workerArgs, "-watchdog", watchdog.String())
+		}
+		if *audit {
+			workerArgs = append(workerArgs, "-audit")
+		}
+		if *traceDir != "" {
+			workerArgs = append(workerArgs, "-trace", *traceDir)
+		}
+		if *metricsInterval != 0 {
+			workerArgs = append(workerArgs, "-metrics-interval", metricsInterval.String())
+		}
+		if *verbose {
+			workerArgs = append(workerArgs, "-v")
+		}
+	}
+
+	return runFigures(figureConfig{
 		figure:          *figure,
 		trials:          *trials,
 		scale:           *scale,
@@ -180,8 +262,12 @@ func realMain() int {
 		retries:         *retries,
 		traceDir:        *traceDir,
 		metricsInterval: sim.Duration(metricsInterval.Nanoseconds()),
+		workers:         *workers,
+		workerMode:      *workerMode,
+		leaseTTL:        *leaseTTL,
+		shardAttempts:   *shardAttempts,
+		workerArgs:      workerArgs,
 	})
-	return 0
 }
 
 func runBench(sizeName, jsonPath, baselinePath string, tolerance, preSecs float64, verbose bool) int {
@@ -262,6 +348,32 @@ type figureConfig struct {
 	retries         int
 	traceDir        string
 	metricsInterval sim.Duration
+
+	workers       int
+	workerMode    bool
+	leaseTTL      time.Duration
+	shardAttempts int
+	// workerArgs is the argv the coordinator spawns each -worker with.
+	workerArgs []string
+}
+
+// shardDir is the lease/queue directory, colocated with the store so the
+// whole coordination state lives (and is cleaned up) together.
+func (c figureConfig) shardDir() string { return filepath.Join(c.ckptDir, "shard") }
+
+func (c figureConfig) shardConfig(store *checkpoint.Store, counters *telemetry.CounterSet) shard.Config {
+	var prog io.Writer
+	if c.verbose {
+		prog = os.Stderr
+	}
+	return shard.Config{
+		Dir:      c.shardDir(),
+		Store:    store,
+		TTL:      c.leaseTTL,
+		Attempts: c.shardAttempts,
+		Counters: counters,
+		Progress: prog,
+	}
 }
 
 // figureFn resolves a figure or extension-experiment ID.
@@ -277,8 +389,8 @@ func knownFigures() string {
 	return strings.Join(append(experiments.FigureIDs(), experiments.ExtensionIDs()...), ", ")
 }
 
-func runFigures(cfg figureConfig) {
-	if cfg.csvDir != "" {
+func runFigures(cfg figureConfig) int {
+	if cfg.csvDir != "" && !cfg.workerMode {
 		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
 			fatalf("%v", err)
 		}
@@ -296,8 +408,10 @@ func runFigures(cfg figureConfig) {
 		TraceDir:        cfg.traceDir,
 		MetricsInterval: cfg.metricsInterval,
 	}
+	var store *checkpoint.Store
 	if cfg.ckptDir != "" {
-		store, err := checkpoint.Open(cfg.ckptDir)
+		var err error
+		store, err = checkpoint.Open(cfg.ckptDir)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -309,7 +423,6 @@ func runFigures(cfg figureConfig) {
 	if cfg.verbose {
 		opts.Progress = os.Stderr
 	}
-	runner := experiments.NewRunner(opts)
 
 	var ids []string
 	if cfg.figure == "all" {
@@ -326,13 +439,38 @@ func runFigures(cfg figureConfig) {
 			ids = append(ids, id)
 		}
 	}
+	fns := make([]experiments.FigureFunc, len(ids))
+	for i, id := range ids {
+		fns[i], _ = figureFn(id)
+	}
 
+	if cfg.workerMode {
+		return runShardWorker(cfg, opts, store, fns)
+	}
+	sharded := cfg.workers > 0
+	if sharded {
+		if code, ok := runShardCoordinator(cfg, opts, store, fns); !ok {
+			return code
+		}
+		// The fleet resolved every cell; sweep the figures from the store,
+		// failing quarantined cells through the veto instead of re-running
+		// them (and instead of aborting the remaining figures).
+		opts.Veto = shard.Veto(cfg.shardDir())
+	}
+	runner := experiments.NewRunner(opts)
+
+	exit := 0
 	start := time.Now()
 	for _, id := range ids {
 		figStart := time.Now()
 		fn, _ := figureFn(id)
 		res, err := fn(runner)
 		if err != nil {
+			if sharded {
+				fmt.Fprintf(os.Stderr, "pagebench: %s failed: %v\n", id, err)
+				exit = 1
+				continue
+			}
 			fatalf("%s failed: %v", id, err)
 		}
 		fmt.Println(res.Render())
@@ -351,6 +489,94 @@ func runFigures(cfg figureConfig) {
 	if cfg.verbose {
 		fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
 	}
+	return exit
+}
+
+// runShardWorker is the body of a spawned `-worker` process: enumerate
+// the same cells from the same flags, join the on-disk queue, drain on
+// SIGINT/SIGTERM, and exit 0 once the queue is resolved (or drained) —
+// the coordinator treats any other exit as a crash and respawns.
+func runShardWorker(cfg figureConfig, opts experiments.Options, store *checkpoint.Store, fns []experiments.FigureFunc) int {
+	cells, err := experiments.CellsFor(opts, fns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	counters := telemetry.NewCounterSet()
+	q, err := shard.NewQueue(cfg.shardConfig(store, counters), cells)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var drain atomic.Bool
+	hook := func() { drain.Store(true) }
+	interruptHook.Store(&hook)
+	if err := q.RunWorker(shard.WorkerConfig{
+		Runner: experiments.NewRunner(opts),
+		Drain:  &drain,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "pagebench: worker: %v\n", err)
+		return 1
+	}
+	if cfg.verbose {
+		counters.WriteText(os.Stderr)
+	}
+	return 0
+}
+
+// runShardCoordinator supervises the worker fleet until every cell is
+// terminal. ok=false means the figure sweep must not run (drained or
+// unresolved) and code is the process exit code.
+func runShardCoordinator(cfg figureConfig, opts experiments.Options, store *checkpoint.Store, fns []experiments.FigureFunc) (code int, ok bool) {
+	cells, err := experiments.CellsFor(opts, fns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	counters := telemetry.NewCounterSet()
+	co := &shard.Coordinator{
+		Cfg:     cfg.shardConfig(store, counters),
+		Cells:   cells,
+		Workers: cfg.workers,
+		Spawn:   shard.CmdSpawner(exe, cfg.workerArgs, os.Stderr),
+	}
+	if cfg.verbose {
+		fmt.Fprintf(os.Stderr, "pagebench: sharding %d cells across %d workers (lease TTL %v)\n",
+			len(cells), cfg.workers, cfg.leaseTTL)
+	}
+
+	var drained atomic.Bool
+	hook := func() {
+		drained.Store(true)
+		fmt.Fprintln(os.Stderr, "pagebench: interrupted — draining workers (in-flight cells finish and checkpoint; resume with the same flags)")
+		co.Drain()
+	}
+	interruptHook.Store(&hook)
+	rep, err := co.Run()
+	interruptHook.Store(nil)
+
+	for _, p := range rep.Poisoned {
+		fmt.Fprintf(os.Stderr, "pagebench: quarantined %s after %d attempt(s): %s\n", p.SeedKey, p.Attempts, p.Err)
+		for _, a := range p.Artifacts {
+			fmt.Fprintf(os.Stderr, "pagebench:   artifact: %s\n", a)
+		}
+	}
+	if drained.Load() {
+		fmt.Fprintf(os.Stderr, "pagebench: drained with %d/%d cells done (%d quarantined)\n",
+			rep.Progress.Done, rep.Progress.Total, rep.Progress.Poisoned)
+		return exitInterrupted, false
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pagebench: %v\n", err)
+		return 1, false
+	}
+	if cfg.verbose {
+		fmt.Fprintf(os.Stderr, "pagebench: shard run resolved: %d done, %d quarantined, %d worker restarts\n",
+			rep.Progress.Done, rep.Progress.Poisoned, rep.Restarts)
+		counters.WriteText(os.Stderr)
+	}
+	return 0, true
 }
 
 func fatalf(format string, args ...any) {

@@ -1,6 +1,6 @@
 // Package bench is the repository's benchmark-regression harness: a set
 // of named micro/macro benchmarks over the simulator's hot paths, a
-// machine-readable report (BENCH_PR2.json), and a comparator that fails
+// machine-readable report (BENCH_PR5.json), and a comparator that fails
 // loudly when a result regresses past a committed baseline.
 //
 // It deliberately does not depend on `go test -bench`: the suite must be

@@ -8,7 +8,7 @@ import (
 	"runtime"
 )
 
-// Report is the machine-readable output of one suite run (BENCH_PR2.json).
+// Report is the machine-readable output of one suite run (BENCH_PR5.json).
 type Report struct {
 	// Size records the suite configuration the numbers were produced at.
 	Size Size `json:"size"`

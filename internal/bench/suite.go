@@ -30,7 +30,7 @@ type Size struct {
 	Figures []string `json:"figures"`
 }
 
-// Full is the size the committed BENCH_PR2.json baseline was produced at:
+// Full is the size the committed BENCH_PR5.json baseline was produced at:
 // the default byte-identity workload (all 12 figures, trials=2,
 // scale=0.2).
 func Full() Size {

@@ -90,6 +90,12 @@ type Auditor struct {
 	checkpoints uint64
 	violations  []Violation
 
+	// reporter, when set, receives each violation at detection time. It is
+	// the auditor→telemetry hook: the vmm wires it to the trial's flight
+	// recorder so the invariant diff reaches flight.txt immediately, not
+	// only through the end-of-trial error path (which a panic can bypass).
+	reporter func(Violation)
+
 	// scratch buffers reused across full scans.
 	freeSet  []bool
 	frameOwn []int64
@@ -144,8 +150,16 @@ func (a *Auditor) violate(at sim.Time, checkpoint, msg string) {
 	if a.disabled() {
 		return
 	}
-	a.violations = append(a.violations, Violation{At: at, Checkpoint: checkpoint, Msg: msg})
+	v := Violation{At: at, Checkpoint: checkpoint, Msg: msg}
+	a.violations = append(a.violations, v)
+	if a.reporter != nil {
+		a.reporter(v)
+	}
 }
+
+// SetReporter installs a sink invoked for each violation as it is
+// detected (bounded by MaxViolations, like recording itself).
+func (a *Auditor) SetReporter(fn func(Violation)) { a.reporter = fn }
 
 // FaultIn is the fault-path checkpoint, called after the PTE is installed
 // (and any shadow consumed) but before the policy's PageIn.

@@ -1,13 +1,22 @@
 // Package checkpoint is a small content-addressed blob store the
 // experiment harness uses to persist completed series across crashes and
 // SIGINT/SIGKILL. Each entry is one file named by the SHA-256 of its
-// logical key, written atomically (tmp + rename), so a store is never
-// observed half-written: a killed run leaves either the complete previous
-// state or the complete new state, and resume simply skips entries that
-// are present and valid.
+// logical key, written atomically (tmp + rename) and durably (the temp
+// file is fsynced before the rename and the parent directory after it),
+// so a store is never observed half-written even across power loss: a
+// killed run leaves either the complete previous state or the complete
+// new state, and resume simply skips entries that are present and valid.
+//
+// The store doubles as the coordination substrate for the multi-process
+// shard executor (internal/shard): an entry's existence is the "cell
+// done" marker every worker agrees on, KeyHash is the shared naming
+// scheme sidecar files (leases, poison records) derive from, and
+// PutVerify turns at-least-once execution into exactly-once results by
+// verifying that duplicate completions carry byte-identical payloads.
 package checkpoint
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -31,12 +40,22 @@ func Open(dir string) (*Store, error) {
 // Dir reports the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// path maps a logical key — arbitrary length, arbitrary bytes — to a
-// fixed-size filesystem-safe name.
-func (s *Store) path(key string) string {
+// KeyHash maps a logical key — arbitrary length, arbitrary bytes — to the
+// fixed-size filesystem-safe name the store files it under. It is
+// exported because every sidecar that must agree on a cell's identity
+// across processes (shard leases, poison records) derives its filename
+// from the same hash.
+func KeyHash(key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+	return hex.EncodeToString(sum[:])
 }
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, KeyHash(key)+".json")
+}
+
+// EntryPath reports the file a key's blob is (or would be) stored at.
+func (s *Store) EntryPath(key string) string { return s.path(key) }
 
 // Get returns the blob stored for key, or ok=false when absent or
 // unreadable (an unreadable entry is indistinguishable from a missing one
@@ -49,28 +68,120 @@ func (s *Store) Get(key string) (data []byte, ok bool) {
 	return data, true
 }
 
-// Put stores data for key atomically: the blob is written to a temp file
-// in the same directory and renamed into place, so a crash mid-Put never
-// corrupts an existing entry.
+// Has reports whether a non-empty entry exists for key without reading
+// it — the shard executor's cheap "cell done" probe.
+func (s *Store) Has(key string) bool {
+	fi, err := os.Stat(s.path(key))
+	return err == nil && fi.Size() > 0
+}
+
+// Put stores data for key atomically and durably.
 func (s *Store) Put(key string, data []byte) error {
-	dst := s.path(key)
-	tmp, err := os.CreateTemp(s.dir, ".put-*")
-	if err != nil {
+	if err := WriteFileDurable(s.path(key), data); err != nil {
 		return fmt.Errorf("checkpoint: put: %w", err)
 	}
+	return nil
+}
+
+// ConflictError reports a PutVerify that found an existing entry with
+// different bytes: two executions of the same content-addressed key
+// disagreed, which for byte-deterministic trials means a determinism
+// violation. Both payloads are preserved on disk for diffing.
+type ConflictError struct {
+	Key  string // logical key
+	Path string // existing entry (first writer's bytes)
+	// ConflictPath holds the rejected second payload, written next to the
+	// entry as <hash>.conflict.
+	ConflictPath string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("checkpoint: entry for key %q already holds different bytes (have %s, rejected payload preserved at %s)",
+		e.Key, e.Path, e.ConflictPath)
+}
+
+// PutVerify stores data for key unless an entry already exists. An
+// existing byte-identical entry is a no-op (the at-least-once duplicate
+// completion case); an existing different entry leaves the store
+// untouched, preserves the rejected payload at <hash>.conflict, and
+// returns a *ConflictError.
+func (s *Store) PutVerify(key string, data []byte) error {
+	if have, ok := s.Get(key); ok {
+		if bytes.Equal(have, data) {
+			return nil
+		}
+		conflict := s.path(key) + ".conflict"
+		if err := WriteFileDurable(conflict, data); err != nil {
+			conflict = "(preserve failed: " + err.Error() + ")"
+		}
+		return &ConflictError{Key: key, Path: s.path(key), ConflictPath: conflict}
+	}
+	return s.Put(key, data)
+}
+
+// crashPoint, when non-nil, fires at named stages of the durable write
+// protocol so tests can simulate a kill at any point (by panicking) and
+// assert the store is still consistent. Always nil outside tests.
+var crashPoint func(stage string)
+
+func crash(stage string) {
+	if crashPoint != nil {
+		crashPoint(stage)
+	}
+}
+
+// WriteFileDurable writes data to path atomically AND durably: temp file
+// in the same directory, write, fsync the file, rename over path, fsync
+// the parent directory. The final dirsync is what makes the rename itself
+// survive a crash — without it a kill between rename and the next journal
+// flush can leave the directory entry unrecorded, orphaning the write
+// (and, for shard claims, the claim it represents).
+func WriteFileDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return err
+	}
 	name := tmp.Name()
+	crash("create")
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(name)
-		return fmt.Errorf("checkpoint: put: %w", err)
+		return err
 	}
+	crash("write")
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	crash("sync-file")
 	if err := tmp.Close(); err != nil {
 		os.Remove(name)
-		return fmt.Errorf("checkpoint: put: %w", err)
+		return err
 	}
-	if err := os.Rename(name, dst); err != nil {
+	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
-		return fmt.Errorf("checkpoint: put: %w", err)
+		return err
+	}
+	crash("rename")
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	crash("sync-dir")
+	return nil
+}
+
+// syncDir fsyncs a directory so a preceding rename/create/remove in it is
+// durable. Best-effort on filesystems that reject directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,270 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// crashAt arranges for the durable-write protocol to panic at the named
+// stage, runs fn, and recovers — simulating a process killed at exactly
+// that point. Returns whether the simulated kill fired.
+func crashAt(t *testing.T, stage string, fn func()) (killed bool) {
+	t.Helper()
+	crashPoint = func(s string) {
+		if s == stage {
+			panic("simulated kill at " + s)
+		}
+	}
+	defer func() { crashPoint = nil }()
+	defer func() {
+		if r := recover(); r != nil {
+			killed = true
+		}
+	}()
+	fn()
+	return false
+}
+
+// TestDurableWriteStageOrder pins the protocol order the crash-consistency
+// argument rests on: the temp file is fully written and fsynced BEFORE the
+// rename, and the parent directory is fsynced AFTER it. A reordering (the
+// PR-3 store renamed without any fsync) would reintroduce the window where
+// a kill orphans the entry — or, for shard claims, the claim.
+func TestDurableWriteStageOrder(t *testing.T) {
+	var got []string
+	crashPoint = func(s string) { got = append(got, s) }
+	defer func() { crashPoint = nil }()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"create", "write", "sync-file", "rename", "sync-dir"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("durable write stages = %v, want %v", got, want)
+	}
+}
+
+// TestCrashSimulationStoreConsistent kills a Put at every protocol stage
+// and asserts the store invariant: Get returns either the complete old
+// value or the complete new value, never a torn mix, and a reopened store
+// can always complete a fresh Put.
+func TestCrashSimulationStoreConsistent(t *testing.T) {
+	for _, stage := range []string{"create", "write", "sync-file", "rename", "sync-dir"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("k", []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			if !crashAt(t, stage, func() { _ = s.Put("k", []byte("new")) }) {
+				t.Fatalf("simulated kill at %s did not fire", stage)
+			}
+			got, ok := s.Get("k")
+			if !ok {
+				t.Fatalf("entry vanished after kill at %s", stage)
+			}
+			if !bytes.Equal(got, []byte("old")) && !bytes.Equal(got, []byte("new")) {
+				t.Fatalf("torn entry after kill at %s: %q", stage, got)
+			}
+			// Stages at or after the rename must already expose the new
+			// value: rename is the commit point, the trailing dirsync only
+			// makes it durable.
+			if (stage == "rename" || stage == "sync-dir") && !bytes.Equal(got, []byte("new")) {
+				t.Fatalf("kill at %s lost committed value: %q", stage, got)
+			}
+			// Recovery: a fresh process over the same directory works.
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Put("k", []byte("recovered")); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := s2.Get("k"); !bytes.Equal(got, []byte("recovered")) {
+				t.Fatalf("recovery Put lost: %q", got)
+			}
+			// Leftover temp files from the kill must be invisible to Len.
+			if s2.Len() != 1 {
+				t.Fatalf("Len after crash+recovery = %d, want 1", s2.Len())
+			}
+		})
+	}
+}
+
+// TestCrashDuringClaimLeavesClaimRecoverable kills a lease renewal at
+// every stage and asserts the lease file is never torn in a way that
+// wedges the queue: the claim is either the old record, the new record,
+// or treated as expired (stealable) — never permanently stuck.
+func TestCrashDuringClaimLeavesClaimRecoverable(t *testing.T) {
+	for _, stage := range []string{"write", "rename", "sync-dir"} {
+		t.Run(stage, func(t *testing.T) {
+			c, err := OpenClaims(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, ok, err := c.TryClaim("cell", "w1", time.Hour)
+			if err != nil || !ok {
+				t.Fatalf("TryClaim = %v, %v", ok, err)
+			}
+			crashAt(t, stage, func() { _ = l.Renew(time.Hour) })
+			// Whatever state the kill left, another worker must eventually
+			// make progress: either the lease reads as live (held by w1, it
+			// will expire) or it is immediately claimable/stealable.
+			owner, live, present := c.Holder("cell")
+			if present && live && owner != "w1" {
+				t.Fatalf("lease owned by stranger %q after crash", owner)
+			}
+			if !present {
+				if _, ok, err := c.TryClaim("cell", "w2", time.Hour); err != nil || !ok {
+					t.Fatalf("vanished lease not reclaimable: %v, %v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+func TestPutVerify(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutVerify("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate completion with identical bytes: silent success.
+	if err := s.PutVerify("k", []byte("v")); err != nil {
+		t.Fatalf("identical PutVerify = %v", err)
+	}
+	// Divergent bytes: conflict, original preserved, rejected payload kept.
+	err = s.PutVerify("k", []byte("DIFFERENT"))
+	ce, ok := err.(*ConflictError)
+	if !ok {
+		t.Fatalf("divergent PutVerify = %v, want *ConflictError", err)
+	}
+	if got, _ := s.Get("k"); string(got) != "v" {
+		t.Fatalf("conflict clobbered entry: %q", got)
+	}
+	kept, rerr := os.ReadFile(ce.ConflictPath)
+	if rerr != nil || string(kept) != "DIFFERENT" {
+		t.Fatalf("rejected payload not preserved: %q, %v", kept, rerr)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len counts conflict sidecar: %d", s.Len())
+	}
+}
+
+func TestHasAndEntryPath(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("k") {
+		t.Fatal("Has on empty store")
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("k") {
+		t.Fatal("Has after Put = false")
+	}
+	if filepath.Base(s.EntryPath("k")) != KeyHash("k")+".json" {
+		t.Fatalf("EntryPath = %q", s.EntryPath("k"))
+	}
+}
+
+func TestTryClaimExclusive(t *testing.T) {
+	c, err := OpenClaims(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, ok, err := c.TryClaim("cell", "w1", time.Hour)
+	if err != nil || !ok {
+		t.Fatalf("first claim = %v, %v", ok, err)
+	}
+	if _, ok, err := c.TryClaim("cell", "w2", time.Hour); err != nil || ok {
+		t.Fatalf("second claim on live lease = %v, %v (want refused)", ok, err)
+	}
+	owner, live, present := c.Holder("cell")
+	if !present || !live || owner != "w1" {
+		t.Fatalf("Holder = %q, %v, %v", owner, live, present)
+	}
+	l1.Release()
+	if _, _, present := c.Holder("cell"); present {
+		t.Fatal("lease survives Release")
+	}
+	if _, ok, err := c.TryClaim("cell", "w2", time.Hour); err != nil || !ok {
+		t.Fatalf("claim after release = %v, %v", ok, err)
+	}
+}
+
+func TestExpiredLeaseIsStolenByExactlyOneContender(t *testing.T) {
+	c, err := OpenClaims(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.TryClaim("cell", "dead", time.Nanosecond); err != nil || !ok {
+		t.Fatalf("seed claim = %v, %v", ok, err)
+	}
+	time.Sleep(2 * time.Millisecond) // let the lease expire
+	const contenders = 8
+	var wg sync.WaitGroup
+	winners := make(chan string, contenders)
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("w%d", id)
+			if _, ok, err := c.TryClaim("cell", owner, time.Hour); err == nil && ok {
+				winners <- owner
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(winners)
+	var won []string
+	for w := range winners {
+		won = append(won, w)
+	}
+	if len(won) != 1 {
+		t.Fatalf("%d contenders won the steal (%v), want exactly 1", len(won), won)
+	}
+	owner, live, present := c.Holder("cell")
+	if !present || !live || owner != won[0] {
+		t.Fatalf("post-steal Holder = %q, %v, %v (winner %s)", owner, live, present, won[0])
+	}
+}
+
+func TestRenewDetectsSteal(t *testing.T) {
+	c, err := OpenClaims(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok, err := c.TryClaim("cell", "w1", time.Nanosecond)
+	if err != nil || !ok {
+		t.Fatalf("claim = %v, %v", ok, err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if _, ok, err := c.TryClaim("cell", "thief", time.Hour); err != nil || !ok {
+		t.Fatalf("steal = %v, %v", ok, err)
+	}
+	if err := l.Renew(time.Hour); err != ErrLeaseLost {
+		t.Fatalf("Renew after steal = %v, want ErrLeaseLost", err)
+	}
+	// The stale holder's Release must not tear down the thief's lease.
+	l.Release()
+	if owner, _, present := c.Holder("cell"); !present || owner != "thief" {
+		t.Fatalf("stale Release removed thief's lease: %q, %v", owner, present)
+	}
+}

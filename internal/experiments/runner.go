@@ -178,6 +178,13 @@ type Options struct {
 	// traced runs. Zero defaults to 10 simulated milliseconds when TraceDir
 	// is set.
 	MetricsInterval sim.Duration
+	// Veto, when non-nil, is consulted with each series' cache key before
+	// execution; a non-nil return fails the series immediately with that
+	// error. The shard executor uses it to fail quarantined (poison) cells
+	// fast instead of re-executing a known-deterministic failure serially.
+	// Consulted per Run call (not cached), so a quarantine that appears
+	// mid-run takes effect.
+	Veto func(key string) error
 }
 
 // DefaultOptions mirrors the paper's methodology.
@@ -219,6 +226,11 @@ type Runner struct {
 	// Threads calls, so one instance per spec name serves every series.
 	wlMu sync.Mutex
 	wls  map[string]workload.Workload
+
+	// collect, when non-nil, switches the runner into enumeration mode:
+	// Run records the cell it WOULD execute and returns a synthetic series
+	// without running (or even constructing) anything. See CellsFor.
+	collect *cellCollector
 }
 
 // seriesCall is one in-flight or completed series execution.
@@ -285,6 +297,20 @@ func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Seri
 	sk := seedKey(w, p, sys)
 	key := r.cacheKey(sk, sys)
 
+	if r.collect != nil {
+		r.collect.add(CellSpec{
+			Workload: w.Name, Policy: p.Name, System: sys,
+			SeedKey: sk, Key: key,
+			Cost: estimateCost(w, p, sys, r.opts),
+		})
+		return syntheticSeries(w, p, sys, r.opts.Trials), nil
+	}
+	if r.opts.Veto != nil {
+		if err := r.opts.Veto(key); err != nil {
+			return nil, fmt.Errorf("series %s vetoed: %w", sk, err)
+		}
+	}
+
 	r.mu.Lock()
 	if c, ok := r.cache[key]; ok {
 		r.mu.Unlock()
@@ -315,6 +341,7 @@ func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Seri
 // degrade to a progress note — persistence is best-effort, the run's own
 // results are never at risk.
 func (r *Runner) runSeriesCheckpointed(w WorkloadSpec, p PolicySpec, sys core.SystemConfig, sk, key string) (*Series, error) {
+	invalidEntry := false
 	if r.opts.Checkpoint != nil {
 		if data, ok := r.opts.Checkpoint.Get(key); ok {
 			if s, ok := decodeSeries(key, data); ok {
@@ -323,13 +350,29 @@ func (r *Runner) runSeriesCheckpointed(w WorkloadSpec, p PolicySpec, sys core.Sy
 				}
 				return s, nil
 			}
+			invalidEntry = true
 		}
 	}
 	s, err := r.runSeries(w, p, sys, sk, key)
 	if err == nil && r.opts.Checkpoint != nil {
 		data, encErr := encodeSeries(key, s)
 		if encErr == nil {
-			encErr = r.opts.Checkpoint.Put(key, data)
+			if invalidEntry {
+				// The stored entry failed validation (torn write, version
+				// skew): overwrite it, per the store's resume contract.
+				encErr = r.opts.Checkpoint.Put(key, data)
+			} else {
+				// PutVerify, not Put: under at-least-once sharded execution
+				// two workers can complete the same cell; byte-identical
+				// duplicates are fine, divergent bytes mean the trials were
+				// not deterministic and must fail loudly, with both payloads
+				// kept on disk for diffing.
+				encErr = r.opts.Checkpoint.PutVerify(key, data)
+			}
+		}
+		var conflict *checkpoint.ConflictError
+		if errors.As(encErr, &conflict) {
+			return nil, fmt.Errorf("series %s: determinism violation: duplicate completion produced different bytes: %w", sk, conflict)
 		}
 		if encErr != nil && r.opts.Progress != nil {
 			fmt.Fprintf(r.opts.Progress, "series %-40s checkpoint write failed: %v\n", sk, encErr)

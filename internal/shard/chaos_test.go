@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"mglrusim/internal/checkpoint"
+	"mglrusim/internal/experiments"
+	"mglrusim/internal/telemetry"
+)
+
+// chaosEnvDir, when set, turns this test binary into a shard worker over
+// the given directory — the helper-process half of the kill-storm test.
+const chaosEnvDir = "SHARD_CHAOS_DIR"
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(chaosEnvDir); dir != "" {
+		os.Exit(chaosWorkerMain(dir))
+	}
+	os.Exit(m.Run())
+}
+
+// chaosOpts are the fixed methodology knobs both the coordinator-side
+// test and the helper workers derive the cell set from; they must agree
+// or the keys would not line up (exactly the property pagebench gets by
+// passing identical flags to its workers).
+func chaosOpts() experiments.Options {
+	return experiments.Options{Trials: 2, Scale: 0.2, Seed: 0xABC, Parallelism: 1}
+}
+
+func chaosCfg(dir string, store *checkpoint.Store) Config {
+	return Config{
+		Dir:     filepath.Join(dir, "queue"),
+		Store:   store,
+		TTL:     400 * time.Millisecond,
+		Backoff: 20 * time.Millisecond,
+		Poll:    20 * time.Millisecond,
+	}
+}
+
+// chaosWorkerMain is the body of one spawned worker process: enumerate
+// the same cells from the same knobs, join the on-disk queue, drain on
+// SIGINT/SIGTERM, exit 0 when the queue is resolved.
+func chaosWorkerMain(dir string) int {
+	store, err := checkpoint.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cells, err := experiments.CellsFor(chaosOpts(), experiments.Figures["fig1"])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	q, err := NewQueue(chaosCfg(dir, store), cells)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var drain atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		drain.Store(true)
+	}()
+	opts := chaosOpts()
+	opts.Checkpoint = store
+	if err := q.RunWorker(WorkerConfig{Runner: experiments.NewRunner(opts), Drain: &drain}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// TestKillStormConvergesByteIdentical is the tentpole acceptance test:
+// three worker processes chew through fig1's cells while a kill storm
+// SIGKILLs live workers mid-run; the coordinator respawns them, expired
+// leases are stolen, crashed attempts are requeued, and the run still
+// converges with zero poisoned cells and a figure byte-identical to a
+// fresh serial run.
+func TestKillStormConvergesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	dir := t.TempDir()
+	store, err := checkpoint.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := experiments.CellsFor(chaosOpts(), experiments.Figures["fig1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosCfg(dir, store)
+	cfg.Counters = telemetry.NewCounterSet()
+
+	var mu sync.Mutex
+	var procs []*os.Process
+	spawn := func(slot int) (Handle, error) {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), chaosEnvDir+"="+dir)
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		procs = append(procs, cmd.Process)
+		mu.Unlock()
+		return NewCmdHandle(cmd), nil
+	}
+
+	co := &Coordinator{Cfg: cfg, Cells: cells, Workers: 3, Spawn: spawn}
+
+	// Kill storm: SIGKILL two live workers mid-run. Process.Kill on an
+	// already-exited worker errors and is not counted, so each delivered
+	// kill really tore down a running worker without any cleanup.
+	stop := make(chan struct{})
+	var kills atomic.Int64
+	var stormWG sync.WaitGroup
+	stormWG.Add(1)
+	go func() {
+		defer stormWG.Done()
+		next := 0
+		for delay := 150 * time.Millisecond; kills.Load() < 2; delay = 250 * time.Millisecond {
+			select {
+			case <-stop:
+				return
+			case <-time.After(delay):
+			}
+			mu.Lock()
+			for ; next < len(procs); next++ {
+				if procs[next].Kill() == nil {
+					kills.Add(1)
+					break
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+
+	rep, err := co.Run()
+	close(stop)
+	stormWG.Wait()
+	if err != nil {
+		t.Fatalf("coordinator: %v (report %+v)", err, rep)
+	}
+	if !rep.Progress.Resolved() {
+		t.Fatalf("queue not resolved: %+v", rep.Progress)
+	}
+	if len(rep.Poisoned) != 0 {
+		t.Fatalf("kill storm poisoned cells: %+v", rep.Poisoned)
+	}
+	// Requeue/expiry counters live in the worker processes' own sets; the
+	// coordinator-side evidence of the storm is the restart count.
+	t.Logf("kill storm: %d kills delivered, %d worker restarts", kills.Load(), rep.Restarts)
+	for _, c := range cells {
+		if !store.Has(c.Key) {
+			t.Fatalf("cell %s/%s missing from the store after convergence", c.Workload, c.Policy)
+		}
+	}
+
+	shardOpts := chaosOpts()
+	shardOpts.Checkpoint = store
+	shardOpts.Veto = Veto(cfg.Dir)
+	sharded := renderFig1(t, shardOpts)
+	serial := renderFig1(t, chaosOpts())
+	if sharded != serial {
+		t.Fatalf("kill-storm figure differs from a fresh serial run:\n--- serial ---\n%s\n--- sharded ---\n%s", serial, sharded)
+	}
+}

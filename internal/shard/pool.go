@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"mglrusim/internal/experiments"
+)
+
+// Pool is the in-process sharded execution strategy: N worker goroutines,
+// each with its own Runner, speaking the full on-disk queue protocol
+// (leases, attempts, poison records) against a shared store. It shares no
+// in-memory state between workers — deliberately, so it exercises and
+// validates exactly the coordination the multi-process executor relies
+// on — and implements experiments.Prefiller for RunMatrixSharded.
+type Pool struct {
+	Cfg     Config
+	Workers int
+	// NewRunner builds one worker's private Runner. It must set
+	// Options.Checkpoint to Cfg.Store.
+	NewRunner func() *experiments.Runner
+	// Resolve optionally overrides registry cell resolution (tests inject
+	// non-registry policies this way).
+	Resolve func(cell experiments.CellSpec) (experiments.WorkloadSpec, experiments.PolicySpec, error)
+}
+
+// Prefill implements experiments.Prefiller: it drives every cell to a
+// terminal state (done in the store, or poisoned). Cell failures become
+// poison records, not errors; only infrastructure failures are returned.
+func (p *Pool) Prefill(cells []experiments.CellSpec) error {
+	if p.NewRunner == nil {
+		return fmt.Errorf("shard: Pool.NewRunner is required")
+	}
+	n := p.Workers
+	if n <= 0 {
+		n = 4
+	}
+	q, err := NewQueue(p.Cfg, cells)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = q.RunWorker(WorkerConfig{
+				Owner:   fmt.Sprintf("pool-%d-w%d", os.Getpid(), i),
+				Runner:  p.NewRunner(),
+				Resolve: p.Resolve,
+			})
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

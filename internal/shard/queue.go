@@ -1,0 +1,377 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mglrusim/internal/checkpoint"
+	"mglrusim/internal/experiments"
+)
+
+// Queue is one shard work queue: an ordered cell list over a shared
+// store + lease directory. Queues are cheap, stateless views — every
+// process (and every worker goroutine) builds its own from the same
+// Config and cell enumeration; all coordination lives on disk.
+type Queue struct {
+	cfg    Config
+	claims *checkpoint.ClaimDir
+	cells  []experiments.CellSpec
+	hashes []string
+}
+
+// NewQueue opens a queue over cells (re-sorted into claim order so every
+// process agrees regardless of input order).
+func NewQueue(cfg Config, cells []experiments.CellSpec) (*Queue, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("shard: Config.Store is required")
+	}
+	claims, err := checkpoint.OpenClaims(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	sorted := make([]experiments.CellSpec, len(cells))
+	copy(sorted, cells)
+	experiments.SortCells(sorted)
+	hashes := make([]string, len(sorted))
+	for i, c := range sorted {
+		hashes[i] = checkpoint.KeyHash(c.Key)
+	}
+	return &Queue{cfg: cfg, claims: claims, cells: sorted, hashes: hashes}, nil
+}
+
+// Cells returns the queue's cell list in claim order.
+func (q *Queue) Cells() []experiments.CellSpec { return q.cells }
+
+// Progress is a point-in-time queue census.
+type Progress struct {
+	Done, Poisoned, Total int
+}
+
+// Resolved reports whether every cell has reached a terminal state.
+func (p Progress) Resolved() bool { return p.Done+p.Poisoned == p.Total }
+
+// Snapshot counts terminal cells by probing the store and poison records.
+func (q *Queue) Snapshot() Progress {
+	p := Progress{Total: len(q.cells)}
+	for i, c := range q.cells {
+		if q.cfg.Store.Has(c.Key) {
+			p.Done++
+		} else if _, ok := readPoison(q.cfg.Dir, q.hashes[i]); ok {
+			p.Poisoned++
+		}
+	}
+	return p
+}
+
+// Poisoned lists this queue's quarantine records.
+func (q *Queue) Poisoned() []PoisonRecord { return Poisoned(q.cfg.Dir, q.cells) }
+
+// VetoFunc adapts the queue's poison records to experiments.Options.Veto.
+func (q *Queue) VetoFunc() func(key string) error { return Veto(q.cfg.Dir) }
+
+func (q *Queue) readState(i int) cellState {
+	st := cellState{Key: q.cells[i].Key, SeedKey: q.cells[i].SeedKey}
+	data, err := os.ReadFile(cellStatePath(q.cfg.Dir, q.hashes[i]))
+	if err != nil {
+		return st
+	}
+	var read cellState
+	if json.Unmarshal(data, &read) == nil && read.Key == st.Key {
+		return read
+	}
+	return st
+}
+
+func (q *Queue) writeState(i int, st cellState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return checkpoint.WriteFileDurable(cellStatePath(q.cfg.Dir, q.hashes[i]), data)
+}
+
+func (q *Queue) writePoison(i int, rec PoisonRecord) {
+	data, err := json.Marshal(rec)
+	if err == nil {
+		err = checkpoint.WriteFileDurable(poisonPath(q.cfg.Dir, q.hashes[i]), data)
+	}
+	if err != nil && q.cfg.Progress != nil {
+		fmt.Fprintf(q.cfg.Progress, "shard: poison record for %s failed: %v\n", rec.SeedKey, err)
+	}
+	q.cfg.Counters.Add("cells.poisoned", 1)
+	if q.cfg.Progress != nil {
+		fmt.Fprintf(q.cfg.Progress, "shard: quarantined %-40s after %d attempt(s): %s\n",
+			rec.SeedKey, rec.Attempts, rec.Err)
+	}
+}
+
+// backoff returns the requeue delay after the given number of recorded
+// attempts: Backoff * 2^(attempts-1), capped at 32x.
+func (q *Queue) backoff(attempts int) time.Duration {
+	d := q.cfg.Backoff
+	for i := 1; i < attempts && d < 32*q.cfg.Backoff; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// WorkerConfig identifies one executing worker.
+type WorkerConfig struct {
+	// Owner is the lease-holder identity (must be unique per worker;
+	// default "<hostname>-<pid>").
+	Owner string
+	// Runner executes cells. It must share the queue's Store via
+	// Options.Checkpoint — the runner's normal checkpoint path is how
+	// results are published.
+	Runner *experiments.Runner
+	// Resolve maps a cell back to runnable specs. Defaults to the
+	// registry (WorkloadByName/PolicyByName at the runner's scale).
+	Resolve func(cell experiments.CellSpec) (experiments.WorkloadSpec, experiments.PolicySpec, error)
+	// Drain, when non-nil and set, stops the worker from claiming new
+	// cells; RunWorker returns after the in-flight cell (the
+	// SIGTERM/SIGINT drain flag).
+	Drain *atomic.Bool
+}
+
+func (wc WorkerConfig) withDefaults(scale float64) WorkerConfig {
+	if wc.Owner == "" {
+		host, _ := os.Hostname()
+		wc.Owner = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if wc.Resolve == nil {
+		wc.Resolve = func(cell experiments.CellSpec) (experiments.WorkloadSpec, experiments.PolicySpec, error) {
+			return RegistryResolve(cell, scale)
+		}
+	}
+	return wc
+}
+
+// RegistryResolve maps a cell to specs via the experiments registry — the
+// default for cells enumerated from registered figures.
+func RegistryResolve(cell experiments.CellSpec, scale float64) (w experiments.WorkloadSpec, p experiments.PolicySpec, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("shard: cell %s not resolvable from the registry: %v", cell.SeedKey, r)
+		}
+	}()
+	return experiments.WorkloadByName(cell.Workload, scale), experiments.PolicyByName(cell.Policy), nil
+}
+
+// RunWorker processes the queue until every cell is terminal (done or
+// poisoned) or the drain flag is raised. It is the body of a `pagebench
+// -worker` process, and equally runnable as a goroutine (Pool). The
+// returned error covers infrastructure failures only (unreachable queue
+// directory); cell failures are recorded in the queue, never returned.
+func (q *Queue) RunWorker(wc WorkerConfig) error {
+	if wc.Runner == nil {
+		return fmt.Errorf("shard: WorkerConfig.Runner is required")
+	}
+	wc = wc.withDefaults(wc.Runner.Options().Scale)
+	for {
+		if wc.Drain != nil && wc.Drain.Load() {
+			return nil
+		}
+		progressed, earliest, err := q.pass(wc)
+		if err != nil {
+			return err
+		}
+		if q.Snapshot().Resolved() {
+			return nil
+		}
+		if progressed {
+			continue
+		}
+		// Nothing runnable: someone else holds the remaining cells, or
+		// they are backing off. Sleep until the earliest backoff gate (or
+		// one poll interval) and rescan.
+		d := q.cfg.Poll
+		if !earliest.IsZero() {
+			if until := time.Until(earliest); until > 0 && until < d {
+				d = until
+			}
+		}
+		time.Sleep(d)
+	}
+}
+
+// pass makes one scan over the cell list, executing at most every
+// runnable cell once. It reports whether any cell changed state and the
+// earliest backoff gate observed.
+func (q *Queue) pass(wc WorkerConfig) (progressed bool, earliest time.Time, err error) {
+	for i := range q.cells {
+		if wc.Drain != nil && wc.Drain.Load() {
+			return progressed, earliest, nil
+		}
+		cell := q.cells[i]
+		if q.cfg.Store.Has(cell.Key) {
+			continue
+		}
+		if _, ok := readPoison(q.cfg.Dir, q.hashes[i]); ok {
+			continue
+		}
+		// Cheap pre-claim gate; re-read authoritatively under the lease.
+		if st := q.readState(i); !st.Running && st.NotBefore > 0 {
+			if nb := time.Unix(0, st.NotBefore); time.Now().Before(nb) {
+				if earliest.IsZero() || nb.Before(earliest) {
+					earliest = nb
+				}
+				continue
+			}
+		}
+		lease, ok, cerr := q.claims.TryClaim(q.hashes[i], wc.Owner, q.cfg.TTL)
+		if cerr != nil {
+			return progressed, earliest, cerr
+		}
+		if !ok {
+			continue // held by a live worker
+		}
+		changed := q.runCell(wc, i, lease)
+		lease.Release()
+		progressed = progressed || changed
+	}
+	return progressed, earliest, nil
+}
+
+// runCell handles one claimed cell: crash accounting, backoff gating,
+// execution, and terminal-state writes. Returns whether the cell's state
+// changed.
+func (q *Queue) runCell(wc WorkerConfig, i int, lease *checkpoint.Lease) bool {
+	cell := q.cells[i]
+	// Re-check terminal states now that we hold the lease: another worker
+	// may have finished or poisoned the cell between our scan and claim.
+	if q.cfg.Store.Has(cell.Key) {
+		return false
+	}
+	if _, ok := readPoison(q.cfg.Dir, q.hashes[i]); ok {
+		return false
+	}
+	st := q.readState(i)
+	if st.Running {
+		// The previous holder died mid-attempt: its lease expired with the
+		// running flag still set. Charge the crashed attempt and requeue
+		// with backoff — or quarantine when the budget is spent.
+		q.cfg.Counters.Add("leases.expired", 1)
+		lastErr := st.LastErr
+		if lastErr == "" {
+			lastErr = "worker crashed or stopped heartbeating mid-attempt"
+		}
+		if st.Attempts >= q.cfg.Attempts {
+			q.writePoison(i, PoisonRecord{Key: cell.Key, SeedKey: cell.SeedKey,
+				Attempts: st.Attempts, Err: lastErr})
+			return true
+		}
+		st.Running = false
+		st.NotBefore = time.Now().Add(q.backoff(st.Attempts)).UnixNano()
+		if err := q.writeState(i, st); err == nil {
+			q.cfg.Counters.Add("cells.requeued", 1)
+			if q.cfg.Progress != nil {
+				fmt.Fprintf(q.cfg.Progress, "shard: requeued %-40s (attempt %d crashed)\n", cell.SeedKey, st.Attempts)
+			}
+		}
+		return true
+	}
+	if st.NotBefore > 0 && time.Now().Before(time.Unix(0, st.NotBefore)) {
+		return false // still backing off; earliest-gate handled by the scan
+	}
+	if st.Attempts >= q.cfg.Attempts {
+		// Budget exhausted by clean failures (poisoning normally happens at
+		// failure time; this is the belt-and-suspenders path for a worker
+		// that died exactly between the state write and the poison write).
+		q.writePoison(i, PoisonRecord{Key: cell.Key, SeedKey: cell.SeedKey,
+			Attempts: st.Attempts, Err: st.LastErr})
+		return true
+	}
+
+	// Execute one attempt under the lease, with heartbeats.
+	st.Attempts++
+	st.Running = true
+	if err := q.writeState(i, st); err != nil {
+		return false // cannot record the attempt; leave the cell for others
+	}
+	q.cfg.Counters.Add("leases.held", 1)
+	if q.cfg.Progress != nil {
+		fmt.Fprintf(q.cfg.Progress, "shard: %s executing %-40s (attempt %d, cost %.1f)\n",
+			wc.Owner, cell.SeedKey, st.Attempts, cell.Cost)
+	}
+	runErr := q.execute(wc, cell, lease)
+
+	if runErr == nil {
+		st.Running = false
+		st.LastErr = ""
+		st.NotBefore = 0
+		q.writeState(i, st)
+		q.cfg.Counters.Add("cells.completed", 1)
+		return true
+	}
+	var conflict *checkpoint.ConflictError
+	switch {
+	case errors.As(runErr, &conflict):
+		// Determinism violation: immediate quarantine, both payloads kept.
+		q.cfg.Counters.Add("determinism.violations", 1)
+		q.writePoison(i, PoisonRecord{Key: cell.Key, SeedKey: cell.SeedKey,
+			Attempts: st.Attempts, Err: runErr.Error(),
+			Artifacts: []string{conflict.Path, conflict.ConflictPath}})
+	case st.Attempts >= q.cfg.Attempts:
+		q.writePoison(i, PoisonRecord{Key: cell.Key, SeedKey: cell.SeedKey,
+			Attempts: st.Attempts, Err: runErr.Error()})
+	default:
+		st.Running = false
+		st.LastErr = runErr.Error()
+		st.NotBefore = time.Now().Add(q.backoff(st.Attempts)).UnixNano()
+		q.writeState(i, st)
+		q.cfg.Counters.Add("cells.requeued", 1)
+		if q.cfg.Progress != nil {
+			fmt.Fprintf(q.cfg.Progress, "shard: %-40s attempt %d failed, backing off: %v\n",
+				cell.SeedKey, st.Attempts, runErr)
+		}
+	}
+	return true
+}
+
+// execute runs one cell through the worker's runner while a heartbeat
+// goroutine renews the lease at TTL/3. A lost lease (we stalled past the
+// TTL and were stolen) does not abort the run: finishing is harmless —
+// the duplicate completion is byte-verified — and cheaper than discarding
+// the work.
+func (q *Queue) execute(wc WorkerConfig, cell experiments.CellSpec, lease *checkpoint.Lease) error {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hb := q.cfg.TTL / 3
+		if hb < 10*time.Millisecond {
+			hb = 10 * time.Millisecond
+		}
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if err := lease.Renew(q.cfg.TTL); err != nil {
+					q.cfg.Counters.Add("leases.lost", 1)
+					return
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	w, p, err := wc.Resolve(cell)
+	if err != nil {
+		return err
+	}
+	_, err = wc.Runner.Run(w, p, cell.System)
+	return err
+}

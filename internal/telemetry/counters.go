@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// CounterSet is a concurrency-safe registry of named monotonic counters
+// for the *wall-clock* side of the harness. The virtual-time Tracer
+// deliberately does not apply there: the shard coordinator and its
+// workers live outside simulated time (leases expire on real clocks,
+// processes crash at real instants), and they are multi-threaded, so
+// they need the mutex the single-threaded Tracer refuses to pay for.
+//
+// A nil *CounterSet is valid everywhere, mirroring the nil-Tracer
+// contract: counters off must cost one pointer test.
+type CounterSet struct {
+	mu   sync.Mutex
+	vals map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{vals: make(map[string]int64)}
+}
+
+// Add increments a named counter, registering it on first use.
+func (c *CounterSet) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.vals[name] += delta
+	c.mu.Unlock()
+}
+
+// Get reads a counter (0 when unregistered or on nil).
+func (c *CounterSet) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
+
+// Snapshot returns the counters as parallel name/value slices, sorted by
+// name so output is deterministic regardless of increment interleaving.
+func (c *CounterSet) Snapshot() ([]string, []int64) {
+	if c == nil {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.vals))
+	for n := range c.vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	vals := make([]int64, len(names))
+	for i, n := range names {
+		vals[i] = c.vals[n]
+	}
+	return names, vals
+}
+
+// WriteText renders the counters one per line as "name value", sorted by
+// name — the coordinator's end-of-run summary format.
+func (c *CounterSet) WriteText(w io.Writer) error {
+	names, vals := c.Snapshot()
+	bw := bufio.NewWriter(w)
+	for i, n := range names {
+		bw.WriteString(n)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(vals[i], 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

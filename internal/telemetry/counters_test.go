@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetConcurrentAdds(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("leases.held", 1)
+				c.Add("cells.requeued", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("leases.held"); got != 8000 {
+		t.Fatalf("leases.held = %d, want 8000", got)
+	}
+	if got := c.Get("cells.requeued"); got != 16000 {
+		t.Fatalf("cells.requeued = %d, want 16000", got)
+	}
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by name: cells before leases.
+	if sb.String() != "cells.requeued 16000\nleases.held 8000\n" {
+		t.Fatalf("WriteText = %q", sb.String())
+	}
+}
+
+func TestCounterSetNilSafe(t *testing.T) {
+	var c *CounterSet
+	c.Add("x", 1)
+	if c.Get("x") != 0 {
+		t.Fatal("nil Get != 0")
+	}
+	names, vals := c.Snapshot()
+	if names != nil || vals != nil {
+		t.Fatal("nil Snapshot not empty")
+	}
+}
+
+func TestFlightDumpIncludesNotes(t *testing.T) {
+	tr := New(Config{})
+	tr.Note("invariant: frame 3 owned by two VPNs")
+	tr.Note("second line")
+	var sb strings.Builder
+	if err := tr.WriteFlight(&sb, "audit failure"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"reason: audit failure",
+		"notes (2, dropped 0):",
+		"  invariant: frame 3 owned by two VPNs",
+		"  second line",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flight dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNotesBounded(t *testing.T) {
+	tr := New(Config{})
+	for i := 0; i < MaxNotes+10; i++ {
+		tr.Note("n")
+	}
+	notes, dropped := tr.Notes()
+	if len(notes) != MaxNotes || dropped != 10 {
+		t.Fatalf("notes = %d dropped = %d, want %d/10", len(notes), dropped, MaxNotes)
+	}
+}

@@ -115,6 +115,12 @@ func (t *Tracer) WriteFlight(w io.Writer, reason string) error {
 		bw.WriteString("tracer: nil\n")
 		return bw.Flush()
 	}
+	if len(t.notes) > 0 {
+		fmt.Fprintf(bw, "notes (%d, dropped %d):\n", len(t.notes), t.notesDropped)
+		for _, n := range t.notes {
+			fmt.Fprintf(bw, "  %s\n", n)
+		}
+	}
 	events := t.RingEvents()
 	first := uint64(0)
 	if t.ringPos > uint64(len(events)) {

@@ -74,18 +74,23 @@ type gauge struct {
 // single-threaded by construction, which is what makes output
 // deterministic.
 type Tracer struct {
-	cfg     Config
-	clock   func() sim.Time
-	tracks  []string
-	trackID map[string]TrackID
-	events  []Event
-	dropped uint64
-	ring    []Event
-	ringPos uint64 // total events ever offered to the ring
-	gauges  []gauge
-	sampleT []sim.Time
-	samples [][]int64
+	cfg          Config
+	clock        func() sim.Time
+	tracks       []string
+	trackID      map[string]TrackID
+	events       []Event
+	dropped      uint64
+	ring         []Event
+	ringPos      uint64 // total events ever offered to the ring
+	gauges       []gauge
+	sampleT      []sim.Time
+	samples      [][]int64
+	notes        []string
+	notesDropped uint64
 }
+
+// MaxNotes bounds the retained annotation lines per tracer.
+const MaxNotes = 256
 
 // New builds a Tracer. The clock is unbound until Bind is called; events
 // recorded before then are stamped at time 0.
@@ -254,6 +259,32 @@ func (t *Tracer) CounterSeries() ([]sim.Time, [][]int64) {
 		return nil, nil
 	}
 	return t.sampleT, t.samples
+}
+
+// Note attaches a free-form annotation line to the tracer, surfaced in
+// flight-recorder dumps alongside the event ring. It is the channel for
+// out-of-band diagnostics that have no natural span shape — most
+// importantly the invariant auditor's violation diffs, which must reach
+// flight.txt even when the trial dies before its error path runs.
+// Bounded at MaxNotes; overflow is counted, not retained.
+func (t *Tracer) Note(line string) {
+	if t == nil {
+		return
+	}
+	if len(t.notes) >= MaxNotes {
+		t.notesDropped++
+		return
+	}
+	t.notes = append(t.notes, line)
+}
+
+// Notes returns the retained annotation lines in record order, plus the
+// count of lines dropped past MaxNotes.
+func (t *Tracer) Notes() ([]string, uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	return t.notes, t.notesDropped
 }
 
 // EventCount reports how many events were retained in the full log.

@@ -11,6 +11,7 @@ import (
 	"mglrusim/internal/policy/mglru"
 	"mglrusim/internal/sim"
 	"mglrusim/internal/swap"
+	"mglrusim/internal/telemetry"
 )
 
 // newAuditRig is newRig with the invariant auditor enabled at a tight
@@ -106,5 +107,53 @@ func TestAuditCatchesInjectedCorruption(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "owned by two VPNs") {
 		t.Fatalf("unexpected violation set: %v", err)
+	}
+}
+
+// TestAuditViolationReachesFlightDump: with a tracer attached, an
+// invariant violation must land in the flight-recorder dump directly —
+// as an instant in the ring and as the full diff in the notes — without
+// going through the trial-error path at all. This is the auditor→telemetry
+// hook's contract: flight.txt carries the breached invariant even when
+// the trial dies before AuditErr runs.
+func TestAuditViolationReachesFlightDump(t *testing.T) {
+	r := newAuditRig(64, 256, mglru.New(mglru.Default()), 7)
+	tr := telemetry.New(telemetry.Config{})
+	tr.Bind(r.eng.Now)
+	r.m.SetTracer(tr)
+	thrash(r, t, 256)
+
+	var victim pagetable.VPN = -1
+	for i := 0; i < 256; i++ {
+		if r.m.table.PTE(pagetable.VPN(i)).Present() {
+			victim = pagetable.VPN(i)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no resident page to corrupt")
+	}
+	for i := 0; i < 256; i++ {
+		vpn := pagetable.VPN(i)
+		if !r.m.table.PTE(vpn).Present() {
+			r.m.table.Insert(vpn, r.m.table.PTE(victim).Frame, false)
+			break
+		}
+	}
+	// Final scan detects the corruption; the reporter fires synchronously,
+	// BEFORE anyone inspects the returned error.
+	if err := r.m.AuditErr(); err == nil {
+		t.Fatal("injected double mapping not detected")
+	}
+	var sb strings.Builder
+	if err := tr.WriteFlight(&sb, "test dump"); err != nil {
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	if !strings.Contains(dump, "owned by two VPNs") {
+		t.Fatalf("flight dump missing the invariant diff:\n%s", dump)
+	}
+	if !strings.Contains(dump, "audit-violation") {
+		t.Fatalf("flight dump missing the audit-violation instant:\n%s", dump)
 	}
 }

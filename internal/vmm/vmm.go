@@ -604,6 +604,17 @@ func (m *Manager) SetTracer(tr *telemetry.Tracer) {
 	tr.Gauge("vmm.kswapd_bursts", func() int64 { return int64(m.counters.KswapdBursts) })
 	tr.Gauge("vmm.readahead_in", func() int64 { return int64(m.counters.ReadaheadIn) })
 	tr.Gauge("vmm.oom_kills", func() int64 { return int64(m.counters.OOMKills) })
+	if m.audit != nil {
+		// Auditor→telemetry hook: each invariant violation lands in the
+		// flight ring as an instant and in the dump's notes as the full
+		// diff, so flight.txt carries the breached invariant even when the
+		// trial dies before the AuditErr error path runs.
+		trAudit := tr.Track("audit")
+		m.audit.SetReporter(func(v check.Violation) {
+			tr.Instant(trAudit, "audit-violation", int64(v.At))
+			tr.Note("invariant: " + v.String())
+		})
+	}
 }
 
 // Tracer exposes the attached telemetry tracer (nil when tracing is off),
