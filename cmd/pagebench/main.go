@@ -8,6 +8,8 @@
 //	pagebench -figure all            # the whole evaluation
 //	pagebench -figure ext1           # extension: degraded-device sweep
 //	pagebench -trials 25 -scale 1.0  # methodology knobs
+//	pagebench -size fullscale -figure fig1   # native 3-4M-page footprints, 512-PTE regions
+//	pagebench -layout legacy         # force the AoS page-table layout
 //
 //	pagebench -figure all -checkpoint ckpt/                    # crash-safe runs
 //	pagebench -figure all -checkpoint ckpt/ -workers 4         # multi-process scale-out
@@ -57,6 +59,7 @@ import (
 	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/experiments"
 	"mglrusim/internal/fault"
+	"mglrusim/internal/pagetable"
 	"mglrusim/internal/shard"
 	"mglrusim/internal/sim"
 	"mglrusim/internal/telemetry"
@@ -107,6 +110,9 @@ func realMain() int {
 		figure   = flag.String("figure", "all", "figure id (fig1..fig12, ext1...), comma list, or 'all'")
 		trials   = flag.Int("trials", 25, "trials per configuration (paper: 25)")
 		scale    = flag.Float64("scale", 1.0, "workload footprint scale factor")
+		size     = flag.String("size", "scaled", "run profile: 'scaled' (calibrated 1/1000 footprints) or 'fullscale' (native 3-4M-page footprints, 512-PTE regions, 3 trials; explicit -scale/-region/-trials still win)")
+		region   = flag.Int("region", 0, "page-table region fanout in PTEs (0 = profile default; kernel PMDs are 512)")
+		layout   = flag.String("layout", "auto", "page-table storage layout: auto, legacy, packed")
 		seed     = flag.Uint64("seed", 0x5EED, "base seed")
 		parallel = flag.Int("parallel", 0, "concurrent trials (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-series progress")
@@ -191,6 +197,32 @@ func realMain() int {
 		return runBench(*benchSize, *benchJSON, *baseline, *tolerance, *preSecs, *verbose)
 	}
 
+	// Resolve the run profile before anything consumes the methodology
+	// knobs (including worker argv): -size picks the defaults, explicitly
+	// set flags override them.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch *size {
+	case "scaled":
+	case "fullscale":
+		fs := experiments.FullScaleOptions()
+		if !explicit["scale"] {
+			*scale = fs.Scale
+		}
+		if !explicit["region"] {
+			*region = fs.RegionPTEs
+		}
+		if !explicit["trials"] {
+			*trials = fs.Trials
+		}
+	default:
+		fatalf("unknown run profile %q (known: scaled, fullscale)", *size)
+	}
+	lay, ok := pagetable.ParseLayout(*layout)
+	if !ok {
+		fatalf("unknown page-table layout %q (known: auto, legacy, packed)", *layout)
+	}
+
 	plan, ok := fault.Preset(*faults)
 	if !ok {
 		fatalf("unknown fault preset %q (known: off, mild, severe)", *faults)
@@ -220,6 +252,8 @@ func realMain() int {
 			"-figure", *figure,
 			"-trials", strconv.Itoa(*trials),
 			"-scale", strconv.FormatFloat(*scale, 'g', -1, 64),
+			"-region", strconv.Itoa(*region),
+			"-layout", lay.String(),
 			"-seed", strconv.FormatUint(*seed, 10),
 			"-parallel", strconv.Itoa(perWorker),
 			"-checkpoint", *ckptDir,
@@ -251,6 +285,8 @@ func realMain() int {
 		figure:          *figure,
 		trials:          *trials,
 		scale:           *scale,
+		region:          *region,
+		layout:          lay,
 		seed:            *seed,
 		parallel:        *parallel,
 		verbose:         *verbose,
@@ -337,6 +373,8 @@ type figureConfig struct {
 	figure          string
 	trials          int
 	scale           float64
+	region          int
+	layout          pagetable.Layout
 	seed            uint64
 	parallel        int
 	verbose         bool
@@ -399,6 +437,8 @@ func runFigures(cfg figureConfig) int {
 	opts := experiments.Options{
 		Trials:          cfg.trials,
 		Scale:           cfg.scale,
+		RegionPTEs:      cfg.region,
+		Layout:          cfg.layout,
 		Seed:            cfg.seed,
 		Parallelism:     cfg.parallel,
 		Audit:           cfg.audit,

@@ -49,9 +49,12 @@ func Suite(size Size) []Benchmark {
 	return []Benchmark{
 		{Name: "fault-path", Func: benchFaultPath},
 		{Name: "mglru-aging-walk", Func: benchAgingWalk},
+		{Name: "aging-walk-dense", Func: benchAgingWalkDense},
+		{Name: "bloom-skip-walk", Func: benchBloomSkipWalk},
 		{Name: "clock-scan", Func: benchClockScan},
 		{Name: "rmap-chase", Func: benchRMapChase},
 		{Name: "telemetry-span", Func: benchTelemetrySpan},
+		{Name: "fullscale-fault-path", Macro: true, Fixed: 20000, Func: benchFullScaleFaultPath},
 		{Name: "fig1-series", Macro: true, Fixed: 1, Func: func(n int) { benchFig1Series(n, size) }},
 	}
 }
@@ -101,6 +104,60 @@ func benchAgingWalk(n int) {
 		for i := 0; i < n; i++ {
 			for j := 0; j < 64; j++ {
 				k.Touch(pagetable.VPN((i*31+j)%benchFrames)*stride, false)
+			}
+			p.Age(v)
+		}
+	})
+}
+
+// benchAgingWalkDense measures the aging walk's best case for the packed
+// layout: full-fanout (512-PTE) regions with every PTE resident, so
+// HarvestRegion runs whole 64-bit present∩accessed words instead of
+// skipping holes. Each op re-touches a spread working set then walks.
+func benchAgingWalkDense(n int) {
+	const regions = 4
+	frames := regions * pagetable.PTEsPerRegion
+	k := policytestutil.New(frames, regions, 7)
+	p := mglru.New(mglru.ScanAll())
+	p.Attach(k)
+	policytestutil.Run(func(v *sim.Env) {
+		for i := 0; i < frames; i++ {
+			k.FaultIn(v, p, pagetable.VPN(i), false, false)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < 256; j++ {
+				k.Touch(pagetable.VPN((i*97+j*17)%frames), false)
+			}
+			p.Age(v)
+		}
+	})
+}
+
+// benchBloomSkipWalk measures the bloom-gated aging walk (the kernel
+// default) over a table where every region holds resident pages but only
+// two are ever re-accessed: after the cold-start walk the filter admits
+// just the dense regions, so ns/op tracks the cost of gating past
+// resident-but-idle regions, not of scanning them. The companion
+// TestBloomSkipRatio asserts the skip ratio itself.
+func benchBloomSkipWalk(n int) {
+	const regions = 64
+	perRegion := benchFrames / regions // thin residency everywhere
+	k := policytestutil.New(benchFrames, regions, 7)
+	p := mglru.New(mglru.Default())
+	p.Attach(k)
+	policytestutil.Run(func(v *sim.Env) {
+		for r := 0; r < regions; r++ {
+			base := pagetable.VPN(r * pagetable.PTEsPerRegion)
+			for i := 0; i < perRegion; i++ {
+				k.FaultIn(v, p, base+pagetable.VPN(i), false, false)
+			}
+		}
+		hot := []pagetable.VPN{0, pagetable.VPN(32 * pagetable.PTEsPerRegion)}
+		for i := 0; i < n; i++ {
+			for _, base := range hot {
+				for j := 0; j < perRegion; j++ {
+					k.Touch(base+pagetable.VPN(j), false)
+				}
 			}
 			p.Age(v)
 		}
@@ -162,6 +219,37 @@ func benchTelemetrySpan(n int) {
 		now++
 		sp.EndArg(int64(i))
 	}
+}
+
+// benchFullScaleFaultPath drives the fault/evict cycle against a
+// full-scale table: 8192 regions of 512 PTEs — 4.19M mapped pages, the
+// paper's native footprint band — over a small physical memory, with
+// faults striding across the whole span. Bounds the per-fault cost of
+// the packed layout's bookkeeping at the geometry full-scale runs use;
+// the table and frame arena construction amortizes over the fixed op
+// count (and is itself part of what the benchmark guards: construction
+// is O(regions), not O(pages)).
+func benchFullScaleFaultPath(n int) {
+	const regions = 8192
+	k := policytestutil.New(4096, regions, 7)
+	p := simple.NewFIFO()
+	p.Attach(k)
+	pages := uint64(k.T.Pages())
+	policytestutil.Run(func(v *sim.Env) {
+		const stride = 524287 // prime ≈ pages/8: consecutive faults land in distant regions
+		for i := 0; i < n; i++ {
+			vpn := pagetable.VPN(uint64(i) * stride % pages)
+			if k.Touch(vpn, false) {
+				continue
+			}
+			for k.M.FreePages() == 0 {
+				if p.Reclaim(v, 1) == 0 {
+					p.Age(v)
+				}
+			}
+			k.FaultIn(v, p, vpn, false, false)
+		}
+	})
 }
 
 // benchFig1Series runs one complete Fig-1 series (tpch under MG-LRU at

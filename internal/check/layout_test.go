@@ -1,0 +1,68 @@
+package check_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mglrusim/internal/check"
+	"mglrusim/internal/experiments"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy"
+)
+
+// TestDifferentialBothLayouts replays the full differential harness —
+// every scan-based policy plus the exact-LRU and Belady-OPT oracles,
+// with invariant auditing on — over one recorded trace per workload
+// family, once with the table pinned to the legacy AoS layout and once
+// pinned to the packed SoA bit planes. The storage layout is pure
+// representation, so the two reports must agree fault-for-fault; the
+// oracle bounds (OPT floor, exact-LRU == Mattson) must hold under both.
+func TestDifferentialBothLayouts(t *testing.T) {
+	const (
+		maxOps = 8000
+		scale  = 0.05
+	)
+	layouts := []pagetable.Layout{pagetable.LayoutLegacy, pagetable.LayoutPacked}
+	policies := map[string]func() policy.Policy{}
+	for _, name := range []string{"clock", "mglru", "gen14", "scan-all", "fifo"} {
+		policies[name] = experiments.PolicyByName(name).Make
+	}
+
+	for _, name := range []string{"tpch", "ycsb-a"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec := experiments.WorkloadByName(name, scale)
+			w := spec.Make()
+			tr := check.RecordTrace(w, 0xABCD, 42, maxOps)
+			if len(tr) < 1000 {
+				t.Fatalf("trace too short: %d accesses", len(tr))
+			}
+			unique := map[int64]bool{}
+			for _, vpn := range tr {
+				unique[int64(vpn)] = true
+			}
+			capacity := len(unique) / 2
+			if capacity < 32 {
+				capacity = 32
+			}
+
+			reports := make(map[pagetable.Layout]*check.DiffReport, len(layouts))
+			for _, layout := range layouts {
+				rep, err := check.RunDifferential(tr, check.TableForLayout(w, layout), capacity, policies, true)
+				if err != nil {
+					t.Fatalf("%s layout differential failed:\n%v\nreport: %s", layout, err, rep)
+				}
+				if rep.Faults["exact-lru"] != rep.MattsonLRUMisses {
+					t.Fatalf("%s layout: exact-lru %d != mattson %d", layout, rep.Faults["exact-lru"], rep.MattsonLRUMisses)
+				}
+				reports[layout] = rep
+			}
+
+			legacy, packed := reports[pagetable.LayoutLegacy], reports[pagetable.LayoutPacked]
+			if !reflect.DeepEqual(legacy.Faults, packed.Faults) {
+				t.Fatalf("fault counts diverge between layouts:\nlegacy: %s\npacked: %s", legacy, packed)
+			}
+			t.Logf("layouts agree: %s", packed)
+		})
+	}
+}

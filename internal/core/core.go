@@ -69,6 +69,17 @@ type SystemConfig struct {
 	// default — the watchdog is an extra daemon and so perturbs event
 	// ordering slightly; enable it when running with fault injection.
 	Watchdog sim.Duration
+	// RegionPTEs, when positive, is the page-table region fanout the
+	// system expects — the one knob region geometry derives from. The
+	// workload must have been laid out with the same fanout (the
+	// experiment registry derives workload configs from this knob); a
+	// mismatch is a configuration error, not a silent re-layout. Zero
+	// accepts whatever fanout the workload was built with.
+	RegionPTEs int
+	// PageTable selects the page-table storage layout (auto, legacy AoS,
+	// or packed SoA bit planes). The zero value LayoutAuto picks packed
+	// whenever the fanout allows it.
+	PageTable pagetable.Layout
 }
 
 // DefaultSystemConfig mirrors the paper's testbed at 50% capacity with
@@ -192,10 +203,15 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 		sys.FlushCPU = 50 * sim.Microsecond
 	}
 
+	if sys.RegionPTEs > 0 && sys.RegionPTEs != w.RegionPTEs() {
+		return Metrics{}, fmt.Errorf("core: region fanout mismatch: system wants %d-PTE regions but workload %q was laid out with %d",
+			sys.RegionPTEs, w.Name(), w.RegionPTEs())
+	}
+
 	eng := sim.NewEngine(sys.CPUs)
 	sysRNG := sim.NewRNG(systemSeed)
 
-	table := pagetable.NewWithRegionSize(w.TableRegions(), w.RegionPTEs())
+	table := pagetable.NewWithLayout(w.TableRegions(), w.RegionPTEs(), sys.PageTable)
 	w.Layout(table)
 	footprint := w.FootprintPages()
 	capacity := int(float64(footprint) * sys.Ratio)

@@ -111,7 +111,7 @@ func (r *DegradedResult) CSV() string {
 // included) while faulted rows get their own seeded plans — the same
 // trial seeds, since the seed key deliberately excludes the plan.
 func ExtDegradedSweep(r *Runner) (Result, error) {
-	w := WorkloadByName("ycsb-a", r.opts.Scale)
+	w := r.workloadByName("ycsb-a")
 	res := &DegradedResult{Workload: w.Name}
 	for _, sev := range extSeverities {
 		sys := SystemAt(0.5, core.SwapSSD)

@@ -88,7 +88,7 @@ func (r *Fig1Result) Render() string {
 func Fig1(r *Runner) (Result, error) {
 	sys := SystemAt(0.5, core.SwapSSD)
 	res := &Fig1Result{}
-	for _, w := range Workloads(r.opts.Scale) {
+	for _, w := range r.workloads() {
 		cs, err := r.Run(w, PolicyByName(PolClock), sys)
 		if err != nil {
 			return nil, err
@@ -170,7 +170,7 @@ func jointSeries(r *Runner, ws []WorkloadSpec, ps []PolicySpec, sys core.SystemC
 
 // Fig2 runs the Figure 2 experiment.
 func Fig2(r *Runner) (Result, error) {
-	series, err := jointSeries(r, batchWorkloads(r.opts.Scale), BaselinePair(), SystemAt(0.5, core.SwapSSD))
+	series, err := jointSeries(r, r.batchWorkloads(), BaselinePair(), SystemAt(0.5, core.SwapSSD))
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +214,7 @@ func (r *TailResult) Render() string {
 
 func tailFigure(r *Runner, figID, label string, sys core.SystemConfig) (Result, error) {
 	res := &TailResult{FigID: figID, Label: label}
-	for _, w := range ycsbWorkloads(r.opts.Scale) {
+	for _, w := range r.ycsbWorkloads() {
 		cs, err := r.Run(w, PolicyByName(PolClock), sys)
 		if err != nil {
 			return nil, err
@@ -351,7 +351,7 @@ func normMatrix(r *Runner, figID, label, base string, ws []WorkloadSpec, ps []Po
 func Fig4(r *Runner) (Result, error) {
 	return normMatrix(r, "fig4",
 		"Fig 4: MG-LRU variant means (SSD, 50% ratio)", PolMGLRU,
-		Workloads(r.opts.Scale), MGLRUVariants(), SystemAt(0.5, core.SwapSSD), false)
+		r.workloads(), MGLRUVariants(), SystemAt(0.5, core.SwapSSD), false)
 }
 
 // --- Fig 5: joint distributions for variants ---
@@ -374,7 +374,7 @@ func (r *Fig5Result) Render() string {
 
 // Fig5 runs the Figure 5 experiment.
 func Fig5(r *Runner) (Result, error) {
-	series, err := jointSeries(r, batchWorkloads(r.opts.Scale), MGLRUVariants(), SystemAt(0.5, core.SwapSSD))
+	series, err := jointSeries(r, r.batchWorkloads(), MGLRUVariants(), SystemAt(0.5, core.SwapSSD))
 	if err != nil {
 		return nil, err
 	}
@@ -407,7 +407,7 @@ func Fig6(r *Runner) (Result, error) {
 	for _, ratio := range []float64{0.75, 0.9} {
 		m, err := normMatrix(r, "fig6",
 			fmt.Sprintf("Fig 6: mean performance at %.0f%% capacity-footprint ratio (SSD)", ratio*100),
-			PolMGLRU, Workloads(r.opts.Scale), AllPolicies(), SystemAt(ratio, core.SwapSSD), true)
+			PolMGLRU, r.workloads(), AllPolicies(), SystemAt(ratio, core.SwapSSD), true)
 		if err != nil {
 			return nil, err
 		}
@@ -449,7 +449,7 @@ func Fig7(r *Runner) (Result, error) {
 	res := &Fig7Result{}
 	for _, ratio := range []float64{0.75, 0.9} {
 		sys := SystemAt(ratio, core.SwapSSD)
-		for _, w := range batchWorkloads(r.opts.Scale) {
+		for _, w := range r.batchWorkloads() {
 			base, err := r.Run(w, PolicyByName(PolMGLRU), sys)
 			if err != nil {
 				return nil, err
@@ -491,7 +491,7 @@ func Fig8(r *Runner) (Result, error) {
 // Fig9 runs the Figure 9 experiment (ZRAM mean performance).
 func Fig9(r *Runner) (Result, error) {
 	m, err := normMatrix(r, "fig9", "Fig 9: mean performance with ZRAM swap (50% ratio)",
-		PolMGLRU, Workloads(r.opts.Scale), AllPolicies(), SystemAt(0.5, core.SwapZRAM), false)
+		PolMGLRU, r.workloads(), AllPolicies(), SystemAt(0.5, core.SwapZRAM), false)
 	if err != nil {
 		return nil, err
 	}
@@ -502,7 +502,7 @@ func Fig9(r *Runner) (Result, error) {
 // Fig10 runs the Figure 10 experiment (ZRAM mean faults).
 func Fig10(r *Runner) (Result, error) {
 	m, err := normMatrix(r, "fig10", "Fig 10: mean faults with ZRAM swap (50% ratio)",
-		PolMGLRU, Workloads(r.opts.Scale), AllPolicies(), SystemAt(0.5, core.SwapZRAM), false)
+		PolMGLRU, r.workloads(), AllPolicies(), SystemAt(0.5, core.SwapZRAM), false)
 	if err != nil {
 		return nil, err
 	}
@@ -541,7 +541,7 @@ func Fig11(r *Runner) (Result, error) {
 	res := &Fig11Result{}
 	ssd := SystemAt(0.5, core.SwapSSD)
 	zr := SystemAt(0.5, core.SwapZRAM)
-	for _, w := range Workloads(r.opts.Scale) {
+	for _, w := range r.workloads() {
 		for _, p := range BaselinePair() {
 			ss, err := r.Run(w, p, ssd)
 			if err != nil {

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mglrusim/internal/pagetable"
+)
+
+// renderAllFigures runs the complete figure matrix under one page-table
+// storage layout and concatenates every rendered table. Both layouts get
+// a fresh Runner so neither can warm the other's series cache.
+func renderAllFigures(t *testing.T, layout pagetable.Layout) string {
+	t.Helper()
+	r := NewRunner(Options{Trials: 2, Scale: 0.2, Seed: 0x5EED, Parallelism: 2, Layout: layout})
+	var b strings.Builder
+	for _, id := range FigureIDs() {
+		res, err := Figures[id](r)
+		if err != nil {
+			t.Fatalf("%s under %s layout: %v", id, layout, err)
+		}
+		b.WriteString(res.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestLayoutDifferentialFigures is the layout-equivalence gauntlet: the
+// ENTIRE figure matrix, rendered at the golden-test parameters, must be
+// byte-identical under the legacy AoS page table and the packed SoA
+// bit-plane layout. The packed layout is pure representation — any
+// divergence here means a flag read or region counter disagrees between
+// the two storage schemes on some path a figure exercises.
+func TestLayoutDifferentialFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: renders the full figure matrix twice")
+	}
+	legacy := renderAllFigures(t, pagetable.LayoutLegacy)
+	packed := renderAllFigures(t, pagetable.LayoutPacked)
+	if legacy == packed {
+		return
+	}
+	// Pin the first diverging line so the failure names the figure.
+	ll, pl := strings.Split(legacy, "\n"), strings.Split(packed, "\n")
+	for i := 0; i < len(ll) && i < len(pl); i++ {
+		if ll[i] != pl[i] {
+			t.Fatalf("figure output diverges between layouts at line %d:\n  legacy: %q\n  packed: %q", i+1, ll[i], pl[i])
+		}
+	}
+	t.Fatalf("figure output diverges between layouts: legacy %d lines, packed %d lines", len(ll), len(pl))
+}

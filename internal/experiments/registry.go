@@ -95,8 +95,15 @@ type WorkloadSpec struct {
 
 // Workloads returns the paper's five workloads, scaled by scale (1.0 =
 // the calibrated default footprint; larger values grow tables, graphs,
-// item counts, and request volumes proportionally).
-func Workloads(scale float64) []WorkloadSpec {
+// item counts, and request volumes proportionally), at the default
+// region fanout.
+func Workloads(scale float64) []WorkloadSpec { return WorkloadsAt(scale, 0) }
+
+// WorkloadsAt is Workloads with an explicit page-table region fanout —
+// the single knob every workload config's RegionPTEs derives from
+// (0 = workload.DefaultRegionPTEs). Full-scale runs pass the kernel's
+// 512-PTE PMD fanout here.
+func WorkloadsAt(scale float64, regionPTEs int) []WorkloadSpec {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -115,37 +122,59 @@ func Workloads(scale float64) []WorkloadSpec {
 			cfg.CustomerPages = sc(cfg.CustomerPages)
 			cfg.HashPages = sc(cfg.HashPages)
 			cfg.InputPages = sc(cfg.InputPages)
+			if regionPTEs > 0 {
+				cfg.RegionPTEs = regionPTEs
+			}
 			return tpch.New(cfg)
 		}},
 		{Name: "pagerank", Make: func() workload.Workload {
 			cfg := pagerank.DefaultConfig()
 			cfg.Graph.Vertices = sc(cfg.Graph.Vertices)
+			if regionPTEs > 0 {
+				cfg.RegionPTEs = regionPTEs
+			}
 			return pagerank.New(cfg)
 		}},
 		{Name: "ycsb-a", Latency: true, Make: func() workload.Workload {
 			cfg := ycsb.DefaultConfig(ycsb.MixA)
 			cfg.Items = sc(cfg.Items)
 			cfg.Requests = sc(cfg.Requests)
+			if regionPTEs > 0 {
+				cfg.RegionPTEs = regionPTEs
+			}
 			return ycsb.New(cfg)
 		}},
 		{Name: "ycsb-b", Latency: true, Make: func() workload.Workload {
 			cfg := ycsb.DefaultConfig(ycsb.MixB)
 			cfg.Items = sc(cfg.Items)
 			cfg.Requests = sc(cfg.Requests)
+			if regionPTEs > 0 {
+				cfg.RegionPTEs = regionPTEs
+			}
 			return ycsb.New(cfg)
 		}},
 		{Name: "ycsb-c", Latency: true, Make: func() workload.Workload {
 			cfg := ycsb.DefaultConfig(ycsb.MixC)
 			cfg.Items = sc(cfg.Items)
 			cfg.Requests = sc(cfg.Requests)
+			if regionPTEs > 0 {
+				cfg.RegionPTEs = regionPTEs
+			}
 			return ycsb.New(cfg)
 		}},
 	}
 }
 
-// WorkloadByName resolves a single workload spec at the given scale.
+// WorkloadByName resolves a single workload spec at the given scale and
+// the default region fanout.
 func WorkloadByName(name string, scale float64) WorkloadSpec {
-	for _, w := range Workloads(scale) {
+	return WorkloadByNameAt(name, scale, 0)
+}
+
+// WorkloadByNameAt resolves a single workload spec at the given scale
+// and region fanout.
+func WorkloadByNameAt(name string, scale float64, regionPTEs int) WorkloadSpec {
+	for _, w := range WorkloadsAt(scale, regionPTEs) {
 		if w.Name == name {
 			return w
 		}
@@ -155,13 +184,13 @@ func WorkloadByName(name string, scale float64) WorkloadSpec {
 
 // batchWorkloads returns the non-latency (runtime-metric) workloads the
 // joint-distribution figures use.
-func batchWorkloads(scale float64) []WorkloadSpec {
-	all := Workloads(scale)
+func batchWorkloads(scale float64, regionPTEs int) []WorkloadSpec {
+	all := WorkloadsAt(scale, regionPTEs)
 	return []WorkloadSpec{all[0], all[1]} // tpch, pagerank
 }
 
 // ycsbWorkloads returns the latency-metric workloads.
-func ycsbWorkloads(scale float64) []WorkloadSpec {
-	all := Workloads(scale)
+func ycsbWorkloads(scale float64, regionPTEs int) []WorkloadSpec {
+	all := WorkloadsAt(scale, regionPTEs)
 	return all[2:]
 }

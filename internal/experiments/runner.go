@@ -11,6 +11,7 @@ import (
 	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/core"
 	"mglrusim/internal/fault"
+	"mglrusim/internal/pagetable"
 	"mglrusim/internal/sim"
 	"mglrusim/internal/stats"
 	"mglrusim/internal/telemetry"
@@ -135,6 +136,14 @@ type Options struct {
 	Trials int
 	// Scale multiplies workload footprints (1.0 = calibrated default).
 	Scale float64
+	// RegionPTEs is the page-table region fanout every workload is laid
+	// out with and every system is configured for — the single knob
+	// region geometry derives from (0 = workload.DefaultRegionPTEs).
+	// Full-scale runs set the kernel's 512-PTE PMD fanout.
+	RegionPTEs int
+	// Layout selects the page-table storage layout for every trial
+	// (auto/legacy/packed; the zero value is auto).
+	Layout pagetable.Layout
 	// Seed is the base seed; trial i of a series derives its system
 	// seed from it. The workload seed is fixed so trials are "otherwise
 	// identical executions".
@@ -190,6 +199,17 @@ type Options struct {
 // DefaultOptions mirrors the paper's methodology.
 func DefaultOptions() Options {
 	return Options{Trials: 25, Scale: 1.0, Seed: 0x5EED, Parallelism: 0}
+}
+
+// FullScaleOptions is the full-scale run profile: workload footprints at
+// the paper's native size rather than the calibrated 1/1000 miniature.
+// At scale 1000 the tpch footprint is ≈3.9M pages (≈15.7 GB of simulated
+// memory at 4 KB pages, inside the paper testbed's 12–16 GB band), laid
+// out with the kernel's 512-PTE PMD fanout so region geometry matches
+// real PMDs. Trials drop to 3 — full-scale runs characterize the memory
+// layout and scan machinery, not the paper's 25-trial statistics.
+func FullScaleOptions() Options {
+	return Options{Trials: 3, Scale: 1000, Seed: 0x5EED, RegionPTEs: 512}
 }
 
 func (o Options) normalized() Options {
@@ -269,6 +289,31 @@ func (r *Runner) cacheKey(sk string, sys core.SystemConfig) string {
 	return fmt.Sprintf("%s|%+v|scale=%g trials=%d seed=%d", sk, sys, r.opts.Scale, r.opts.Trials, r.opts.Seed)
 }
 
+// workloads returns the full workload matrix at the runner's scale and
+// region fanout; figure functions use these runner-scoped helpers so a
+// runner's RegionPTEs knob reaches workload layout and system config
+// from one place.
+func (r *Runner) workloads() []WorkloadSpec {
+	return WorkloadsAt(r.opts.Scale, r.opts.RegionPTEs)
+}
+
+// workloadByName resolves one workload at the runner's scale and fanout.
+func (r *Runner) workloadByName(name string) WorkloadSpec {
+	return WorkloadByNameAt(name, r.opts.Scale, r.opts.RegionPTEs)
+}
+
+// batchWorkloads returns the runtime-metric workloads at the runner's
+// scale and fanout.
+func (r *Runner) batchWorkloads() []WorkloadSpec {
+	return batchWorkloads(r.opts.Scale, r.opts.RegionPTEs)
+}
+
+// ycsbWorkloads returns the latency-metric workloads at the runner's
+// scale and fanout.
+func (r *Runner) ycsbWorkloads() []WorkloadSpec {
+	return ycsbWorkloads(r.opts.Scale, r.opts.RegionPTEs)
+}
+
 // workload returns the memoized workload instance for spec w.
 func (r *Runner) workload(w WorkloadSpec) workload.Workload {
 	r.wlMu.Lock()
@@ -285,9 +330,16 @@ func (r *Runner) workload(w WorkloadSpec) workload.Workload {
 func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Series, error) {
 	// Fold the runner-wide options into the system config before
 	// fingerprinting, so a cached (or checkpointed) series is never served
-	// across a differing audit/fault/watchdog setting. Configs carrying
-	// their own plan or window win over the runner-wide defaults.
+	// across a differing audit/fault/watchdog/layout setting. Configs
+	// carrying their own plan, window, fanout, or layout win over the
+	// runner-wide defaults.
 	sys.VMM.Audit = sys.VMM.Audit || r.opts.Audit
+	if sys.RegionPTEs == 0 {
+		sys.RegionPTEs = r.opts.RegionPTEs
+	}
+	if sys.PageTable == pagetable.LayoutAuto {
+		sys.PageTable = r.opts.Layout
+	}
 	if !sys.Fault.Enabled() && r.opts.Fault.Enabled() {
 		sys.Fault = r.opts.Fault
 	}

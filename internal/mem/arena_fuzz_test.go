@@ -1,0 +1,133 @@
+package mem
+
+import "testing"
+
+// FuzzArenaVsDense drives the chunked arena and a dense slice through the
+// same write/read stream and requires identical reads, plus the lazy
+// invariants the packed page table leans on: Peek never materializes, At
+// pointers stay stable, LiveChunks only counts chunks actually written.
+func FuzzArenaVsDense(f *testing.F) {
+	f.Add([]byte{0, 10, 7, 1, 10, 0, 1, 200, 0})
+	f.Add([]byte{0, 255, 1, 0, 0, 2, 1, 128, 0, 0, 129, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 300 // spans several 64-element chunks, with a ragged tail
+		a := NewArena[int64](n, 64)
+		a.SetDefault(-7)
+		dense := make([]int64, n)
+		for i := range dense {
+			dense[i] = -7
+		}
+		var ptrs = map[int]*int64{}
+		written := map[int]bool{}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, idxb, val := data[i], data[i+1], data[i+2]
+			idx := (int(idxb)*7 + i) % n
+			switch op % 3 {
+			case 0: // write through At
+				p := a.At(idx)
+				*p = int64(val)
+				dense[idx] = int64(val)
+				if old, ok := ptrs[idx]; ok && old != p {
+					t.Fatalf("At(%d) moved: chunks must stay put once materialized", idx)
+				}
+				ptrs[idx] = p
+				written[idx/64] = true
+			case 1: // read through Peek (must not materialize)
+				before := a.LiveChunks()
+				if got := a.Peek(idx); got != dense[idx] {
+					t.Fatalf("Peek(%d) = %d, dense model says %d", idx, got, dense[idx])
+				}
+				if a.LiveChunks() != before {
+					t.Fatalf("Peek(%d) materialized a chunk", idx)
+				}
+			case 2: // read through At (materializes, default-filled)
+				if got := *a.At(idx); got != dense[idx] {
+					t.Fatalf("At(%d) = %d, dense model says %d", idx, got, dense[idx])
+				}
+			}
+		}
+		if a.LiveChunks() > (n+63)/64 {
+			t.Fatalf("LiveChunks %d exceeds chunk count", a.LiveChunks())
+		}
+		if a.LiveChunks() < len(written) {
+			t.Fatalf("LiveChunks %d under-counts: %d chunks were written", a.LiveChunks(), len(written))
+		}
+	})
+}
+
+// FuzzMemoryAllocFree drives the recycling allocator against a live-set
+// model: no frame is handed out twice, freed frames come back fully
+// Reset, FreePages always agrees with the model, and VPNOf reads through
+// without materializing extra metadata chunks.
+func FuzzMemoryAllocFree(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 0, 0})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 2, 1, 4, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const size = 64
+		m := New(size)
+		live := map[FrameID]bool{}
+		order := []FrameID{} // allocation order, for picking victims to free
+		for i := 0; i+1 < len(data); i += 2 {
+			op, pick := data[i], data[i+1]
+			switch op % 2 {
+			case 0: // alloc
+				fid := m.Alloc()
+				if len(live) == size {
+					if fid != NilFrame {
+						t.Fatalf("alloc succeeded with all %d frames live", size)
+					}
+					continue
+				}
+				if fid == NilFrame {
+					t.Fatalf("alloc failed with %d/%d frames live", len(live), size)
+				}
+				if live[fid] {
+					t.Fatalf("frame %d handed out twice", fid)
+				}
+				if fid < 0 || int(fid) >= size {
+					t.Fatalf("frame %d out of range", fid)
+				}
+				fr := m.Frame(fid)
+				if fr.VPN != -1 || fr.Flags != 0 || fr.ListID != ListNone {
+					t.Fatalf("frame %d not reset on alloc: %+v", fid, *fr)
+				}
+				fr.VPN = int64(fid) * 100 // stamp so reuse without Reset is visible
+				fr.Flags = FlagDirty
+				live[fid] = true
+				order = append(order, fid)
+			case 1: // free a live frame
+				if len(order) == 0 {
+					continue
+				}
+				j := int(pick) % len(order)
+				fid := order[j]
+				order = append(order[:j], order[j+1:]...)
+				m.Free(fid)
+				delete(live, fid)
+				if m.VPNOf(fid) != -1 {
+					t.Fatalf("freed frame %d still has VPN %d", fid, m.VPNOf(fid))
+				}
+			}
+			if got, want := m.FreePages(), size-len(live); got != want {
+				t.Fatalf("FreePages = %d, model says %d", got, want)
+			}
+			if m.UsedPages() != len(live) {
+				t.Fatalf("UsedPages = %d, model says %d", m.UsedPages(), len(live))
+			}
+		}
+		// Every model-free frame must be reachable through EachFree, once.
+		seen := map[FrameID]int{}
+		m.EachFree(func(fid FrameID) { seen[fid]++ })
+		if len(seen) != size-len(live) {
+			t.Fatalf("EachFree visited %d frames, model says %d free", len(seen), size-len(live))
+		}
+		for fid, n := range seen {
+			if n != 1 {
+				t.Fatalf("EachFree visited frame %d %d times", fid, n)
+			}
+			if live[fid] {
+				t.Fatalf("EachFree visited live frame %d", fid)
+			}
+		}
+	})
+}

@@ -66,10 +66,27 @@ func (f *Frame) Reset() {
 	f.Next, f.Prev = NilFrame, NilFrame
 }
 
+// frameChunk is the frame-metadata arena granularity: 4096 frames
+// (~128 KB of metadata) per chunk keeps materialization coarse enough to
+// be cheap and fine enough that small test memories stay small.
+const frameChunk = 4096
+
 // Memory is a physical memory of a fixed number of frames.
+//
+// Frame metadata lives in a chunked arena materialized on first touch,
+// and the free list is a recycling stack over a never-allocated-yet
+// watermark, so constructing a multi-million-frame Memory is O(1) in the
+// frame count: full-scale capacities cost only the chunks the run
+// actually dirties.
 type Memory struct {
-	frames []Frame
-	free   []FrameID
+	frames *Arena[Frame]
+	size   int
+	// free is the stack of recycled frames; fresh is the low-water mark
+	// of frames never handed out. Allocation pops recycled frames LIFO
+	// first, then advances fresh — byte-for-byte the order the historical
+	// pre-built descending free list produced.
+	free  []FrameID
+	fresh FrameID
 
 	// onListMutate, when non-nil, observes every list mutation (see
 	// SetMutationHook).
@@ -89,23 +106,23 @@ func New(n int) *Memory {
 		panic("mem: capacity must be positive")
 	}
 	m := &Memory{
-		frames: make([]Frame, n),
-		free:   make([]FrameID, 0, n),
+		frames: NewArena[Frame](n, frameChunk),
+		size:   n,
 	}
-	for i := range m.frames {
-		m.frames[i].Reset()
-	}
-	// Free list in descending order so allocation hands out low frames
-	// first; deterministic.
-	for i := n - 1; i >= 0; i-- {
-		m.free = append(m.free, FrameID(i))
-	}
+	m.frames.SetDefault(resetFrame())
 	// Watermark defaults: min ~0.8%, low 1%, high 3% of capacity, with
 	// floors so tiny test memories still behave.
 	m.Min = maxInt(2, n*8/1000)
 	m.Low = maxInt(4, n/100)
 	m.High = maxInt(8, n*3/100)
 	return m
+}
+
+// resetFrame is the freshly-freed frame value chunks are filled with.
+func resetFrame() Frame {
+	var f Frame
+	f.Reset()
+	return f
 }
 
 func maxInt(a, b int) int {
@@ -116,35 +133,47 @@ func maxInt(a, b int) int {
 }
 
 // Size reports total frames.
-func (m *Memory) Size() int { return len(m.frames) }
+func (m *Memory) Size() int { return m.size }
 
 // FreePages reports how many frames are currently free.
-func (m *Memory) FreePages() int { return len(m.free) }
+func (m *Memory) FreePages() int { return len(m.free) + m.size - int(m.fresh) }
 
 // UsedPages reports how many frames are allocated.
-func (m *Memory) UsedPages() int { return len(m.frames) - len(m.free) }
+func (m *Memory) UsedPages() int { return m.size - m.FreePages() }
 
 // Frame returns the metadata for frame f. The pointer stays valid for the
 // lifetime of the Memory.
 func (m *Memory) Frame(f FrameID) *Frame {
-	return &m.frames[f]
+	return m.frames.At(int(f))
+}
+
+// VPNOf reports the virtual page mapped into frame f, or -1 when free —
+// the flattened reverse-map resolve, one indexed load with no chunk
+// materialization.
+func (m *Memory) VPNOf(f FrameID) int64 {
+	return m.frames.Peek(int(f)).VPN
 }
 
 // Alloc takes a free frame, or returns NilFrame when none is available.
 // The returned frame's metadata has been Reset.
 func (m *Memory) Alloc() FrameID {
-	if len(m.free) == 0 {
-		return NilFrame
+	if n := len(m.free); n > 0 {
+		f := m.free[n-1]
+		m.free = m.free[:n-1]
+		return f
 	}
-	f := m.free[len(m.free)-1]
-	m.free = m.free[:len(m.free)-1]
-	return f
+	if int(m.fresh) < m.size {
+		f := m.fresh
+		m.fresh++
+		return f
+	}
+	return NilFrame
 }
 
 // Free returns frame f to the free list and clears its metadata.
 // Freeing a frame that is still on a policy list is a bug and panics.
 func (m *Memory) Free(f FrameID) {
-	fr := &m.frames[f]
+	fr := m.frames.At(int(f))
 	if fr.ListID != ListNone {
 		panic("mem: freeing frame still on a policy list")
 	}
@@ -154,21 +183,25 @@ func (m *Memory) Free(f FrameID) {
 
 // BelowMin reports whether free memory is under the direct-reclaim
 // watermark.
-func (m *Memory) BelowMin() bool { return len(m.free) < m.Min }
+func (m *Memory) BelowMin() bool { return m.FreePages() < m.Min }
 
 // BelowLow reports whether free memory is under the background-reclaim
 // wakeup watermark.
-func (m *Memory) BelowLow() bool { return len(m.free) < m.Low }
+func (m *Memory) BelowLow() bool { return m.FreePages() < m.Low }
 
 // BelowHigh reports whether free memory is under the background-reclaim
 // target watermark.
-func (m *Memory) BelowHigh() bool { return len(m.free) < m.High }
+func (m *Memory) BelowHigh() bool { return m.FreePages() < m.High }
 
-// EachFree calls fn for every frame currently on the free list.
-// Verification tooling uses it to cross-check frame ownership; fn must not
-// allocate or free frames.
+// EachFree calls fn for every frame currently free — the recycled stack
+// plus every frame past the allocation watermark. Verification tooling
+// uses it to cross-check frame ownership; fn must not allocate or free
+// frames.
 func (m *Memory) EachFree(fn func(FrameID)) {
 	for _, f := range m.free {
+		fn(f)
+	}
+	for f := m.fresh; int(f) < m.size; f++ {
 		fn(f)
 	}
 }

@@ -11,9 +11,28 @@
 // The table can contain holes — regions that are mapped into the address
 // space layout but never populated. Those are what make naive linear scans
 // wasteful and motivate MG-LRU's bloom filter.
+//
+// Two storage layouts implement the same semantics:
+//
+//   - LayoutLegacy keeps an array of 16-byte PTE structs, the layout the
+//     simulator grew up with. Allocation is O(pages) over the whole VA
+//     span, holes included.
+//   - LayoutPacked is a struct-of-arrays form: the five PTE flag bits
+//     live in per-region uint64 bit planes, and frame/swap words live in
+//     per-region chunks materialized only for regions the layout actually
+//     maps. Aging-walk harvesting becomes word-masked bit iteration, and a
+//     4M-page table allocates O(regions), not O(pages).
+//
+// Every observable behaviour — scan order, counters, panics — is
+// identical between the layouts; the layout-differential suite holds the
+// figure pipeline to byte equality over both.
 package pagetable
 
-import "mglrusim/internal/mem"
+import (
+	"math/bits"
+
+	"mglrusim/internal/mem"
+)
 
 // VPN is a virtual page number within a process address space.
 type VPN int64
@@ -44,7 +63,48 @@ const (
 // NilSwap marks a PTE with no swap slot assigned.
 const NilSwap int32 = -1
 
-// PTE is one page-table entry.
+// Layout selects the page-table storage representation.
+type Layout uint8
+
+const (
+	// LayoutAuto picks LayoutPacked when the region fanout is a whole
+	// number of 64-bit words (so regions own whole bit-plane words) and
+	// LayoutLegacy otherwise.
+	LayoutAuto Layout = iota
+	// LayoutLegacy is the array-of-structs PTE layout.
+	LayoutLegacy
+	// LayoutPacked is the struct-of-arrays bitset layout.
+	LayoutPacked
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LayoutLegacy:
+		return "legacy"
+	case LayoutPacked:
+		return "packed"
+	default:
+		return "auto"
+	}
+}
+
+// ParseLayout maps a flag value to a Layout.
+func ParseLayout(s string) (Layout, bool) {
+	switch s {
+	case "auto", "":
+		return LayoutAuto, true
+	case "legacy":
+		return LayoutLegacy, true
+	case "packed":
+		return LayoutPacked, true
+	}
+	return LayoutAuto, false
+}
+
+// PTE is one page-table entry. On the legacy layout it is the stored
+// representation; on the packed layout it is a snapshot synthesized from
+// the bit planes.
 type PTE struct {
 	Frame mem.FrameID // valid when BitPresent
 	Swap  int32       // swap slot when swapped out, else NilSwap
@@ -52,27 +112,45 @@ type PTE struct {
 }
 
 // Present reports whether the PTE maps a resident page.
-func (p *PTE) Present() bool { return p.Bits&BitPresent != 0 }
+func (p PTE) Present() bool { return p.Bits&BitPresent != 0 }
 
 // Mapped reports whether the VA is valid at all.
-func (p *PTE) Mapped() bool { return p.Bits&BitMapped != 0 }
+func (p PTE) Mapped() bool { return p.Bits&BitMapped != 0 }
 
 // Accessed reports the A bit.
-func (p *PTE) Accessed() bool { return p.Bits&BitAccessed != 0 }
+func (p PTE) Accessed() bool { return p.Bits&BitAccessed != 0 }
 
 // Dirty reports the D bit.
-func (p *PTE) Dirty() bool { return p.Bits&BitDirty != 0 }
+func (p PTE) Dirty() bool { return p.Bits&BitDirty != 0 }
 
 // File reports whether the page is file-backed.
-func (p *PTE) File() bool { return p.Bits&BitFile != 0 }
+func (p PTE) File() bool { return p.Bits&BitFile != 0 }
 
 // Table is a process page table over a contiguous span of regions.
 type Table struct {
-	ptes          []PTE
+	layout    Layout
+	perRegion int
+	regions   int
+
+	// Legacy layout: dense PTE array. nil on the packed layout.
+	ptes []PTE
+
+	// Packed layout: one bit plane per PTE flag, region-aligned (wpr
+	// whole words per region), plus per-region frame/swap chunks
+	// materialized by MapRange only for regions the layout touches.
+	wpr      int
+	mapped   []uint64
+	present  []uint64
+	accessed []uint64
+	dirty    []uint64
+	file     []uint64
+	frames   [][]mem.FrameID
+	swaps    [][]int32
+
 	regionPresent []int32 // resident pages per region
-	perRegion     int
-	present       int
-	mapped        int
+	regionSwapped []int32 // PTEs holding a swap slot per region
+	presentN      int
+	mappedN       int
 }
 
 // New creates a table spanning regions PMD regions of PTEsPerRegion
@@ -82,38 +160,75 @@ func New(regions int) *Table { return NewWithRegionSize(regions, PTEsPerRegion) 
 // NewWithRegionSize creates a table with a custom region fanout, used by
 // scaled-down simulations to keep region counts proportional.
 func NewWithRegionSize(regions, perRegion int) *Table {
+	return NewWithLayout(regions, perRegion, LayoutAuto)
+}
+
+// NewWithLayout creates a table with an explicit storage layout.
+// LayoutPacked requires the region fanout to be a multiple of 64.
+func NewWithLayout(regions, perRegion int, layout Layout) *Table {
 	if regions <= 0 {
 		panic("pagetable: need at least one region")
 	}
 	if perRegion < PTEsPerCacheLine {
 		panic("pagetable: region smaller than a cache line")
 	}
-	t := &Table{
-		ptes:          make([]PTE, regions*perRegion),
-		regionPresent: make([]int32, regions),
-		perRegion:     perRegion,
+	if layout == LayoutAuto {
+		if perRegion%64 == 0 {
+			layout = LayoutPacked
+		} else {
+			layout = LayoutLegacy
+		}
 	}
-	for i := range t.ptes {
-		t.ptes[i].Frame = mem.NilFrame
-		t.ptes[i].Swap = NilSwap
+	t := &Table{
+		layout:        layout,
+		perRegion:     perRegion,
+		regions:       regions,
+		regionPresent: make([]int32, regions),
+		regionSwapped: make([]int32, regions),
+	}
+	switch layout {
+	case LayoutLegacy:
+		t.ptes = make([]PTE, regions*perRegion)
+		for i := range t.ptes {
+			t.ptes[i].Frame = mem.NilFrame
+			t.ptes[i].Swap = NilSwap
+		}
+	case LayoutPacked:
+		if perRegion%64 != 0 {
+			panic("pagetable: packed layout needs a region fanout that is a multiple of 64")
+		}
+		t.wpr = perRegion / 64
+		words := regions * t.wpr
+		t.mapped = make([]uint64, words)
+		t.present = make([]uint64, words)
+		t.accessed = make([]uint64, words)
+		t.dirty = make([]uint64, words)
+		t.file = make([]uint64, words)
+		t.frames = make([][]mem.FrameID, regions)
+		t.swaps = make([][]int32, regions)
+	default:
+		panic("pagetable: unknown layout")
 	}
 	return t
 }
+
+// Layout reports the storage layout in use (never LayoutAuto).
+func (t *Table) Layout() Layout { return t.layout }
 
 // RegionPTEs reports the region fanout of this table.
 func (t *Table) RegionPTEs() int { return t.perRegion }
 
 // Regions reports the number of PMD regions.
-func (t *Table) Regions() int { return len(t.regionPresent) }
+func (t *Table) Regions() int { return t.regions }
 
 // Pages reports the total VA span in pages (including holes).
-func (t *Table) Pages() int { return len(t.ptes) }
+func (t *Table) Pages() int { return t.regions * t.perRegion }
 
 // PresentPages reports resident pages.
-func (t *Table) PresentPages() int { return t.present }
+func (t *Table) PresentPages() int { return t.presentN }
 
 // MappedPages reports valid (non-hole) pages.
-func (t *Table) MappedPages() int { return t.mapped }
+func (t *Table) MappedPages() int { return t.mappedN }
 
 // RegionOf returns the region index containing vpn.
 func (t *Table) RegionOf(vpn VPN) int { return int(vpn) / t.perRegion }
@@ -121,23 +236,135 @@ func (t *Table) RegionOf(vpn VPN) int { return int(vpn) / t.perRegion }
 // RegionStart returns the first VPN of region r.
 func (t *Table) RegionStart(r int) VPN { return VPN(r * t.perRegion) }
 
-// PTE returns the entry for vpn. The pointer stays valid for the table's
-// lifetime; callers must go through Table methods for state transitions
-// that affect counters.
-func (t *Table) PTE(vpn VPN) *PTE { return &t.ptes[vpn] }
+// bitpos locates vpn in the bit planes (packed layout).
+func bitpos(vpn VPN) (word int, mask uint64) {
+	return int(vpn >> 6), 1 << (uint(vpn) & 63)
+}
+
+// chunkIdx locates vpn in its region's frame/swap chunk (packed layout).
+func (t *Table) chunkIdx(vpn VPN) (region, idx int) {
+	region = int(vpn) / t.perRegion
+	return region, int(vpn) - region*t.perRegion
+}
+
+// ensureChunk materializes region r's frame/swap chunk (packed layout).
+func (t *Table) ensureChunk(r int) {
+	if t.frames[r] != nil {
+		return
+	}
+	fr := make([]mem.FrameID, t.perRegion)
+	sw := make([]int32, t.perRegion)
+	for i := range fr {
+		fr[i] = mem.NilFrame
+		sw[i] = NilSwap
+	}
+	t.frames[r] = fr
+	t.swaps[r] = sw
+}
+
+// PTE returns a snapshot of the entry for vpn. On the legacy layout this
+// is a copy of the stored struct; on the packed layout it is synthesized
+// from the bit planes. Callers must go through Table methods for state
+// transitions — the snapshot does not write back.
+func (t *Table) PTE(vpn VPN) PTE {
+	if t.ptes != nil {
+		return t.ptes[vpn]
+	}
+	w, b := bitpos(vpn)
+	var pbits uint8
+	if t.mapped[w]&b != 0 {
+		pbits |= BitMapped
+	}
+	if t.present[w]&b != 0 {
+		pbits |= BitPresent
+	}
+	if t.accessed[w]&b != 0 {
+		pbits |= BitAccessed
+	}
+	if t.dirty[w]&b != 0 {
+		pbits |= BitDirty
+	}
+	if t.file[w]&b != 0 {
+		pbits |= BitFile
+	}
+	p := PTE{Frame: mem.NilFrame, Swap: NilSwap, Bits: pbits}
+	if r, i := t.chunkIdx(vpn); t.frames[r] != nil {
+		p.Frame = t.frames[r][i]
+		p.Swap = t.swaps[r][i]
+	}
+	return p
+}
+
+// IsPresent reports residency for vpn without synthesizing a snapshot —
+// the fault path's first question.
+func (t *Table) IsPresent(vpn VPN) bool {
+	if t.ptes != nil {
+		return t.ptes[vpn].Bits&BitPresent != 0
+	}
+	w, b := bitpos(vpn)
+	return t.present[w]&b != 0
+}
+
+// SwapOf reports the swap slot held by vpn, or NilSwap. Reads are live:
+// callers that re-read after blocking observe concurrent reaping, exactly
+// as the historical long-lived PTE pointer did.
+func (t *Table) SwapOf(vpn VPN) int32 {
+	if t.ptes != nil {
+		return t.ptes[vpn].Swap
+	}
+	if r, i := t.chunkIdx(vpn); t.swaps[r] != nil {
+		return t.swaps[r][i]
+	}
+	return NilSwap
+}
+
+// FileBacked reports whether vpn is file-backed.
+func (t *Table) FileBacked(vpn VPN) bool {
+	if t.ptes != nil {
+		return t.ptes[vpn].Bits&BitFile != 0
+	}
+	w, b := bitpos(vpn)
+	return t.file[w]&b != 0
+}
+
+// FrameOf reports the frame backing vpn, or mem.NilFrame.
+func (t *Table) FrameOf(vpn VPN) mem.FrameID {
+	if t.ptes != nil {
+		return t.ptes[vpn].Frame
+	}
+	if r, i := t.chunkIdx(vpn); t.frames[r] != nil {
+		return t.frames[r][i]
+	}
+	return mem.NilFrame
+}
 
 // MapRange marks n pages starting at start as valid addresses (anonymous
 // by default); file marks them file-backed.
 func (t *Table) MapRange(start VPN, n int, file bool) {
+	if t.ptes != nil {
+		for i := 0; i < n; i++ {
+			p := &t.ptes[start+VPN(i)]
+			if p.Bits&BitMapped == 0 {
+				t.mappedN++
+			}
+			p.Bits |= BitMapped
+			if file {
+				p.Bits |= BitFile
+			}
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
-		p := &t.ptes[start+VPN(i)]
-		if p.Bits&BitMapped == 0 {
-			t.mapped++
+		vpn := start + VPN(i)
+		w, b := bitpos(vpn)
+		if t.mapped[w]&b == 0 {
+			t.mappedN++
 		}
-		p.Bits |= BitMapped
+		t.mapped[w] |= b
 		if file {
-			p.Bits |= BitFile
+			t.file[w] |= b
 		}
+		t.ensureChunk(int(vpn) / t.perRegion)
 	}
 }
 
@@ -146,18 +373,33 @@ func (t *Table) MapRange(start VPN, n int, file bool) {
 // ok=true; otherwise it returns ok=false (a fault). Walking an unmapped
 // address panics — that is a workload bug, not a simulated condition.
 func (t *Table) Walk(vpn VPN, write bool) (f mem.FrameID, ok bool) {
-	p := &t.ptes[vpn]
-	if p.Bits&BitMapped == 0 {
+	if t.ptes != nil {
+		p := &t.ptes[vpn]
+		if p.Bits&BitMapped == 0 {
+			panic("pagetable: access to unmapped address")
+		}
+		if p.Bits&BitPresent == 0 {
+			return mem.NilFrame, false
+		}
+		p.Bits |= BitAccessed
+		if write {
+			p.Bits |= BitDirty
+		}
+		return p.Frame, true
+	}
+	w, b := bitpos(vpn)
+	if t.mapped[w]&b == 0 {
 		panic("pagetable: access to unmapped address")
 	}
-	if p.Bits&BitPresent == 0 {
+	if t.present[w]&b == 0 {
 		return mem.NilFrame, false
 	}
-	p.Bits |= BitAccessed
+	t.accessed[w] |= b
 	if write {
-		p.Bits |= BitDirty
+		t.dirty[w] |= b
 	}
-	return p.Frame, true
+	r, i := t.chunkIdx(vpn)
+	return t.frames[r][i], true
 }
 
 // Insert makes vpn resident in frame f. Any swap-slot association is
@@ -165,19 +407,36 @@ func (t *Table) Walk(vpn VPN, write bool) (f mem.FrameID, ok bool) {
 // so clean re-evictions need no writeback. The new PTE starts with the
 // Accessed bit set (the faulting access) and Dirty if write.
 func (t *Table) Insert(vpn VPN, f mem.FrameID, write bool) {
-	p := &t.ptes[vpn]
-	if p.Bits&BitMapped == 0 {
-		panic("pagetable: inserting into unmapped address")
+	if t.ptes != nil {
+		p := &t.ptes[vpn]
+		if p.Bits&BitMapped == 0 {
+			panic("pagetable: inserting into unmapped address")
+		}
+		if p.Bits&BitPresent != 0 {
+			panic("pagetable: double insert")
+		}
+		p.Frame = f
+		p.Bits |= BitPresent | BitAccessed
+		if write {
+			p.Bits |= BitDirty
+		}
+	} else {
+		w, b := bitpos(vpn)
+		if t.mapped[w]&b == 0 {
+			panic("pagetable: inserting into unmapped address")
+		}
+		if t.present[w]&b != 0 {
+			panic("pagetable: double insert")
+		}
+		t.present[w] |= b
+		t.accessed[w] |= b
+		if write {
+			t.dirty[w] |= b
+		}
+		r, i := t.chunkIdx(vpn)
+		t.frames[r][i] = f
 	}
-	if p.Bits&BitPresent != 0 {
-		panic("pagetable: double insert")
-	}
-	p.Frame = f
-	p.Bits |= BitPresent | BitAccessed
-	if write {
-		p.Bits |= BitDirty
-	}
-	t.present++
+	t.presentN++
 	t.regionPresent[t.RegionOf(vpn)]++
 }
 
@@ -185,41 +444,83 @@ func (t *Table) Insert(vpn VPN, f mem.FrameID, write bool) {
 // Dirty bits stay clear, as for pages pulled in by swap readahead. The
 // swap association is preserved (the swap copy remains valid).
 func (t *Table) InsertPrefetch(vpn VPN, f mem.FrameID) {
-	p := &t.ptes[vpn]
-	if p.Bits&BitMapped == 0 {
-		panic("pagetable: inserting into unmapped address")
+	if t.ptes != nil {
+		p := &t.ptes[vpn]
+		if p.Bits&BitMapped == 0 {
+			panic("pagetable: inserting into unmapped address")
+		}
+		if p.Bits&BitPresent != 0 {
+			panic("pagetable: double insert")
+		}
+		p.Frame = f
+		p.Bits |= BitPresent
+	} else {
+		w, b := bitpos(vpn)
+		if t.mapped[w]&b == 0 {
+			panic("pagetable: inserting into unmapped address")
+		}
+		if t.present[w]&b != 0 {
+			panic("pagetable: double insert")
+		}
+		t.present[w] |= b
+		r, i := t.chunkIdx(vpn)
+		t.frames[r][i] = f
 	}
-	if p.Bits&BitPresent != 0 {
-		panic("pagetable: double insert")
-	}
-	p.Frame = f
-	p.Bits |= BitPresent
-	t.present++
+	t.presentN++
 	t.regionPresent[t.RegionOf(vpn)]++
 }
 
 // Evict clears residency for vpn, recording the swap slot it now lives in,
 // and returns whether the page was dirty (needing a writeback).
 func (t *Table) Evict(vpn VPN, swapSlot int32) (dirty bool) {
-	p := &t.ptes[vpn]
-	if p.Bits&BitPresent == 0 {
-		panic("pagetable: evicting non-present page")
+	var hadSlot bool
+	if t.ptes != nil {
+		p := &t.ptes[vpn]
+		if p.Bits&BitPresent == 0 {
+			panic("pagetable: evicting non-present page")
+		}
+		dirty = p.Bits&BitDirty != 0
+		hadSlot = p.Swap != NilSwap
+		p.Frame = mem.NilFrame
+		p.Swap = swapSlot
+		p.Bits &^= BitPresent | BitAccessed | BitDirty
+	} else {
+		w, b := bitpos(vpn)
+		if t.present[w]&b == 0 {
+			panic("pagetable: evicting non-present page")
+		}
+		dirty = t.dirty[w]&b != 0
+		t.present[w] &^= b
+		t.accessed[w] &^= b
+		t.dirty[w] &^= b
+		r, i := t.chunkIdx(vpn)
+		hadSlot = t.swaps[r][i] != NilSwap
+		t.frames[r][i] = mem.NilFrame
+		t.swaps[r][i] = swapSlot
 	}
-	dirty = p.Bits&BitDirty != 0
-	p.Frame = mem.NilFrame
-	p.Swap = swapSlot
-	p.Bits &^= BitPresent | BitAccessed | BitDirty
-	t.present--
-	t.regionPresent[t.RegionOf(vpn)]--
+	reg := t.RegionOf(vpn)
+	if !hadSlot && swapSlot != NilSwap {
+		t.regionSwapped[reg]++
+	} else if hadSlot && swapSlot == NilSwap {
+		t.regionSwapped[reg]--
+	}
+	t.presentN--
+	t.regionPresent[reg]--
 	return dirty
 }
 
 // TestAndClearAccessed clears the A bit for vpn and reports whether it was
 // set — the primitive both policies' scans are built on.
 func (t *Table) TestAndClearAccessed(vpn VPN) bool {
-	p := &t.ptes[vpn]
-	was := p.Bits&BitAccessed != 0
-	p.Bits &^= BitAccessed
+	if t.ptes != nil {
+		p := &t.ptes[vpn]
+		was := p.Bits&BitAccessed != 0
+		p.Bits &^= BitAccessed
+		return was
+	}
+	w, b := bitpos(vpn)
+	was := t.accessed[w]&b != 0
+	t.accessed[w] &^= b
 	return was
 }
 
@@ -227,37 +528,131 @@ func (t *Table) TestAndClearAccessed(vpn VPN) bool {
 // scans use it to skip empty regions cheaply.
 func (t *Table) RegionPresent(r int) int { return int(t.regionPresent[r]) }
 
-// ScanRegion calls fn for every PTE in region r, passing the VPN and the
-// entry. fn must not insert or evict pages.
-func (t *Table) ScanRegion(r int, fn func(VPN, *PTE)) {
-	start, ptes := t.RegionSlice(r)
-	for i := range ptes {
-		fn(start+VPN(i), &ptes[i])
+// RegionSwapped reports how many PTEs of region r hold a swap slot — the
+// OOM killer's swapents term, maintained incrementally so badness scoring
+// is O(regions).
+func (t *Table) RegionSwapped(r int) int { return int(t.regionSwapped[r]) }
+
+// ScanRegion calls fn for every PTE in region r, passing the VPN and a
+// snapshot of the entry. fn must not insert or evict pages.
+func (t *Table) ScanRegion(r int, fn func(VPN, PTE)) {
+	start := t.RegionStart(r)
+	for i := 0; i < t.perRegion; i++ {
+		fn(start+VPN(i), t.PTE(start+VPN(i)))
 	}
 }
 
 // RegionSlice exposes region r's PTEs directly for hot linear scans that
 // cannot afford a per-PTE indirect call. The slice aliases the table;
 // callers may flip A/D bits in place but must go through Table methods for
-// transitions that affect residency counters (Insert/Evict).
+// transitions that affect residency counters (Insert/Evict). Legacy
+// layout only — packed callers use HarvestRegion and friends, which beat
+// a PTE-at-a-time loop on either layout.
 func (t *Table) RegionSlice(r int) (start VPN, ptes []PTE) {
+	if t.ptes == nil {
+		panic("pagetable: RegionSlice needs the legacy layout")
+	}
 	lo := r * t.perRegion
 	return VPN(lo), t.ptes[lo : lo+t.perRegion]
+}
+
+// HarvestRegion clears the Accessed bit of every present-and-accessed PTE
+// in region r, invoking fn for each such page in ascending VPN order with
+// its backing frame — the aging walk's inner loop. It returns the
+// region's present and accessed (harvested) counts. On the packed layout
+// the scan is word-masked: hole-only and cold words cost one AND each.
+func (t *Table) HarvestRegion(r int, fn func(VPN, mem.FrameID)) (present, accessed int) {
+	present = int(t.regionPresent[r])
+	if t.ptes != nil {
+		start, ptes := t.RegionSlice(r)
+		for i := range ptes {
+			p := &ptes[i]
+			if p.Bits&(BitPresent|BitAccessed) != BitPresent|BitAccessed {
+				continue
+			}
+			accessed++
+			p.Bits &^= BitAccessed
+			fn(start+VPN(i), p.Frame)
+		}
+		return present, accessed
+	}
+	base := r * t.wpr
+	frames := t.frames[r]
+	for w := 0; w < t.wpr; w++ {
+		// Walk only sets A on present pages and Evict clears A with
+		// Present, so accessed ⊆ present; the intersection is defensive.
+		hot := t.present[base+w] & t.accessed[base+w]
+		if hot == 0 {
+			continue
+		}
+		t.accessed[base+w] &^= hot
+		accessed += bits.OnesCount64(hot)
+		off := w * 64
+		for hot != 0 {
+			bit := bits.TrailingZeros64(hot)
+			hot &= hot - 1
+			i := off + bit
+			fn(t.RegionStart(r)+VPN(i), frames[i])
+		}
+	}
+	return present, accessed
+}
+
+// ReapRegion discards every swap-slot reference in region r, invoking fn
+// for each dropped (vpn, slot) pair in ascending VPN order — the OOM
+// reaper's bookkeeping loop. It returns the number of slots dropped.
+func (t *Table) ReapRegion(r int, fn func(VPN, int32)) int {
+	reaped := 0
+	if t.ptes != nil {
+		start, ptes := t.RegionSlice(r)
+		for i := range ptes {
+			p := &ptes[i]
+			if p.Swap == NilSwap {
+				continue
+			}
+			slot := p.Swap
+			p.Swap = NilSwap
+			reaped++
+			fn(start+VPN(i), slot)
+		}
+	} else {
+		sw := t.swaps[r]
+		start := t.RegionStart(r)
+		for i := range sw {
+			if sw[i] == NilSwap {
+				continue
+			}
+			slot := sw[i]
+			sw[i] = NilSwap
+			reaped++
+			fn(start+VPN(i), slot)
+		}
+	}
+	t.regionSwapped[r] -= int32(reaped)
+	return reaped
 }
 
 // AccessedDensity scans region r counting present and accessed PTEs.
 // Policies use it for the bloom-filter density rule ("at least one
 // accessed PTE per cache line").
 func (t *Table) AccessedDensity(r int) (present, accessed int) {
-	_, ptes := t.RegionSlice(r)
-	for i := range ptes {
-		b := ptes[i].Bits
-		if b&BitPresent != 0 {
-			present++
-			if b&BitAccessed != 0 {
-				accessed++
+	if t.ptes != nil {
+		_, ptes := t.RegionSlice(r)
+		for i := range ptes {
+			b := ptes[i].Bits
+			if b&BitPresent != 0 {
+				present++
+				if b&BitAccessed != 0 {
+					accessed++
+				}
 			}
 		}
+		return present, accessed
+	}
+	base := r * t.wpr
+	for w := 0; w < t.wpr; w++ {
+		present += bits.OnesCount64(t.present[base+w])
+		accessed += bits.OnesCount64(t.present[base+w] & t.accessed[base+w])
 	}
 	return present, accessed
 }

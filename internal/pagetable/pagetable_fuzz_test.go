@@ -1,0 +1,144 @@
+package pagetable
+
+import (
+	"testing"
+
+	"mglrusim/internal/mem"
+)
+
+// fuzzRegions/fuzzPerRegion keep the fuzz table small enough that random
+// byte streams reach every region, while still packed-eligible (fanout a
+// multiple of 64).
+const (
+	fuzzRegions   = 4
+	fuzzPerRegion = 64
+)
+
+// applyFuzzOp decodes one operation from (op, a, b) and applies it to t.
+// The legacy table decides validity — both tables get the identical call
+// sequence, so guards read the same either way. Returns a small result
+// fingerprint so the caller can diff observable behaviour per-op.
+func applyFuzzOp(t *Table, op, a, b byte, slot int32) (r1, r2 int64) {
+	pages := VPN(t.Pages())
+	vpn := VPN(a) % pages
+	region := int(a) % t.Regions()
+	switch op % 10 {
+	case 0: // map a short run (possibly re-mapping, possibly file-backed)
+		n := int(b)%8 + 1
+		if int(vpn)+n > int(pages) {
+			n = int(pages - vpn)
+		}
+		t.MapRange(vpn, n, b&1 != 0)
+	case 1: // hardware walk
+		if t.PTE(vpn).Mapped() {
+			f, ok := t.Walk(vpn, b&1 != 0)
+			r1 = int64(f)
+			if ok {
+				r2 = 1
+			}
+		}
+	case 2: // demand fault-in
+		p := t.PTE(vpn)
+		if p.Mapped() && !p.Present() {
+			t.Insert(vpn, mem.FrameID(b), b&1 != 0)
+		}
+	case 3: // readahead fault-in
+		p := t.PTE(vpn)
+		if p.Mapped() && !p.Present() {
+			t.InsertPrefetch(vpn, mem.FrameID(b))
+		}
+	case 4: // evict, alternating real slots and slotless drops
+		if t.PTE(vpn).Present() {
+			s := slot
+			if b&1 != 0 {
+				s = NilSwap
+			}
+			if t.Evict(vpn, s) {
+				r1 = 1
+			}
+		}
+	case 5: // A-bit harvest primitive
+		if t.TestAndClearAccessed(vpn) {
+			r1 = 1
+		}
+	case 6: // aging-walk inner loop: order and payload must match
+		var sum int64
+		present, accessed := t.HarvestRegion(region, func(v VPN, f mem.FrameID) {
+			sum = sum*1000003 + int64(v)*31 + int64(f)
+		})
+		r1 = int64(present)*100000 + int64(accessed)
+		r2 = sum
+	case 7: // OOM-reaper loop: order and dropped slots must match
+		var sum int64
+		n := t.ReapRegion(region, func(v VPN, s int32) {
+			sum = sum*1000003 + int64(v)*31 + int64(s)
+		})
+		r1 = int64(n)
+		r2 = sum
+	case 8: // bloom density rule inputs
+		present, accessed := t.AccessedDensity(region)
+		r1 = int64(present)
+		r2 = int64(accessed)
+	case 9: // region counters
+		r1 = int64(t.RegionPresent(region))
+		r2 = int64(t.RegionSwapped(region))
+	}
+	return r1, r2
+}
+
+// diffTables fails the test at the first observable divergence between the
+// legacy and packed tables: global counters, then every PTE snapshot and
+// live accessor, then the per-region counters.
+func diffTables(t *testing.T, legacy, packed *Table, step int) {
+	t.Helper()
+	if legacy.PresentPages() != packed.PresentPages() || legacy.MappedPages() != packed.MappedPages() {
+		t.Fatalf("step %d: global counters diverge: legacy present=%d mapped=%d, packed present=%d mapped=%d",
+			step, legacy.PresentPages(), legacy.MappedPages(), packed.PresentPages(), packed.MappedPages())
+	}
+	for vpn := VPN(0); vpn < VPN(legacy.Pages()); vpn++ {
+		lp, pp := legacy.PTE(vpn), packed.PTE(vpn)
+		if lp != pp {
+			t.Fatalf("step %d: PTE(%d) diverges: legacy %+v, packed %+v", step, vpn, lp, pp)
+		}
+		if legacy.IsPresent(vpn) != packed.IsPresent(vpn) ||
+			legacy.SwapOf(vpn) != packed.SwapOf(vpn) ||
+			legacy.FileBacked(vpn) != packed.FileBacked(vpn) ||
+			legacy.FrameOf(vpn) != packed.FrameOf(vpn) {
+			t.Fatalf("step %d: accessors diverge at vpn %d", step, vpn)
+		}
+	}
+	for r := 0; r < legacy.Regions(); r++ {
+		if legacy.RegionPresent(r) != packed.RegionPresent(r) || legacy.RegionSwapped(r) != packed.RegionSwapped(r) {
+			t.Fatalf("step %d: region %d counters diverge: legacy (%d,%d), packed (%d,%d)", step, r,
+				legacy.RegionPresent(r), legacy.RegionSwapped(r), packed.RegionPresent(r), packed.RegionSwapped(r))
+		}
+	}
+}
+
+// FuzzPackedVsLegacy drives the identical operation stream — maps, walks,
+// inserts, evictions, harvests, reaps — through a legacy AoS table and a
+// packed SoA table and requires bit-exact agreement after every step: op
+// results (including harvest/reap callback order), every PTE snapshot,
+// every accessor, and all counters. The legacy layout is the reference
+// model; any divergence is a packed bit-plane bug.
+func FuzzPackedVsLegacy(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 1, 0, 0, 2, 0, 3, 1, 0, 1, 4, 0, 0, 6, 0, 0})
+	f.Add([]byte{0, 128, 200, 2, 130, 7, 4, 130, 0, 7, 130, 0, 9, 2, 0})
+	f.Add([]byte{0, 0, 255, 0, 64, 255, 2, 5, 1, 5, 5, 0, 8, 1, 0, 6, 0, 0, 7, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		legacy := NewWithLayout(fuzzRegions, fuzzPerRegion, LayoutLegacy)
+		packed := NewWithLayout(fuzzRegions, fuzzPerRegion, LayoutPacked)
+		slot := int32(1)
+		for i := 0; i+2 < len(data); i += 3 {
+			op, a, b := data[i], data[i+1], data[i+2]
+			l1, l2 := applyFuzzOp(legacy, op, a, b, slot)
+			p1, p2 := applyFuzzOp(packed, op, a, b, slot)
+			slot++
+			if l1 != p1 || l2 != p2 {
+				t.Fatalf("step %d (op %d a %d b %d): results diverge: legacy (%d,%d), packed (%d,%d)",
+					i/3, op%10, a, b, l1, l2, p1, p2)
+			}
+			diffTables(t, legacy, packed, i/3)
+		}
+	})
+}

@@ -41,7 +41,7 @@ func TestInsertWalkSetsAccessedAndDirty(t *testing.T) {
 	if !ok || f != 7 {
 		t.Fatalf("walk = (%d, %v)", f, ok)
 	}
-	if !p.Dirty() {
+	if !tb.PTE(4).Dirty() {
 		t.Fatal("write walk should set dirty")
 	}
 	if tb.PresentPages() != 1 {
@@ -69,7 +69,7 @@ func TestEvictReturnsDirtyAndStoresSlot(t *testing.T) {
 	}
 	p := tb.PTE(2)
 	if p.Present() || p.Swap != 99 || p.Accessed() || p.Dirty() {
-		t.Fatalf("post-evict PTE: %+v", *p)
+		t.Fatalf("post-evict PTE: %+v", p)
 	}
 	if tb.PresentPages() != 0 {
 		t.Fatal("present count not decremented")
@@ -134,7 +134,7 @@ func TestCustomRegionSize(t *testing.T) {
 		t.Fatal("region present tracking wrong for custom size")
 	}
 	n := 0
-	tb.ScanRegion(2, func(VPN, *PTE) { n++ })
+	tb.ScanRegion(2, func(VPN, PTE) { n++ })
 	if n != 64 {
 		t.Fatalf("scan visited %d, want 64", n)
 	}
@@ -160,7 +160,7 @@ func TestScanRegionVisitsAll(t *testing.T) {
 	tb.MapRange(0, 2*PTEsPerRegion, false)
 	n := 0
 	var first, last VPN
-	tb.ScanRegion(1, func(vpn VPN, p *PTE) {
+	tb.ScanRegion(1, func(vpn VPN, p PTE) {
 		if n == 0 {
 			first = vpn
 		}

@@ -3,6 +3,7 @@ package mglru
 import (
 	"fmt"
 
+	"mglrusim/internal/mem"
 	"mglrusim/internal/pagetable"
 	"mglrusim/internal/sim"
 )
@@ -106,32 +107,22 @@ func (g *MGLRU) shouldScan(r int) bool {
 	}
 }
 
-// scanRegion linearly scans all PTEs of region r, clearing accessed bits
-// and promoting the corresponding pages to generation target. It records
-// the region in the next bloom filter when the accessed density meets the
-// configured threshold (default: one accessed PTE per cache line of
-// present PTEs). Shared by the aging walk and the eviction thread's
-// spatial scan.
+// scanRegion scans region r, clearing accessed bits and promoting the
+// corresponding pages to generation target. It records the region in the
+// next bloom filter when the accessed density meets the configured
+// threshold (default: one accessed PTE per cache line of present PTEs).
+// Shared by the aging walk and the eviction thread's spatial scan.
+//
+// The harvest itself is the table's HarvestRegion — a word-masked bitset
+// iteration on the packed layout, a direct slice loop on the legacy one —
+// which visits present-and-accessed pages in ascending VPN order, the
+// order the historical PTE-slice loop promoted in.
 func (g *MGLRU) scanRegion(v *sim.Env, r int, target uint64) {
 	table := g.k.Table()
-	present, accessed, promoted := 0, 0, 0
-	// Scan the region's PTE slice directly — the per-PTE closure call was
-	// measurable on the aging walk, the simulator's hottest linear loop.
-	_, ptes := table.RegionSlice(r)
-	for i := range ptes {
-		p := &ptes[i]
-		if p.Bits&pagetable.BitPresent == 0 {
-			continue
-		}
-		present++
-		if p.Bits&pagetable.BitAccessed == 0 {
-			continue
-		}
-		accessed++
-		p.Bits &^= pagetable.BitAccessed
-		g.promote(p.Frame, target)
-		promoted++
-	}
+	present, accessed := table.HarvestRegion(r, func(_ pagetable.VPN, f mem.FrameID) {
+		g.promote(f, target)
+	})
+	promoted := accessed
 	perRegion := table.RegionPTEs()
 	g.stats.RegionsScanned++
 	g.stats.PTEScanned += uint64(perRegion)

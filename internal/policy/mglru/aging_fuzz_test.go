@@ -1,0 +1,89 @@
+package mglru
+
+import (
+	"fmt"
+	"testing"
+
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy/policytest"
+	"mglrusim/internal/sim"
+)
+
+// FuzzBloomWalkSoundness drives a random fault/touch/age stream through
+// three scan variants and pins the walk soundness lattice around every
+// aging pass:
+//
+//   - any variant: a region is either harvested whole (no accessed
+//     present pages remain) or skipped untouched (its accessed count is
+//     exactly what it was) — gating must never half-clear A bits;
+//   - Scan-All: every region is harvested, so no accessed bits survive;
+//   - Scan-None: no region is harvested, so every accessed bit survives;
+//   - no variant's walk changes residency.
+//
+// Memory is sized to the full VA span so fault-ins never reclaim: the
+// only thing moving A bits is the walk under test.
+func FuzzBloomWalkSoundness(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 0, 40, 1, 40, 2, 0})
+	f.Add([]byte{0, 10, 0, 200, 1, 10, 2, 0, 1, 200, 2, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, vc := range []struct {
+			name string
+			cfg  Config
+		}{
+			{"bloom", Default()},
+			{"scan-all", ScanAll()},
+			{"scan-none", ScanNone()},
+		} {
+			const regions = 8
+			pages := regions * pagetable.PTEsPerRegion
+			g, k := attach(vc.cfg, pages, regions, 7)
+			var errs []string
+			fail := func(format string, args ...any) {
+				errs = append(errs, fmt.Sprintf(vc.name+": "+format, args...))
+			}
+			policytest.Run(func(v *sim.Env) {
+				for i := 0; i+1 < len(data); i += 2 {
+					op, a := data[i], data[i+1]
+					vpn := pagetable.VPN((int(a)*17 + i*131) % pages)
+					switch op % 4 {
+					case 0:
+						if !k.T.IsPresent(vpn) {
+							k.FaultIn(v, g, vpn, false, false)
+						}
+					case 1:
+						k.Touch(vpn, a&1 != 0)
+					default:
+						before := make([]int, regions)
+						for r := 0; r < regions; r++ {
+							_, before[r] = k.T.AccessedDensity(r)
+						}
+						resident := k.T.PresentPages()
+						g.Age(v)
+						if k.T.PresentPages() != resident {
+							fail("aging changed residency: %d -> %d", resident, k.T.PresentPages())
+							return
+						}
+						for r := 0; r < regions; r++ {
+							_, after := k.T.AccessedDensity(r)
+							if after != 0 && after != before[r] {
+								fail("region %d half-harvested: accessed %d -> %d", r, before[r], after)
+							}
+							if vc.cfg.Mode == ModeAll && after != 0 {
+								fail("scan-all left %d accessed pages in region %d", after, r)
+							}
+							if vc.cfg.Mode == ModeNone && after != before[r] {
+								fail("scan-none touched region %d: accessed %d -> %d", r, before[r], after)
+							}
+						}
+						if len(errs) > 0 {
+							return
+						}
+					}
+				}
+			})
+			if len(errs) > 0 {
+				t.Fatalf("%v", errs)
+			}
+		}
+	})
+}

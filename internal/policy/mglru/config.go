@@ -85,6 +85,13 @@ type Config struct {
 	BloomDensityNum, BloomDensityDen int
 	// ScanBatch bounds eviction-pass work per requested page.
 	ScanBatch int
+	// TrackRegions maintains per-generation region bitsets (with packed
+	// intra-region occupancy counts) mirroring list membership. The
+	// tracker is pure verification state — it never influences eviction
+	// or aging decisions — and backs the auditor's generation/region
+	// cross-check and the bloom-gated-walk soundness tests. Off by
+	// default; dense per-generation state makes it unsuitable for Gen-14.
+	TrackRegions bool
 	// Costs is the shared scanning cost model.
 	Costs policy.Costs
 }

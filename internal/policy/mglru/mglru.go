@@ -44,6 +44,10 @@ type MGLRU struct {
 	// scans) for the following walk.
 	cur, next *bloom.Filter
 
+	// genRegs, when TrackRegions is set, mirrors generation membership as
+	// per-generation region bitsets (verification only; see genregions.go).
+	genRegs *genRegions
+
 	// tr, when non-nil, receives generation-window instants; nil tracing
 	// costs one pointer check at each site.
 	tr      *telemetry.Tracer
@@ -76,6 +80,9 @@ func (g *MGLRU) Attach(k policy.Kernel) {
 	seed := g.rng.Uint64()
 	g.cur = bloom.NewForItems(regions, seed)
 	g.next = bloom.NewForItems(regions, seed^0xabcdef123456789)
+	if g.cfg.TrackRegions {
+		g.genRegs = newGenRegions(g.cfg.MaxGens, regions)
+	}
 }
 
 // RegisterTelemetry implements telemetry.Registrant: the generation window
@@ -171,6 +178,7 @@ func (g *MGLRU) PageIn(v *sim.Env, f mem.FrameID, sh *policy.Shadow) {
 		fr.Refs = 0
 	}
 	g.genList(fr.Gen).PushHead(f)
+	g.trackAdd(fr.Gen, fr)
 	g.charge(v, g.cfg.Costs.PageOp)
 }
 
@@ -189,8 +197,10 @@ func (g *MGLRU) promote(f mem.FrameID, seq uint64) {
 		return
 	}
 	g.genList(fr.Gen).Remove(f)
+	g.trackRemove(fr.Gen, fr)
 	fr.Gen = seq
 	g.genList(seq).PushHead(f)
+	g.trackAdd(seq, fr)
 	g.stats.Promoted++
 }
 
@@ -264,6 +274,7 @@ func (g *MGLRU) Reclaim(v *sim.Env, target int) int {
 		// aging/reclaim passes cannot move it.
 		f := oldest.PopTail()
 		fr := g.k.Mem().Frame(f)
+		g.trackRemove(fr.Gen, fr)
 		budget--
 
 		// Tier protection: pages in protected tiers are moved up a
@@ -271,6 +282,7 @@ func (g *MGLRU) Reclaim(v *sim.Env, target int) int {
 		if int(fr.Tier) > allowTier {
 			fr.Gen = g.minSeq + 1
 			g.genList(fr.Gen).PushHead(f)
+			g.trackAdd(fr.Gen, fr)
 			g.stats.TierProtected++
 			g.charge(v, g.cfg.Costs.PageOp)
 			g.lock.Release(v)
@@ -290,6 +302,7 @@ func (g *MGLRU) Reclaim(v *sim.Env, target int) int {
 			g.lock.Acquire(v)
 			fr.Gen = g.maxSeq
 			g.genList(fr.Gen).PushHead(f)
+			g.trackAdd(fr.Gen, fr)
 			g.stats.Rotated++
 			if fr.Flags&mem.FlagFile != 0 && fr.Refs < 255 {
 				fr.Refs++

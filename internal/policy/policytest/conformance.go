@@ -23,10 +23,18 @@ import (
 //   - Reclaim makes progress under pressure (a full memory with cold
 //     pages can always be shrunk).
 func Conformance(t *testing.T, name string, mk func() policy.Policy) {
-	t.Run(name+"/reclaim-bounded", func(t *testing.T) { conformReclaimBounded(t, mk) })
-	t.Run(name+"/counter-coherence", func(t *testing.T) { conformCounters(t, mk) })
-	t.Run(name+"/stats-monotone", func(t *testing.T) { conformMonotone(t, mk) })
-	t.Run(name+"/residency", func(t *testing.T) { conformResidency(t, mk) })
+	ConformanceWithLayout(t, name, pagetable.LayoutAuto, mk)
+}
+
+// ConformanceWithLayout is Conformance against a kernel double whose page
+// table uses the given storage layout; the layout-differential suite runs
+// it once per layout so both the legacy AoS and packed SoA paths owe the
+// identical contract.
+func ConformanceWithLayout(t *testing.T, name string, layout pagetable.Layout, mk func() policy.Policy) {
+	t.Run(name+"/reclaim-bounded", func(t *testing.T) { conformReclaimBounded(t, layout, mk) })
+	t.Run(name+"/counter-coherence", func(t *testing.T) { conformCounters(t, layout, mk) })
+	t.Run(name+"/stats-monotone", func(t *testing.T) { conformMonotone(t, layout, mk) })
+	t.Run(name+"/residency", func(t *testing.T) { conformResidency(t, layout, mk) })
 }
 
 const confFrames = 64
@@ -73,8 +81,8 @@ func workPattern(t *testing.T, v *sim.Env, k *Kernel, p policy.Policy, pages, ro
 
 // conformReclaimBounded: Reclaim(v, n) returns at most n and exactly the
 // number of evictions it performed.
-func conformReclaimBounded(t *testing.T, mk func() policy.Policy) {
-	k := New(confFrames, 2, 7)
+func conformReclaimBounded(t *testing.T, layout pagetable.Layout, mk func() policy.Policy) {
+	k := NewWithLayout(confFrames, 2, layout, 7)
 	p := mk()
 	p.Attach(k)
 	Run(func(v *sim.Env) {
@@ -100,8 +108,8 @@ func conformReclaimBounded(t *testing.T, mk func() policy.Policy) {
 
 // conformCounters: Evicted and Refaults reconcile with the kernel
 // double's ground truth.
-func conformCounters(t *testing.T, mk func() policy.Policy) {
-	k := New(confFrames, 2, 7)
+func conformCounters(t *testing.T, layout pagetable.Layout, mk func() policy.Policy) {
+	k := NewWithLayout(confFrames, 2, layout, 7)
 	p := mk()
 	p.Attach(k)
 	shadowedPageIns := 0
@@ -148,8 +156,8 @@ var statsFieldNames = []string{
 }
 
 // conformMonotone: no Stats counter ever decreases.
-func conformMonotone(t *testing.T, mk func() policy.Policy) {
-	k := New(confFrames, 2, 7)
+func conformMonotone(t *testing.T, layout pagetable.Layout, mk func() policy.Policy) {
+	k := NewWithLayout(confFrames, 2, layout, 7)
 	p := mk()
 	p.Attach(k)
 	prev := statsFields(p.Stats())
@@ -184,8 +192,8 @@ func conformMonotone(t *testing.T, mk func() policy.Policy) {
 }
 
 // conformResidency: frames in use always equal pages present.
-func conformResidency(t *testing.T, mk func() policy.Policy) {
-	k := New(confFrames, 2, 7)
+func conformResidency(t *testing.T, layout pagetable.Layout, mk func() policy.Policy) {
+	k := NewWithLayout(confFrames, 2, layout, 7)
 	p := mk()
 	p.Attach(k)
 	Run(func(v *sim.Env) {

@@ -3,6 +3,7 @@ package policytest_test
 import (
 	"testing"
 
+	"mglrusim/internal/pagetable"
 	"mglrusim/internal/policy"
 	"mglrusim/internal/policy/clock"
 	"mglrusim/internal/policy/mglru"
@@ -32,5 +33,27 @@ func TestPolicyConformance(t *testing.T) {
 	}
 	for _, c := range cases {
 		policytest.Conformance(t, c.name, c.mk)
+	}
+}
+
+// TestConformanceBothLayouts runs the contract suite over the policies
+// that read page tables directly (the MG-LRU variants and Clock) against
+// both page-table storage layouts explicitly, so neither the legacy AoS
+// path nor the packed SoA bit-plane path can drift out of contract.
+func TestConformanceBothLayouts(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() policy.Policy
+	}{
+		{"clock", func() policy.Policy { return clock.New(clock.DefaultConfig()) }},
+		{"mglru", func() policy.Policy { return mglru.New(mglru.Default()) }},
+		{"gen14", func() policy.Policy { return mglru.New(mglru.Gen14()) }},
+		{"scan-all", func() policy.Policy { return mglru.New(mglru.ScanAll()) }},
+		{"scan-none", func() policy.Policy { return mglru.New(mglru.ScanNone()) }},
+	}
+	for _, layout := range []pagetable.Layout{pagetable.LayoutLegacy, pagetable.LayoutPacked} {
+		for _, c := range cases {
+			policytest.ConformanceWithLayout(t, layout.String()+"/"+c.name, layout, c.mk)
+		}
 	}
 }

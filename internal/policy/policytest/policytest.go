@@ -51,6 +51,15 @@ func New(frames, regions int, seed uint64) *Kernel {
 	}
 }
 
+// NewWithLayout is New with an explicit page-table storage layout, so
+// contract suites can pin the legacy AoS and packed SoA layouts
+// individually instead of taking whatever auto selects.
+func NewWithLayout(frames, regions int, layout pagetable.Layout, seed uint64) *Kernel {
+	t := pagetable.NewWithLayout(regions, pagetable.PTEsPerRegion, layout)
+	t.MapRange(0, regions*pagetable.PTEsPerRegion, false)
+	return NewWithTable(frames, t, seed)
+}
+
 // NewWithTable creates a test kernel over a caller-built page table (the
 // replay harness sizes tables to match recorded traces).
 func NewWithTable(frames int, t *pagetable.Table, seed uint64) *Kernel {

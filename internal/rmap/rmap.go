@@ -51,14 +51,22 @@ func New(m *mem.Memory, cost CostModel, rng *sim.RNG) *Map {
 // Walk resolves frame f to its owning VPN and returns the virtual-time
 // cost of the walk. It panics if the frame is free — policies must never
 // rmap-walk an unowned frame.
+//
+// The resolve itself is flat: one indexed load from the frame-metadata
+// arena (no chain chasing, no chunk materialization). The chain-chase
+// expense the kernel pays lives entirely in the cost model.
 func (r *Map) Walk(f mem.FrameID) (pagetable.VPN, sim.Duration) {
-	fr := r.mem.Frame(f)
-	if fr.VPN < 0 {
+	vpn := r.mem.VPNOf(f)
+	if vpn < 0 {
 		panic("rmap: walk of unowned frame")
 	}
 	r.walks++
-	return pagetable.VPN(fr.VPN), r.WalkCost()
+	return pagetable.VPN(vpn), r.WalkCost()
 }
+
+// Resolve is the costless indexed lookup (verification tooling); it
+// returns -1 for a free frame and does not count as a walk.
+func (r *Map) Resolve(f mem.FrameID) int64 { return r.mem.VPNOf(f) }
 
 // WalkCost returns the cost of one walk without performing it; used when a
 // policy batches accounting.

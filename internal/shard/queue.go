@@ -153,14 +153,17 @@ func (wc WorkerConfig) withDefaults(scale float64) WorkerConfig {
 }
 
 // RegistryResolve maps a cell to specs via the experiments registry — the
-// default for cells enumerated from registered figures.
+// default for cells enumerated from registered figures. The workload is
+// laid out with the cell's own region fanout so the spec matches the
+// system config the cell will run under.
 func RegistryResolve(cell experiments.CellSpec, scale float64) (w experiments.WorkloadSpec, p experiments.PolicySpec, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("shard: cell %s not resolvable from the registry: %v", cell.SeedKey, r)
 		}
 	}()
-	return experiments.WorkloadByName(cell.Workload, scale), experiments.PolicyByName(cell.Policy), nil
+	return experiments.WorkloadByNameAt(cell.Workload, scale, cell.System.RegionPTEs),
+		experiments.PolicyByName(cell.Policy), nil
 }
 
 // RunWorker processes the queue until every cell is terminal (done or

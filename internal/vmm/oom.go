@@ -39,13 +39,9 @@ func (m *Manager) oomKill(v *sim.Env, evicting pagetable.VPN) {
 	best := -1
 	regions := m.table.Regions()
 	for r := 0; r < regions; r++ {
-		_, ptes := m.table.RegionSlice(r)
-		swapped := 0
-		for i := range ptes {
-			if ptes[i].Swap != pagetable.NilSwap {
-				swapped++
-			}
-		}
+		// The table maintains per-region swap-slot counts incrementally,
+		// so badness scoring is O(regions), not O(pages).
+		swapped := m.table.RegionSwapped(r)
 		if swapped == 0 {
 			continue // nothing to reap from this region
 		}
@@ -73,21 +69,15 @@ func (m *Manager) oomKill(v *sim.Env, evicting pagetable.VPN) {
 
 // reapRegion discards every swap copy held by region r.
 func (m *Manager) reapRegion(r int) {
-	start, ptes := m.table.RegionSlice(r)
-	for i := range ptes {
-		p := &ptes[i]
-		if p.Swap == pagetable.NilSwap {
-			continue
-		}
-		slot := p.Swap
-		vpn := start + pagetable.VPN(i)
+	m.table.ReapRegion(r, func(vpn pagetable.VPN, slot int32) {
 		m.dev.FreeSlot(slot)
 		m.area.Free(slot)
-		m.slotOwner[slot] = -1
-		p.Swap = pagetable.NilSwap
-		m.shadows[vpn] = shadowEntry{}
+		*m.slotOwner.At(int(slot)) = -1
+		if m.shadows.Peek(int(vpn)).valid {
+			*m.shadows.At(int(vpn)) = shadowEntry{}
+		}
 		if m.audit != nil {
 			m.audit.Reaped(vpn)
 		}
-	}
+	})
 }

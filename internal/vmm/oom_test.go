@@ -73,14 +73,7 @@ func TestOOMVictimSelection(t *testing.T) {
 			}
 		}
 		swapped := func(region int) int {
-			_, ptes := r.m.table.RegionSlice(region)
-			n := 0
-			for i := range ptes {
-				if ptes[i].Swap != pagetable.NilSwap {
-					n++
-				}
-			}
-			return n
+			return r.m.table.RegionSwapped(region)
 		}
 		before0, before1 := swapped(0), swapped(1)
 		if before0 == 0 || before1 == 0 {

@@ -111,10 +111,13 @@ type Manager struct {
 	pol   policy.Policy
 	rng   *sim.RNG
 
-	shadows   []shadowEntry // per VPN
-	versions  []uint32      // per VPN dirty-content version
-	faultsAt  []uint32      // per VPN major-fault counts (analysis tools)
-	slotOwner []int64       // per swap slot: owning VPN, -1 if unassigned
+	// Per-VPN metadata is indexed over the whole VA span (holes included),
+	// so at full scale it lives in chunked arenas that materialize on
+	// first write — O(touched chunks), not O(pages).
+	shadows   *mem.Arena[shadowEntry] // per VPN
+	versions  *mem.Arena[uint32]      // per VPN dirty-content version
+	faultsAt  *mem.Arena[uint32]      // per VPN major-fault counts (analysis tools)
+	slotOwner *mem.Arena[int64]       // per swap slot: owning VPN, -1 if unassigned
 
 	kswapdCond sim.Cond
 	agingReq   bool
@@ -178,15 +181,13 @@ func New(cfg Config, eng *sim.Engine, memry *mem.Memory, table *pagetable.Table,
 		pol:       pol,
 		rng:       rng.Stream(0x7a),
 		area:      swap.NewArea(slots),
-		shadows:   make([]shadowEntry, table.Pages()),
-		versions:  make([]uint32, table.Pages()),
-		faultsAt:  make([]uint32, table.Pages()),
-		slotOwner: make([]int64, slots),
+		shadows:   mem.NewArena[shadowEntry](table.Pages(), 1024),
+		versions:  mem.NewArena[uint32](table.Pages(), 1024),
+		faultsAt:  mem.NewArena[uint32](table.Pages(), 1024),
+		slotOwner: mem.NewArena[int64](slots, 1024),
 		faultLat:  stats.NewLatencyRecorder(1024),
 	}
-	for i := range m.slotOwner {
-		m.slotOwner[i] = -1
-	}
+	m.slotOwner.SetDefault(-1)
 	for w := cfg.ReadaheadWindow; w > 1; w >>= 1 {
 		m.raMaxShift++
 	}
@@ -205,6 +206,11 @@ func New(cfg Config, eng *sim.Engine, memry *mem.Memory, table *pagetable.Table,
 		}
 		m.audit.WatchLists()
 		m.audit.AddInvariant(m.auditSwapOwnership)
+		// Policies carrying their own redundant verification state (the
+		// MG-LRU region tracker) join the auditor's full scan.
+		if ci, ok := pol.(interface{ CheckInvariants() error }); ok {
+			m.audit.AddInvariant(ci.CheckInvariants)
+		}
 	}
 	eng.Spawn("kswapd", true, m.kswapd)
 	eng.Spawn("aging", true, m.agingDaemon)
@@ -234,9 +240,8 @@ func (m *Manager) RequestAging() { m.agingReq = true }
 func (m *Manager) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
 	fr := m.memry.Frame(f)
 	vpn := pagetable.VPN(fr.VPN)
-	pte := m.table.PTE(vpn)
-	firstEvict := pte.Swap == pagetable.NilSwap
-	slot := pte.Swap
+	slot := m.table.SwapOf(vpn)
+	firstEvict := slot == pagetable.NilSwap
 	if firstEvict {
 		slot = m.area.Alloc()
 		for slot == swap.NilSlot {
@@ -247,7 +252,7 @@ func (m *Manager) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
 		}
 		// Slot adjacency is frozen at first eviction: pages evicted
 		// together become a readahead cluster for the rest of the run.
-		m.slotOwner[slot] = int64(vpn)
+		*m.slotOwner.At(int(slot)) = int64(vpn)
 	}
 	if fr.Flags&mem.FlagPrefetch != 0 {
 		// Speculation miss: evicted without ever being touched.
@@ -255,7 +260,7 @@ func (m *Manager) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
 		m.raOutcome(vpn, false)
 	}
 	dirty := m.table.Evict(vpn, slot)
-	m.shadows[vpn] = shadowEntry{sh: sh, valid: true}
+	*m.shadows.At(int(vpn)) = shadowEntry{sh: sh, valid: true}
 	if m.audit != nil {
 		// Checkpoint before the device write: the write yields, and the
 		// page may legitimately refault during it.
@@ -263,10 +268,10 @@ func (m *Manager) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
 	}
 	if dirty || firstEvict {
 		if dirty {
-			m.versions[vpn]++
+			*m.versions.At(int(vpn))++
 		}
 		m.counters.SwapOuts++
-		m.dev.WritePage(v, slot, int64(vpn), m.versions[vpn])
+		m.dev.WritePage(v, slot, int64(vpn), m.versions.Peek(int(vpn)))
 	}
 	fr.VPN = -1
 	m.memry.Free(f)
@@ -317,11 +322,10 @@ func (m *Manager) raOutcome(vpn pagetable.VPN, hit bool) {
 // and informs the policy. Blocks the calling proc for the full service
 // time.
 func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
-	pte := m.table.PTE(vpn)
-	if pte.Present() {
+	if m.table.IsPresent(vpn) {
 		return // raced with another thread's fault-in
 	}
-	major := pte.Swap != pagetable.NilSwap
+	major := m.table.SwapOf(vpn) != pagetable.NilSwap
 	if major {
 		start := v.Now()
 		defer func() { m.faultLat.Record(int64(v.Now() - start)) }()
@@ -338,15 +342,17 @@ func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
 	if major {
 		m.counters.MajorFaults++
 		m.counters.SwapIns++
-		m.faultsAt[vpn]++
+		*m.faultsAt.At(int(vpn))++
 		v.Charge(m.cfg.MajorFaultOverhead)
-		m.dev.ReadPage(v, pte.Swap, int64(vpn), m.versions[vpn])
+		// Re-read the slot at issue time: the historical long-lived PTE
+		// pointer observed concurrent OOM reaping here, and so must we.
+		m.dev.ReadPage(v, m.table.SwapOf(vpn), int64(vpn), m.versions.Peek(int(vpn)))
 	} else {
 		m.counters.MinorFaults++
 		v.Charge(m.cfg.MinorFaultOverhead)
 	}
 
-	if p := m.table.PTE(vpn); p.Present() {
+	if m.table.IsPresent(vpn) {
 		// Another thread faulted the page in while we were blocked on
 		// the device read; release our frame.
 		m.memry.Free(f)
@@ -356,14 +362,14 @@ func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
 	m.table.Insert(vpn, f, write)
 	fr := m.memry.Frame(f)
 	fr.VPN = int64(vpn)
-	if pte.File() {
+	if m.table.FileBacked(vpn) {
 		fr.Flags |= mem.FlagFile
 	}
 	var sh *policy.Shadow
-	if m.shadows[vpn].valid {
-		s := m.shadows[vpn].sh
+	if m.shadows.Peek(int(vpn)).valid {
+		s := m.shadows.Peek(int(vpn)).sh
 		sh = &s
-		m.shadows[vpn].valid = false
+		m.shadows.At(int(vpn)).valid = false
 	}
 	if m.audit != nil {
 		// Checkpoint before PageIn: PageIn charges CPU (a yield point),
@@ -373,7 +379,7 @@ func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
 	m.pol.PageIn(v, f, sh)
 
 	if major {
-		m.readahead(v, vpn, pte.Swap)
+		m.readahead(v, vpn, m.table.SwapOf(vpn))
 	}
 }
 
@@ -396,19 +402,18 @@ func (m *Manager) readahead(v *sim.Env, at pagetable.VPN, slot int32) {
 	}
 	base := slot - slot%w
 	for s2 := base; s2 < base+w; s2++ {
-		if s2 == slot || int(s2) >= len(m.slotOwner) || s2 < 0 {
+		if s2 == slot || int(s2) >= m.slotOwner.Len() || s2 < 0 {
 			continue
 		}
 		if m.memry.FreePages() <= m.memry.Low {
 			return // never reclaim for speculation
 		}
-		owner := m.slotOwner[s2]
+		owner := m.slotOwner.Peek(int(s2))
 		if owner < 0 {
 			continue
 		}
 		vpn2 := pagetable.VPN(owner)
-		p2 := m.table.PTE(vpn2)
-		if p2.Present() || p2.Swap != s2 {
+		if m.table.IsPresent(vpn2) || m.table.SwapOf(vpn2) != s2 {
 			continue
 		}
 		f := m.memry.Alloc()
@@ -419,18 +424,20 @@ func (m *Manager) readahead(v *sim.Env, at pagetable.VPN, slot int32) {
 		fr := m.memry.Frame(f)
 		fr.VPN = owner
 		fr.Flags |= mem.FlagPrefetch
-		if p2.File() {
+		if m.table.FileBacked(vpn2) {
 			fr.Flags |= mem.FlagFile
 		}
-		hadShadow := m.shadows[vpn2].valid
-		m.shadows[vpn2].valid = false
+		hadShadow := m.shadows.Peek(int(vpn2)).valid
+		if hadShadow {
+			m.shadows.At(int(vpn2)).valid = false
+		}
 		if m.audit != nil {
 			// Checkpoint before the device read (a yield point); the
 			// prefetch deliberately drops the page's shadow.
 			m.audit.PrefetchIn(v, vpn2, hadShadow)
 		}
 		m.counters.ReadaheadIn++
-		m.dev.PrefetchPage(v, s2, owner, m.versions[vpn2])
+		m.dev.PrefetchPage(v, s2, owner, m.versions.Peek(int(vpn2)))
 		m.pol.PageIn(v, f, nil)
 	}
 }
@@ -553,14 +560,14 @@ func (m *Manager) auditSwapOwnership() error {
 	pages := m.table.Pages()
 	for i := 0; i < pages; i++ {
 		vpn := pagetable.VPN(i)
-		slot := m.table.PTE(vpn).Swap
+		slot := m.table.SwapOf(vpn)
 		if slot == pagetable.NilSwap {
 			continue
 		}
-		if int(slot) < 0 || int(slot) >= len(m.slotOwner) {
+		if int(slot) < 0 || int(slot) >= m.slotOwner.Len() {
 			return fmt.Errorf("vpn %d holds out-of-range swap slot %d", vpn, slot)
 		}
-		if owner := m.slotOwner[slot]; owner != int64(vpn) {
+		if owner := m.slotOwner.Peek(int(slot)); owner != int64(vpn) {
 			return fmt.Errorf("vpn %d holds swap slot %d but the slot is owned by vpn %d", vpn, slot, owner)
 		}
 	}
@@ -568,7 +575,7 @@ func (m *Manager) auditSwapOwnership() error {
 	// the ownership table assigns it. Divergence means a slot was freed
 	// while still owned (use after free) or leaked after its owner let go.
 	for s := 0; s < m.area.Capacity(); s++ {
-		held := m.slotOwner[s] >= 0
+		held := m.slotOwner.Peek(s) >= 0
 		if alloc := m.area.Allocated(swap.Slot(s)); alloc != held {
 			return fmt.Errorf("swap slot %d: area allocated=%v but ownership table says owned=%v", s, alloc, held)
 		}
@@ -653,7 +660,7 @@ func (m *Manager) SwapInUse() int { return m.area.InUse() }
 
 // MajorFaultsAt reports the number of major faults taken on vpn; analysis
 // tools use it to attribute faults to address-space segments.
-func (m *Manager) MajorFaultsAt(vpn pagetable.VPN) uint64 { return uint64(m.faultsAt[vpn]) }
+func (m *Manager) MajorFaultsAt(vpn pagetable.VPN) uint64 { return uint64(m.faultsAt.Peek(int(vpn))) }
 
 // ResidentPages reports pages currently in memory.
 func (m *Manager) ResidentPages() int { return m.table.PresentPages() }
