@@ -1,0 +1,111 @@
+// Command pagesim-server runs the sweep daemon: simulation-as-a-service
+// over the content-addressed checkpoint store and the shard executor.
+//
+// Usage:
+//
+//	pagesim-server -data ckpt/                 # serve on :8080
+//	pagesim-server -data ckpt/ -addr :9000 -workers 8
+//
+// Clients POST sweep specifications to /v1/sweeps and get back a
+// content-addressed job id; cells whose artifacts already exist in the
+// store are reported "cached" immediately and only cold cells execute.
+// GET /v1/sweeps/{id} reports per-cell state, /v1/sweeps/{id}/events
+// streams progress as SSE, and /v1/results/{cachekey} serves the stored
+// metrics artifacts.
+//
+// SIGTERM/SIGINT drains gracefully: in-flight cells finish and
+// checkpoint, new submissions get 503, and a restarted server over the
+// same -data directory resumes exactly where this one stopped.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"mglrusim/internal/checkpoint"
+	"mglrusim/internal/server"
+	"mglrusim/internal/telemetry"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		data     = flag.String("data", "", "data directory: artifacts under <data>/store, queue state under <data>/queue (required)")
+		workers  = flag.Int("workers", 4, "in-process simulation workers")
+		seed     = flag.Uint64("seed", 0x5EED, "base seed baked into every cache key")
+		bound    = flag.Int("queue-bound", 256, "max outstanding cold cells before submissions get 429")
+		maxCells = flag.Int("max-cells", 0, "max cells per sweep (0 = server default)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request handling timeout (non-streaming endpoints)")
+		verbose  = flag.Bool("v", false, "log job and cell progress")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "pagesim-server: -data is required")
+		flag.Usage()
+		return 2
+	}
+
+	store, err := checkpoint.Open(filepath.Join(*data, "store"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pagesim-server: %v\n", err)
+		return 1
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	srv, err := server.New(server.Config{
+		Store:          store,
+		Dir:            filepath.Join(*data, "queue"),
+		Workers:        *workers,
+		Seed:           *seed,
+		QueueBound:     *bound,
+		Limits:         server.Limits{MaxCells: *maxCells},
+		RequestTimeout: *timeout,
+		Counters:       telemetry.NewCounterSet(),
+		Progress:       progress,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pagesim-server: %v\n", err)
+		return 1
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "pagesim-server: %v: draining (in-flight cells will checkpoint)\n", sig)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "pagesim-server: serving on %s (store %s, %d workers)\n",
+		*addr, filepath.Join(*data, "store"), *workers)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "pagesim-server: %v\n", err)
+		return 1
+	}
+	<-done
+	fmt.Fprintln(os.Stderr, "pagesim-server: drained, store consistent")
+	return 0
+}

@@ -19,9 +19,13 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 )
 
 // Store persists keyed blobs under one directory.
@@ -68,6 +72,60 @@ func (s *Store) Get(key string) (data []byte, ok bool) {
 	return data, true
 }
 
+// ValidHash reports whether h has the shape of a KeyHash output (64 hex
+// characters) — the gate API layers apply before touching the filesystem
+// with a caller-supplied entry name.
+func ValidHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// GetHash returns the blob stored under an entry hash — the fixed-size
+// name KeyHash files entries under, and the identity the serving layer
+// exposes in result URLs. Hashes that do not look like KeyHash output are
+// rejected outright (never turned into paths).
+func (s *Store) GetHash(hash string) (data []byte, ok bool) {
+	if !ValidHash(hash) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, hash+".json"))
+	if err != nil || len(data) == 0 {
+		return nil, false
+	}
+	return data, true
+}
+
+// Hashes lists the entry hashes currently stored, sorted — the read-side
+// enumeration for result listings. Sidecar files (.conflict, temp files)
+// are excluded.
+func (s *Store) Hashes() []string {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		h := strings.TrimSuffix(name, ".json")
+		if h != name && ValidHash(h) {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Has reports whether a non-empty entry exists for key without reading
 // it — the shard executor's cheap "cell done" probe.
 func (s *Store) Has(key string) bool {
@@ -105,18 +163,72 @@ func (e *ConflictError) Error() string {
 // completion case); an existing different entry leaves the store
 // untouched, preserves the rejected payload at <hash>.conflict, and
 // returns a *ConflictError.
+//
+// Concurrent PutVerify calls for the same key are safe: the commit is a
+// link(2) of the synced temp file into place, which — unlike Put's rename
+// — fails when an entry already exists instead of silently replacing it.
+// Exactly one of N concurrent divergent writers wins; every loser observes
+// the winner's complete bytes and reports a conflict. Readers (Get,
+// GetHash) racing an in-flight PutVerify see either nothing or the
+// complete committed entry, never a partial write, because data only
+// becomes visible under the entry name at the link.
 func (s *Store) PutVerify(key string, data []byte) error {
-	if have, ok := s.Get(key); ok {
-		if bytes.Equal(have, data) {
+	path := s.path(key)
+	for attempt := 0; attempt < 4; attempt++ {
+		if have, err := os.ReadFile(path); err == nil && len(have) > 0 {
+			if bytes.Equal(have, data) {
+				return nil
+			}
+			conflict := path + ".conflict"
+			if werr := WriteFileDurable(conflict, data); werr != nil {
+				conflict = "(preserve failed: " + werr.Error() + ")"
+			}
+			return &ConflictError{Key: key, Path: path, ConflictPath: conflict}
+		} else if err == nil {
+			// Zero-length entry: corrupt leftover, documented as
+			// indistinguishable from missing. Clear the name so the link
+			// commit below can claim it.
+			os.Remove(path)
+		}
+		switch err := createIfAbsent(path, data); {
+		case err == nil:
 			return nil
+		case errors.Is(err, fs.ErrExist):
+			// Lost the commit race to a competing writer: loop to read its
+			// entry and verify our bytes against it.
+		default:
+			return fmt.Errorf("checkpoint: put-verify: %w", err)
 		}
-		conflict := s.path(key) + ".conflict"
-		if err := WriteFileDurable(conflict, data); err != nil {
-			conflict = "(preserve failed: " + err.Error() + ")"
-		}
-		return &ConflictError{Key: key, Path: s.path(key), ConflictPath: conflict}
 	}
-	return s.Put(key, data)
+	return fmt.Errorf("checkpoint: put-verify: entry for key %q kept vanishing between commit attempts", key)
+}
+
+// createIfAbsent durably commits data to path only if no entry exists
+// there, using link(2) as the atomic test-and-commit. Returns fs.ErrExist
+// (wrapped) when a competing entry holds the name.
+func createIfAbsent(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	defer os.Remove(name)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Link(name, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // crashPoint, when non-nil, fires at named stages of the durable write

@@ -101,30 +101,37 @@ func (c *ClaimDir) TryClaim(name, owner string, ttl time.Duration) (*Lease, bool
 }
 
 // createExcl atomically creates the lease file, failing (ok=false) if it
-// already exists. The file and its directory entry are fsynced so a
-// claim survives a crash — an unrecorded claim would let two workers
-// believe they hold the same cell after recovery.
+// already exists. The record is staged in a temp file and link(2)ed into
+// place, so the lease name never exists with incomplete contents — a
+// contender that raced an O_CREATE-then-write here could read the
+// empty in-progress file, deem it corrupt/expired, steal it by rename,
+// and leave two workers each believing they hold the cell. The link is
+// fsynced into the directory so a claim survives a crash — an
+// unrecorded claim would likewise let two workers share a cell after
+// recovery.
 func (c *ClaimDir) createExcl(path, owner string, ttl time.Duration) (ok bool, err error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	data, _ := json.Marshal(leaseRecord{Owner: owner, Deadline: time.Now().Add(ttl).UnixNano()})
+	f, err := os.CreateTemp(c.dir, ".claim-*")
 	if err != nil {
-		if os.IsExist(err) {
-			return false, nil
-		}
 		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
 	}
-	data, _ := json.Marshal(leaseRecord{Owner: owner, Deadline: time.Now().Add(ttl).UnixNano()})
+	tmp := f.Name()
+	defer os.Remove(tmp)
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(path)
 		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(path)
 		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(path)
+		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
+	}
+	if err := os.Link(tmp, path); err != nil {
+		if os.IsExist(err) {
+			return false, nil
+		}
 		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
 	}
 	if err := syncDir(filepath.Dir(path)); err != nil {

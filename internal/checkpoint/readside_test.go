@@ -1,0 +1,271 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPutVerifyConcurrentDivergent hammers N writers racing divergent
+// payloads at the same key and requires exactly-one-winner semantics:
+// one writer succeeds, every other writer reports *ConflictError, and the
+// committed entry holds the winner's bytes unchanged forever after. The
+// old check-then-act implementation (Get, compare, rename) let two
+// divergent writers both "succeed" with the last rename silently winning,
+// which destroyed the determinism-violation signal PutVerify exists for.
+func TestPutVerifyConcurrentDivergent(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		t.Run(fmt.Sprintf("round-%d", round), func(t *testing.T) {
+			t.Parallel()
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const writers = 8
+			payload := func(i int) []byte { return []byte(fmt.Sprintf("payload-from-writer-%d", i)) }
+
+			errs := make([]error, writers)
+			var start, done sync.WaitGroup
+			start.Add(1)
+			done.Add(writers)
+			for i := 0; i < writers; i++ {
+				go func(i int) {
+					defer done.Done()
+					start.Wait()
+					errs[i] = s.PutVerify("k", payload(i))
+				}(i)
+			}
+			start.Done()
+			done.Wait()
+
+			var winners []int
+			for i, err := range errs {
+				if err == nil {
+					winners = append(winners, i)
+					continue
+				}
+				var ce *ConflictError
+				if !errors.As(err, &ce) {
+					t.Fatalf("writer %d: err = %v, want nil or *ConflictError", i, err)
+				}
+			}
+			if len(winners) != 1 {
+				t.Fatalf("winners = %v, want exactly one", winners)
+			}
+			got, ok := s.Get("k")
+			if !ok || !bytes.Equal(got, payload(winners[0])) {
+				t.Fatalf("entry = %q ok=%v, want winner %d's bytes", got, ok, winners[0])
+			}
+		})
+	}
+}
+
+// TestPutVerifyEntryNeverChangesAfterCommit interleaves one committed
+// entry with a stream of divergent PutVerify attempts and concurrent
+// readers: once any writer has succeeded, every read must return the
+// winner's exact bytes — no torn, partial, or replaced content.
+func TestPutVerifyEntryNeverChangesAfterCommit(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("the-committed-artifact")
+	if err := s.PutVerify("k", want); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := s.PutVerify("k", []byte(fmt.Sprintf("divergent-%d", i)))
+				var ce *ConflictError
+				if !errors.As(err, &ce) {
+					t.Errorf("divergent PutVerify = %v, want *ConflictError", err)
+					return
+				}
+			}
+		}(i)
+	}
+	hash := KeyHash("k")
+	for i := 0; i < 500; i++ {
+		if got, ok := s.Get("k"); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("read %d: Get = %q ok=%v, want committed bytes", i, got, ok)
+		}
+		if got, ok := s.GetHash(hash); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("read %d: GetHash = %q ok=%v, want committed bytes", i, got, ok)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestReadersSeeNothingOrComplete races readers against first-commit
+// writers across many fresh keys: every Get/GetHash observation must be
+// a clean miss or the complete artifact — the no-torn-reads contract the
+// serving layer's GET /v1/results/{cachekey} depends on.
+func TestReadersSeeNothingOrComplete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 64
+	blob := bytes.Repeat([]byte("0123456789abcdef"), 512) // 8 KiB, big enough to tear
+
+	var wg sync.WaitGroup
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := s.PutVerify(key, blob); err != nil {
+				t.Errorf("PutVerify(%s) = %v", key, err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			hash := KeyHash(key)
+			for {
+				if got, ok := s.GetHash(hash); ok {
+					if !bytes.Equal(got, blob) {
+						t.Errorf("GetHash(%s): torn read, %d bytes", key, len(got))
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := s.Len(); n != keys {
+		t.Fatalf("Len = %d, want %d", n, keys)
+	}
+}
+
+// TestGetHashRejectsNonHashNames pins the traversal gate: only 64-char
+// lowercase-hex names ever reach the filesystem.
+func TestGetHashRejectsNonHashNames(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"",
+		"..",
+		"../../etc/passwd",
+		"short",
+		strings.Repeat("g", 64),       // right length, not hex
+		strings.ToUpper(KeyHash("k")), // uppercase rejected: names are lowercase
+		KeyHash("k") + "x",            // too long
+		strings.Repeat("a", 63) + string(rune(0)), // embedded NUL
+	} {
+		if _, ok := s.GetHash(bad); ok {
+			t.Errorf("GetHash(%q) = ok, want miss", bad)
+		}
+	}
+	if got, ok := s.GetHash(KeyHash("k")); !ok || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("GetHash(valid) = %q ok=%v", got, ok)
+	}
+}
+
+// TestHashesListsEntriesOnly: sidecars (.conflict, temp files) and
+// foreign files never appear in the read-side listing, and the listing is
+// sorted.
+func TestHashesListsEntriesOnly(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Hashes(); len(got) != 0 {
+		t.Fatalf("empty store Hashes = %v", got)
+	}
+	keys := []string{"a", "b", "c"}
+	want := map[string]bool{}
+	for _, k := range keys {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		want[KeyHash(k)] = true
+	}
+	// A divergent PutVerify leaves a .conflict sidecar.
+	err = s.PutVerify("a", []byte("DIFFERENT"))
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("divergent PutVerify = %v", err)
+	}
+	got := s.Hashes()
+	if len(got) != len(keys) {
+		t.Fatalf("Hashes = %v, want %d entries", got, len(keys))
+	}
+	for i, h := range got {
+		if !want[h] {
+			t.Errorf("unexpected hash %s", h)
+		}
+		if i > 0 && got[i-1] >= h {
+			t.Errorf("Hashes not sorted: %v", got)
+		}
+	}
+}
+
+// TestTryClaimContendedMutualExclusion hammers live-lease claims from
+// many goroutines and requires at most one holder at any instant. The
+// old createExcl made the lease name visible empty between O_CREATE and
+// the record write; a contender reading that window deemed the lease
+// corrupt ("treated as expired"), stole it by rename, and claimed —
+// leaving two workers each holding the same cell. Staging the record in
+// a temp file and link(2)ing it into place closes the window: the name
+// either does not exist or holds a complete record.
+func TestTryClaimContendedMutualExclusion(t *testing.T) {
+	c, err := OpenClaims(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var holders atomic.Int32
+	var violations atomic.Int32
+	var claims atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("w%d", w)
+			for i := 0; i < 200; i++ {
+				l, ok, err := c.TryClaim("cell", owner, time.Hour)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					continue
+				}
+				claims.Add(1)
+				if n := holders.Add(1); n != 1 {
+					violations.Add(1)
+				}
+				holders.Add(-1)
+				l.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d instants with two concurrent lease holders", v)
+	}
+	if claims.Load() == 0 {
+		t.Fatal("no goroutine ever won the claim; test exercised nothing")
+	}
+}

@@ -189,6 +189,22 @@ func RunTrialObserved(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 		TrialOptions{SampleEvery: sampleEvery, Observer: obs})
 }
 
+// FanoutMismatchError reports a system configured for one page-table
+// region fanout driving a workload laid out with another — a
+// configuration error (both derive from the same RegionPTEs knob), typed
+// so validation layers can classify it as a client mistake rather than a
+// harness failure.
+type FanoutMismatchError struct {
+	Want     int    // the system's RegionPTEs
+	Have     int    // the workload's layout fanout
+	Workload string // workload name
+}
+
+func (e *FanoutMismatchError) Error() string {
+	return fmt.Sprintf("core: region fanout mismatch: system wants %d-PTE regions but workload %q was laid out with %d",
+		e.Want, e.Workload, e.Have)
+}
+
 // RunTrialOpts is the fully-optioned trial entry point.
 func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	workloadSeed, systemSeed uint64, opts TrialOptions) (Metrics, error) {
@@ -204,8 +220,7 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	}
 
 	if sys.RegionPTEs > 0 && sys.RegionPTEs != w.RegionPTEs() {
-		return Metrics{}, fmt.Errorf("core: region fanout mismatch: system wants %d-PTE regions but workload %q was laid out with %d",
-			sys.RegionPTEs, w.Name(), w.RegionPTEs())
+		return Metrics{}, &FanoutMismatchError{Want: sys.RegionPTEs, Have: w.RegionPTEs(), Workload: w.Name()}
 	}
 
 	eng := sim.NewEngine(sys.CPUs)

@@ -91,6 +91,47 @@ func encodeSeries(key string, s *Series) ([]byte, error) {
 	return json.Marshal(env)
 }
 
+// SeriesSummary is the compact telemetry digest of one stored series —
+// what the sweep server streams per completed cell without shipping the
+// full artifact (raw latency samples dominate the blob).
+type SeriesSummary struct {
+	Workload       string  `json:"workload"`
+	Policy         string  `json:"policy"`
+	Trials         int     `json:"trials"`
+	MeanRuntimeSec float64 `json:"meanRuntimeSec"`
+	MeanFaults     float64 `json:"meanFaults"`
+	// MeanRequestNS is the mean request latency across trials in
+	// nanoseconds; zero for batch (runtime-metric) workloads.
+	MeanRequestNS float64 `json:"meanRequestNS,omitempty"`
+}
+
+// SummarizeSeriesBlob digests a checkpoint-store blob into a
+// SeriesSummary. ok is false when the blob is not a valid series envelope
+// of the current format version.
+func SummarizeSeriesBlob(data []byte) (SeriesSummary, bool) {
+	var env seriesEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Version != checkpointVersion {
+		return SeriesSummary{}, false
+	}
+	s, ok := decodeSeries(env.Key, data)
+	if !ok {
+		return SeriesSummary{}, false
+	}
+	sum := SeriesSummary{
+		Workload: s.Workload,
+		Policy:   s.Policy,
+		Trials:   len(s.Trials),
+	}
+	if len(s.Trials) > 0 {
+		sum.MeanRuntimeSec = stats.Mean(s.Runtimes())
+		sum.MeanFaults = stats.Mean(s.Faults())
+		if req := s.MeanRequestNS(); len(req) > 0 {
+			sum.MeanRequestNS = stats.Mean(req)
+		}
+	}
+	return sum, true
+}
+
 // decodeSeries restores a persisted series. ok is false when the blob is
 // unparsable, from a different format version, or stored under a
 // different logical key (hash collision or stale file) — all of which

@@ -70,6 +70,14 @@ func PolicyByName(name string) PolicySpec {
 	panic(fmt.Sprintf("experiments: unknown policy %q", name))
 }
 
+// PolicyNames lists every registered policy name, in registry order —
+// the validation vocabulary API layers resolve client-supplied names
+// against (PolicyByName panics on unknown names; check membership here
+// first).
+func PolicyNames() []string {
+	return []string{PolClock, PolMGLRU, PolGen14, PolScanAll, PolScanNone, PolScanRand, PolFIFO, PolRandom}
+}
+
 // BaselinePair is the Clock-vs-MGLRU comparison of §V-A.
 func BaselinePair() []PolicySpec { return Policies(PolClock, PolMGLRU) }
 
@@ -163,6 +171,19 @@ func WorkloadsAt(scale float64, regionPTEs int) []WorkloadSpec {
 			return ycsb.New(cfg)
 		}},
 	}
+}
+
+// WorkloadNames lists every registered workload name, in registry order —
+// the validation vocabulary for client-supplied names (WorkloadByNameAt
+// panics on unknown names; check membership here first). Enumerating the
+// registry at scale 1 constructs nothing: WorkloadSpec.Make is lazy.
+func WorkloadNames() []string {
+	ws := WorkloadsAt(1, 0)
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
 }
 
 // WorkloadByName resolves a single workload spec at the given scale and

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mglrusim/internal/core"
+)
+
+// SweepSpec describes an axis-product sweep in experiment vocabulary:
+// the cross product of workloads × policies × ratios × swap media, each
+// cell run under Base with that point's ratio and medium substituted.
+// This is the canonical form scenario submissions reduce to — the sweep
+// server validates client JSON into one of these and enumerates it.
+type SweepSpec struct {
+	// Workloads and Policies are registry names (WorkloadNames,
+	// PolicyNames).
+	Workloads []string
+	Policies  []string
+	// Base is the system configuration every cell starts from. Its Ratio
+	// and Swap act as the axis values when Ratios/Swaps are empty.
+	Base core.SystemConfig
+	// Ratios is the capacity-ratio ladder (the paper sweeps 0.5, 0.75,
+	// 0.9). Empty means just Base.Ratio.
+	Ratios []float64
+	// Swaps is the swap-medium axis. Empty means just Base.Swap.
+	Swaps []core.SwapKind
+}
+
+// Systems expands the spec's system axis: Base with each (ratio, swap)
+// point substituted, ratios outermost.
+func (sp SweepSpec) Systems() []core.SystemConfig {
+	ratios := sp.Ratios
+	if len(ratios) == 0 {
+		ratios = []float64{sp.Base.Ratio}
+	}
+	swaps := sp.Swaps
+	if len(swaps) == 0 {
+		swaps = []core.SwapKind{sp.Base.Swap}
+	}
+	out := make([]core.SystemConfig, 0, len(ratios)*len(swaps))
+	for _, ratio := range ratios {
+		for _, kind := range swaps {
+			sys := sp.Base
+			sys.Ratio = ratio
+			sys.Swap = kind
+			out = append(out, sys)
+		}
+	}
+	return out
+}
+
+// CellCount reports the number of cells the spec expands to, without
+// enumerating: |workloads| × |policies| × |system points|.
+func (sp SweepSpec) CellCount() int {
+	return len(sp.Workloads) * len(sp.Policies) * len(sp.Systems())
+}
+
+// SweepCells enumerates, without executing a single trial, every distinct
+// cell the spec expands to under opts, in claim order (SortCells) — the
+// same collector-mode path CellsFor uses for figures, so sweep cells and
+// figure cells share cache keys exactly. Unknown workload or policy names
+// return an error (they panic in the resolution helpers, which serve
+// trusted callers).
+func SweepCells(opts Options, spec SweepSpec) ([]CellSpec, error) {
+	known := map[string]bool{}
+	for _, n := range WorkloadNames() {
+		known[n] = true
+	}
+	for _, n := range spec.Workloads {
+		if !known[n] {
+			return nil, fmt.Errorf("experiments: unknown workload %q", n)
+		}
+	}
+	known = map[string]bool{}
+	for _, n := range PolicyNames() {
+		known[n] = true
+	}
+	for _, n := range spec.Policies {
+		if !known[n] {
+			return nil, fmt.Errorf("experiments: unknown policy %q", n)
+		}
+	}
+	return CellsFor(opts, func(r *Runner) (Result, error) {
+		for _, sys := range spec.Systems() {
+			for _, wn := range spec.Workloads {
+				w := r.workloadByName(wn)
+				for _, pn := range spec.Policies {
+					if _, err := r.Run(w, PolicyByName(pn), sys); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		return nil, nil
+	})
+}

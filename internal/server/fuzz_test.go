@@ -1,0 +1,53 @@
+package server
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzSweepRequestParse: parsing never panics on arbitrary bytes, and
+// every accepted request canonicalizes to a stable identity — the
+// canonical form re-encodes and re-parses to exactly itself (idempotent)
+// and the job key does not drift.
+func FuzzSweepRequestParse(f *testing.F) {
+	f.Add([]byte(smallSweep))
+	f.Add([]byte(`{"workloads":["tpch","ycsb-a"],"policies":["mglru","clock"],"swaps":["zram","ssd"],"trials":5,"scale":0.3}`))
+	f.Add([]byte(`{"workloads":["pagerank"],"policies":["gen14"],"system":{"cpus":4}}`))
+	f.Add([]byte(`{"workloads":["ycsb-c","ycsb-c"],"policies":["fifo"],"ratios":[0.9,0.5,0.9]}`))
+	f.Add([]byte(`{"workloads":[`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"workloads":["ycsb-c"],"policies":["fifo"],"ratios":[1.5000000000000002]}`))
+	f.Add([]byte(`{"workloads":["ycsb-c"],"policies":["fifo"],"system":{"regionPTEs":512}}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+
+	lim := Limits{}.withDefaults()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, aerr := ParseSweepRequest(bytes.NewReader(data), lim)
+		if aerr != nil {
+			// Rejected: must be a structured 4xx, nothing else to hold.
+			if aerr.Status < 400 || aerr.Status > 499 {
+				t.Fatalf("rejection status %d, want 4xx", aerr.Status)
+			}
+			if aerr.Code == "" {
+				t.Fatal("rejection with empty code")
+			}
+			return
+		}
+		// Accepted: the canonical form is a fixed point of validation.
+		again, aerr2 := c.Reparse(lim)
+		if aerr2 != nil {
+			t.Fatalf("canonical form rejected on reparse: %v\ncanonical: %s", aerr2, c.Encode())
+		}
+		if !reflect.DeepEqual(c, again) {
+			t.Fatalf("canonicalization not idempotent:\nfirst:  %+v\nsecond: %+v", c, again)
+		}
+		if k1, k2 := c.JobKey(0x5EED), again.JobKey(0x5EED); k1 != k2 {
+			t.Fatalf("job key drifted across reparse: %s vs %s", k1, k2)
+		}
+		if !bytes.Equal(c.Encode(), again.Encode()) {
+			t.Fatal("canonical encoding not stable across reparse")
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepRequestValidation is the satellite table: every malformed or
+// out-of-range submission is a structured 4xx with the right code, and
+// nothing reaches the executor.
+func TestSweepRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		code string // expected apiError.Code
+	}{
+		{"malformed-json", `{"workloads": [`, "bad-json"},
+		{"not-an-object", `[1,2,3]`, "bad-json"},
+		{"unknown-field", `{"workloads":["ycsb-c"],"policies":["fifo"],"bogus":1}`, "bad-json"},
+		{"trailing-data", `{"workloads":["ycsb-c"],"policies":["fifo"]} {"again":true}`, "bad-json"},
+		{"wrong-type", `{"workloads":"ycsb-c","policies":["fifo"]}`, "bad-json"},
+		{"no-workloads", `{"policies":["fifo"]}`, "empty-axis"},
+		{"no-policies", `{"workloads":["ycsb-c"]}`, "empty-axis"},
+		{"unknown-workload", `{"workloads":["tpcz"],"policies":["fifo"]}`, "unknown-workload"},
+		{"unknown-policy", `{"workloads":["ycsb-c"],"policies":["marchetti"]}`, "unknown-policy"},
+		{"zero-ratio", `{"workloads":["ycsb-c"],"policies":["fifo"],"ratios":[0]}`, "bad-ratio"},
+		{"negative-ratio", `{"workloads":["ycsb-c"],"policies":["fifo"],"ratios":[-0.5]}`, "bad-ratio"},
+		{"implausible-ratio", `{"workloads":["ycsb-c"],"policies":["fifo"],"ratios":[2.5]}`, "bad-ratio"},
+		{"unknown-swap", `{"workloads":["ycsb-c"],"policies":["fifo"],"swaps":["tape"]}`, "bad-swap"},
+		{"negative-trials", `{"workloads":["ycsb-c"],"policies":["fifo"],"trials":-1}`, "bad-trials"},
+		{"excessive-trials", `{"workloads":["ycsb-c"],"policies":["fifo"],"trials":1000}`, "bad-trials"},
+		{"negative-scale", `{"workloads":["ycsb-c"],"policies":["fifo"],"scale":-0.1}`, "bad-scale"},
+		{"excessive-scale", `{"workloads":["ycsb-c"],"policies":["fifo"],"scale":100}`, "bad-scale"},
+		{"zero-cpus", `{"workloads":["ycsb-c"],"policies":["fifo"],"system":{"cpus":-4}}`, "bad-cpus"},
+		{"excessive-cpus", `{"workloads":["ycsb-c"],"policies":["fifo"],"system":{"cpus":1024}}`, "bad-cpus"},
+		// The PR 6 typed region-fanout mismatch, caught at the door.
+		{"fanout-mismatch", `{"workloads":["ycsb-c"],"policies":["fifo"],"system":{"regionPTEs":512}}`, "fanout-mismatch"},
+		{"oversized-sweep", `{"workloads":["tpch","pagerank","ycsb-a","ycsb-b","ycsb-c"],` +
+			`"policies":["clock","mglru","gen14","fifo","random"],` +
+			`"ratios":[0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9]}`, "sweep-too-large"},
+	}
+
+	// Unit layer: ParseSweepRequest classifies each case.
+	for _, tc := range cases {
+		t.Run("parse/"+tc.name, func(t *testing.T) {
+			_, aerr := ParseSweepRequest(strings.NewReader(tc.body), Limits{})
+			if aerr == nil {
+				t.Fatalf("body accepted: %s", tc.body)
+			}
+			if aerr.Code != tc.code {
+				t.Fatalf("code %q, want %q (message: %s)", aerr.Code, tc.code, aerr.Message)
+			}
+			if aerr.Status < 400 || aerr.Status > 499 {
+				t.Fatalf("status %d, want 4xx", aerr.Status)
+			}
+		})
+	}
+
+	// HTTP layer: the same bodies through the endpoint — structured 4xx,
+	// and the server never creates a job or executes a cell.
+	store := openStore(t)
+	srv, ts := startServer(t, fastServerCfg(t, store, 1))
+	for _, tc := range cases {
+		t.Run("http/"+tc.name, func(t *testing.T) {
+			code, _, aerr := postSweep(t, ts, tc.body)
+			if aerr == nil || code < 400 || code > 499 {
+				t.Fatalf("status %d, want structured 4xx", code)
+			}
+			if aerr.Code != tc.code {
+				t.Fatalf("code %q, want %q", aerr.Code, tc.code)
+			}
+		})
+	}
+	if got := srv.Counters().Get("server.rejected.invalid"); got != int64(len(cases)) {
+		t.Fatalf("server.rejected.invalid = %d, want %d", got, len(cases))
+	}
+	if got := srv.Counters().Get("server.sweeps.submitted"); got != 0 {
+		t.Fatalf("invalid submissions created jobs: submitted = %d", got)
+	}
+	if stats := getStats(t, ts); stats.Jobs != 0 || stats.QueueDepth != 0 {
+		t.Fatalf("invalid submissions left state behind: %+v", stats)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("invalid submissions executed cells: store has %d entries", store.Len())
+	}
+}
+
+// TestCanonicalizeNormalizes: axis order, duplicates, and defaulted
+// fields never change the canonical form or the job identity.
+func TestCanonicalizeNormalizes(t *testing.T) {
+	a, aerr := ParseSweepRequest(strings.NewReader(
+		`{"workloads":["ycsb-c","tpch","ycsb-c"],"policies":["random","fifo"],"ratios":[0.9,0.5,0.9]}`), Limits{})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	b, aerr := ParseSweepRequest(strings.NewReader(
+		`{"workloads":["tpch","ycsb-c"],"policies":["fifo","random"],"ratios":[0.5,0.9],"trials":3,"scale":0.2}`), Limits{})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if ka, kb := a.JobKey(1), b.JobKey(1); ka != kb {
+		t.Fatalf("equivalent sweeps got different job keys: %s vs %s\n%s\n%s",
+			ka, kb, a.Encode(), b.Encode())
+	}
+	if ka, kb := a.JobKey(1), a.JobKey(2); ka == kb {
+		t.Fatal("job key ignores the methodology seed")
+	}
+	if got, want := string(a.Encode()), string(b.Encode()); got != want {
+		t.Fatalf("canonical encodings differ:\n%s\n%s", got, want)
+	}
+}
+
+// TestValidationTimeout sanity-checks the bounded request handling: an
+// oversized body is cut off by the limit reader, not read forever.
+func TestValidationBodyLimit(t *testing.T) {
+	huge := `{"workloads":["` + strings.Repeat("x", 2<<20) + `"],"policies":["fifo"]}`
+	_, aerr := ParseSweepRequest(strings.NewReader(huge), Limits{})
+	if aerr == nil {
+		t.Fatal("oversized body accepted")
+	}
+	if aerr.Code != "bad-json" {
+		t.Fatalf("code %q, want bad-json (truncated at the byte limit)", aerr.Code)
+	}
+}

@@ -121,6 +121,90 @@ func (q *Queue) backoff(attempts int) time.Duration {
 	return d
 }
 
+// CellStatus is the externally-visible lifecycle state of one queue cell,
+// derived entirely from the on-disk protocol (store entry, poison record,
+// lease, attempt record) — every process observing the queue derives the
+// same answer.
+type CellStatus string
+
+// Cell lifecycle states, roughly in progression order.
+const (
+	// CellQueued: no terminal state, no attempts recorded, not claimed.
+	CellQueued CellStatus = "queued"
+	// CellRunning: a live lease holder is executing an attempt.
+	CellRunning CellStatus = "running"
+	// CellFailed: at least one attempt failed or crashed; the cell is
+	// awaiting its backoff gate and will be retried.
+	CellFailed CellStatus = "failed"
+	// CellDone: the result is in the store.
+	CellDone CellStatus = "done"
+	// CellQuarantined: the attempt budget is spent (or determinism was
+	// violated); a poison record blocks re-execution.
+	CellQuarantined CellStatus = "quarantined"
+)
+
+// CellInfo is one cell's inspection snapshot.
+type CellInfo struct {
+	Cell     experiments.CellSpec
+	Status   CellStatus
+	Attempts int
+	// Owner is the live lease holder while running.
+	Owner string
+	// LastErr is the most recent attempt failure (or the quarantine
+	// reason).
+	LastErr string
+}
+
+// Inspect derives every cell's current status from the on-disk protocol,
+// in claim order. It is a read-only census: safe to call from any process
+// at any time, including while workers execute.
+func (q *Queue) Inspect() []CellInfo {
+	out := make([]CellInfo, len(q.cells))
+	for i, c := range q.cells {
+		info := CellInfo{Cell: c, Status: CellQueued}
+		switch {
+		case q.cfg.Store.Has(c.Key):
+			info.Status = CellDone
+		default:
+			if rec, ok := readPoison(q.cfg.Dir, q.hashes[i]); ok {
+				info.Status = CellQuarantined
+				info.Attempts = rec.Attempts
+				info.LastErr = rec.Err
+				break
+			}
+			st := q.readState(i)
+			info.Attempts = st.Attempts
+			info.LastErr = st.LastErr
+			if owner, live, ok := q.claims.Holder(q.hashes[i]); ok && live {
+				info.Status = CellRunning
+				info.Owner = owner
+			} else if st.Attempts > 0 {
+				info.Status = CellFailed
+			}
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// SimulateCrashedAttempt writes the on-disk state a worker SIGKILLed
+// mid-execution leaves behind once its lease expires: an attempt record
+// still marked running with no live lease. The next claimant charges the
+// crashed attempt (leases.expired), requeues the cell with backoff
+// (cells.requeued), and re-executes it — the exact recovery path a real
+// crash takes. Test helper for crash-recovery end-to-end suites.
+func SimulateCrashedAttempt(dir string, cell experiments.CellSpec) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	st := cellState{Key: cell.Key, SeedKey: cell.SeedKey, Attempts: 1, Running: true}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return checkpoint.WriteFileDurable(cellStatePath(dir, checkpoint.KeyHash(cell.Key)), data)
+}
+
 // WorkerConfig identifies one executing worker.
 type WorkerConfig struct {
 	// Owner is the lease-holder identity (must be unique per worker;
@@ -201,6 +285,19 @@ func (q *Queue) RunWorker(wc WorkerConfig) error {
 		}
 		time.Sleep(d)
 	}
+}
+
+// Pass makes one scan over the cell list as the given worker, executing
+// at most every runnable cell once, and returns — the single-scan
+// building block for embedding the queue in a long-lived pool that
+// multiplexes workers over many queues (Executor). It reports whether any
+// cell changed state and the earliest backoff gate observed. Unlike
+// RunWorker it never sleeps and never loops.
+func (q *Queue) Pass(wc WorkerConfig) (progressed bool, earliest time.Time, err error) {
+	if wc.Runner == nil {
+		return false, time.Time{}, fmt.Errorf("shard: WorkerConfig.Runner is required")
+	}
+	return q.pass(wc.withDefaults(wc.Runner.Options().Scale))
 }
 
 // pass makes one scan over the cell list, executing at most every
