@@ -125,6 +125,8 @@ func realMain() int {
 		workerMode    = flag.Bool("worker", false, "run as one shard worker over the -checkpoint queue (spawned by -workers; exits when the queue is resolved)")
 		leaseTTL      = flag.Duration("lease-ttl", 10*time.Second, "shard lease time-to-live; bounds how long a crashed worker's cell stays claimed")
 		shardAttempts = flag.Int("shard-attempts", 5, "per-cell execution budget before a failing cell is quarantined")
+		maxSkew       = flag.Duration("max-skew", 0, "clock-skew grace before stealing an expired lease; set when workers span machines over a shared filesystem (NFS)")
+		owner         = flag.String("owner", "", "lease-owner identity for this worker (default: host/pid/nonce, enabling same-host dead-worker fast reclaim)")
 		faults   = flag.String("faults", "", "fault-injection preset applied to every series: off, mild, severe")
 		watchdog = flag.Duration("watchdog", 0, "virtual-time progress watchdog window (e.g. 60s of simulated time; 0 = off)")
 		retries  = flag.Int("retries", 0, "per-trial retries of transient fault-injected failures")
@@ -259,8 +261,11 @@ func realMain() int {
 			"-checkpoint", *ckptDir,
 			"-lease-ttl", leaseTTL.String(),
 			"-shard-attempts", strconv.Itoa(*shardAttempts),
+			"-max-skew", maxSkew.String(),
 			"-retries", strconv.Itoa(*retries),
 		}
+		// -owner is deliberately NOT forwarded: each worker must mint its
+		// own host/pid/nonce identity or fast reclaim would misfire.
 		if *faults != "" {
 			workerArgs = append(workerArgs, "-faults", *faults)
 		}
@@ -302,6 +307,8 @@ func realMain() int {
 		workerMode:      *workerMode,
 		leaseTTL:        *leaseTTL,
 		shardAttempts:   *shardAttempts,
+		maxSkew:         *maxSkew,
+		owner:           *owner,
 		workerArgs:      workerArgs,
 	})
 }
@@ -391,6 +398,8 @@ type figureConfig struct {
 	workerMode    bool
 	leaseTTL      time.Duration
 	shardAttempts int
+	maxSkew       time.Duration
+	owner         string
 	// workerArgs is the argv the coordinator spawns each -worker with.
 	workerArgs []string
 }
@@ -409,6 +418,7 @@ func (c figureConfig) shardConfig(store *checkpoint.Store, counters *telemetry.C
 		Store:    store,
 		TTL:      c.leaseTTL,
 		Attempts: c.shardAttempts,
+		MaxSkew:  c.maxSkew,
 		Counters: counters,
 		Progress: prog,
 	}
@@ -550,6 +560,7 @@ func runShardWorker(cfg figureConfig, opts experiments.Options, store *checkpoin
 	hook := func() { drain.Store(true) }
 	interruptHook.Store(&hook)
 	if err := q.RunWorker(shard.WorkerConfig{
+		Owner:  cfg.owner,
 		Runner: experiments.NewRunner(opts),
 		Drain:  &drain,
 	}); err != nil {

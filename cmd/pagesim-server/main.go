@@ -46,6 +46,8 @@ func realMain() int {
 		bound    = flag.Int("queue-bound", 256, "max outstanding cold cells before submissions get 429")
 		maxCells = flag.Int("max-cells", 0, "max cells per sweep (0 = server default)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request handling timeout (non-streaming endpoints)")
+		maxSkew  = flag.Duration("max-skew", 0, "clock-skew grace before stealing another machine's expired lease (set on NFS fleets)")
+		readOnly = flag.Bool("readonly", false, "degraded mode: serve cached artifacts and fully-cached sweeps only (also entered automatically when -data is not writable)")
 		verbose  = flag.Bool("v", false, "log job and cell progress")
 	)
 	flag.Parse()
@@ -72,6 +74,8 @@ func realMain() int {
 		QueueBound:     *bound,
 		Limits:         server.Limits{MaxCells: *maxCells},
 		RequestTimeout: *timeout,
+		MaxSkew:        *maxSkew,
+		ReadOnly:       *readOnly,
 		Counters:       telemetry.NewCounterSet(),
 		Progress:       progress,
 	})

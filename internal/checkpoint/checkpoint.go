@@ -26,11 +26,30 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Store persists keyed blobs under one directory.
 type Store struct {
 	dir string
+	io  atomic.Pointer[ioPolicy]
+}
+
+// SetIO installs a transient-failure retry policy and an optional fault
+// hook over the store's filesystem operations — the same treatment the
+// lease layer gets, so an NFS blip during publication retries instead of
+// failing a completed cell. Safe to call while the store is shared
+// across goroutines (stores are long-lived and passed between servers
+// and executors).
+func (s *Store) SetIO(retry RetryPolicy, hook FaultHook) {
+	s.io.Store(&ioPolicy{retry: retry, hook: hook})
+}
+
+func (s *Store) iop() ioPolicy {
+	if p := s.io.Load(); p != nil {
+		return *p
+	}
+	return ioPolicy{}
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -65,7 +84,12 @@ func (s *Store) EntryPath(key string) string { return s.path(key) }
 // unreadable (an unreadable entry is indistinguishable from a missing one
 // on purpose: resume re-executes and overwrites it).
 func (s *Store) Get(key string) (data []byte, ok bool) {
-	data, err := os.ReadFile(s.path(key))
+	path := s.path(key)
+	err := s.iop().do("store.read", path, func() error {
+		var rerr error
+		data, rerr = os.ReadFile(path)
+		return rerr
+	})
 	if err != nil || len(data) == 0 {
 		return nil, false
 	}
@@ -135,7 +159,9 @@ func (s *Store) Has(key string) bool {
 
 // Put stores data for key atomically and durably.
 func (s *Store) Put(key string, data []byte) error {
-	if err := WriteFileDurable(s.path(key), data); err != nil {
+	path := s.path(key)
+	err := s.iop().do("store.put", path, func() error { return WriteFileDurable(path, data) })
+	if err != nil {
 		return fmt.Errorf("checkpoint: put: %w", err)
 	}
 	return nil
@@ -173,8 +199,27 @@ func (e *ConflictError) Error() string {
 // complete committed entry, never a partial write, because data only
 // becomes visible under the entry name at the link.
 func (s *Store) PutVerify(key string, data []byte) error {
+	return s.PutVerifyFenced(key, data, nil)
+}
+
+// PutVerifyFenced is PutVerify with a fencing check: fence (typically a
+// closure over Lease.Verify for the claim that authorized this write) is
+// re-evaluated at the top of every commit attempt, and any error it
+// returns — a *FencedError for a superseded epoch — aborts the write with
+// the store untouched. The fence runs BEFORE the byte-identical fast
+// path, so a zombie writer resumed after its lease was stolen is rejected
+// deterministically rather than slipping through whenever its bytes
+// happen to match: a fenced duplicate is a protocol event worth counting,
+// and a fenced divergence must never be recorded as a determinism
+// conflict against the legitimate writer.
+func (s *Store) PutVerifyFenced(key string, data []byte, fence func() error) error {
 	path := s.path(key)
 	for attempt := 0; attempt < 4; attempt++ {
+		if fence != nil {
+			if err := fence(); err != nil {
+				return err
+			}
+		}
 		if have, err := os.ReadFile(path); err == nil && len(have) > 0 {
 			if bytes.Equal(have, data) {
 				return nil
@@ -190,7 +235,7 @@ func (s *Store) PutVerify(key string, data []byte) error {
 			// commit below can claim it.
 			os.Remove(path)
 		}
-		switch err := createIfAbsent(path, data); {
+		switch err := s.iop().do("store.put-verify", path, func() error { return createIfAbsent(path, data) }); {
 		case err == nil:
 			return nil
 		case errors.Is(err, fs.ErrExist):

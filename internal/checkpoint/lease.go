@@ -1,31 +1,193 @@
 package checkpoint
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 )
 
 // ClaimDir hands out mutually-exclusive wall-clock leases over named
-// resources using nothing but a shared directory: claiming is an
-// O_CREATE|O_EXCL file creation (atomic on every POSIX filesystem, local
-// or NFS), expiry is a deadline stamped inside the file, and stealing an
-// expired lease is a rename to a tombstone name — the filesystem
-// guarantees exactly one contender wins each of those races. No network,
-// no daemon, no flock (which silently degrades on some shared
-// filesystems).
+// resources using nothing but a shared directory — no network, no
+// daemon, no flock (which silently degrades on some shared filesystems).
+// The protocol is built from the two atomic primitives every POSIX
+// filesystem (local or NFS) provides:
+//
+//   - link(2) is an atomic create-if-absent: claiming a free resource is
+//     a link of a fully-written temp record into the lease name, so the
+//     name never exists with partial contents and exactly one of N
+//     concurrent claimants wins.
+//   - rename(2) atomically removes a name: stealing an expired lease is
+//     a rename of the stale file to a tombstone — exactly one contender
+//     wins the rename, and everyone else observes the name gone.
+//
+// On top of those, three rules make the protocol safe for a fleet of
+// machines with skewed clocks and arbitrarily-stalled processes:
+//
+//   - Lease records are immutable and carry a monotonic fencing epoch.
+//     A record is written exactly once, at claim time; it is never
+//     rewritten. Renewal writes an epoch-scoped heartbeat sidecar
+//     (<name>.hb-<epoch>) instead, whose sole legitimate writer is the
+//     claim that owns that epoch — so a stalled holder resuming after a
+//     steal cannot resurrect or extend a lease it no longer holds, only
+//     touch an inert file nobody reads. Lease.Verify / the store's
+//     PutVerifyFenced compare epochs to fence such zombies at
+//     publication.
+//   - Epochs stay monotonic across release via a per-resource floor file
+//     (<name>.epoch), bumped durably to the new epoch BEFORE the claim
+//     record is linked in. The invariant "every live lease's epoch <= the
+//     floor" means a fresh claim after a release always picks a strictly
+//     newer epoch than anything that came before. (The floor bump is
+//     read-skip-if-newer rather than a true atomic max; a writer stalled
+//     between its floor read and write across two full claim/release
+//     cycles could briefly regress the cached floor. The live-record
+//     epoch comparison — the path every in-flight zombie actually hits —
+//     does not depend on the floor, and byte-verified publication backs
+//     the rest.)
+//   - Expiry honors a configurable skew grace: a lease is only stealable
+//     once the claimant's clock reads deadline+MaxSkew, so a holder whose
+//     clock runs up to MaxSkew behind the fleet still gets its full TTL.
+//     The one exception is same-host fast reclaim: when the holder's
+//     owner identity parses, names this host, and its pid is provably
+//     dead (kill(pid,0) == ESRCH), waiting out the deadline serves
+//     nothing and the lease is reclaimed immediately.
 type ClaimDir struct {
-	dir string
+	dir     string
+	opts    ClaimOptions
+	io      ioPolicy
+	tombSeq atomic.Uint64
 }
 
-// OpenClaims creates (if needed) and opens a claim directory.
+// ClaimOptions configure clocking, skew tolerance, fault handling, and
+// observability for a ClaimDir. The zero value is production defaults:
+// real clock, zero skew grace, single-attempt I/O, pid-probe fast
+// reclaim.
+type ClaimOptions struct {
+	// Clock supplies the time for deadlines and expiry checks. Nil means
+	// time.Now. Tests inject a fake to step through expiry and skew
+	// deterministically.
+	Clock func() time.Time
+	// MaxSkew is the grace added to a lease deadline before it may be
+	// stolen: tolerate holders whose clocks run up to MaxSkew behind
+	// ours. Zero (the default) preserves single-machine semantics.
+	MaxSkew time.Duration
+	// Retry bounds retries of transient I/O failures (ESTALE/EINTR/EIO)
+	// on every lease operation. Zero value: no retries.
+	Retry RetryPolicy
+	// Hook, when non-nil, intercepts every lease filesystem operation for
+	// deterministic fault injection. See FaultHook.
+	Hook FaultHook
+	// Observe, when non-nil, receives coordination events (EvClaim,
+	// EvSteal, ...) for telemetry counters.
+	Observe func(event string)
+	// IsDead, when non-nil, overrides the liveness probe used for
+	// same-host fast reclaim. Nil means: same hostname, pid not ours, and
+	// kill(pid, 0) returns ESRCH.
+	IsDead func(o Owner) bool
+}
+
+// Owner identifies a lease holder precisely enough to reason about its
+// liveness: which host, which pid, and a per-process boot nonce so a
+// recycled pid is never mistaken for the original claimant.
+type Owner struct {
+	Host  string
+	PID   int
+	Nonce string
+}
+
+// NewOwner builds this process's owner identity.
+func NewOwner() Owner {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown-host"
+	}
+	return Owner{Host: host, PID: os.Getpid(), Nonce: newNonce()}
+}
+
+func newNonce() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not worth failing a claim over; fall back
+		// to a time-derived tag (uniqueness, not secrecy, is the goal).
+		return strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// String renders the identity as "host/pid/nonce" — the wire format
+// stored in lease records.
+func (o Owner) String() string {
+	return fmt.Sprintf("%s/%d/%s", o.Host, o.PID, o.Nonce)
+}
+
+// ParseOwner decodes a "host/pid/nonce" owner string. ok=false for
+// free-form owner names (tests, legacy callers), which simply opt out of
+// fast reclaim.
+func ParseOwner(s string) (Owner, bool) {
+	i := strings.LastIndexByte(s, '/')
+	if i < 0 {
+		return Owner{}, false
+	}
+	nonce := s[i+1:]
+	rest := s[:i]
+	j := strings.LastIndexByte(rest, '/')
+	if j < 0 {
+		return Owner{}, false
+	}
+	pid, err := strconv.Atoi(rest[j+1:])
+	if err != nil || pid <= 0 || rest[:j] == "" || nonce == "" {
+		return Owner{}, false
+	}
+	return Owner{Host: rest[:j], PID: pid, Nonce: nonce}, true
+}
+
+// pidProbablyDead is the default fast-reclaim probe: true only when the
+// owner names this host and its pid provably no longer exists. A SIGSTOPped
+// process reads as alive (correct: it may resume), a recycled pid reads
+// as alive (safe: just means waiting out the deadline), EPERM reads as
+// alive.
+func pidProbablyDead(o Owner) bool {
+	if o.PID <= 0 || o.Host == "" || o.PID == os.Getpid() {
+		return false
+	}
+	host, err := os.Hostname()
+	if err != nil || host != o.Host {
+		return false
+	}
+	return errors.Is(syscall.Kill(o.PID, 0), syscall.ESRCH)
+}
+
+// OpenClaims creates (if needed) and opens a claim directory with default
+// options — the single-machine configuration every pre-fleet caller gets.
 func OpenClaims(dir string) (*ClaimDir, error) {
+	return OpenClaimsWith(dir, ClaimOptions{})
+}
+
+// OpenClaimsWith creates (if needed) and opens a claim directory with
+// explicit fleet options.
+func OpenClaimsWith(dir string, opts ClaimOptions) (*ClaimDir, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: open claims %s: %w", dir, err)
 	}
-	return &ClaimDir{dir: dir}, nil
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.IsDead == nil {
+		opts.IsDead = pidProbablyDead
+	}
+	return &ClaimDir{
+		dir:  dir,
+		opts: opts,
+		io:   ioPolicy{retry: opts.Retry, hook: opts.Hook, observe: opts.Observe},
+	}, nil
 }
 
 // Dir reports the claim directory root.
@@ -35,18 +197,129 @@ func (c *ClaimDir) leasePath(name string) string {
 	return filepath.Join(c.dir, name+".lease")
 }
 
-// leaseRecord is the on-disk lease body.
+func (c *ClaimDir) floorPath(name string) string {
+	return filepath.Join(c.dir, name+".epoch")
+}
+
+func (c *ClaimDir) hbPath(name string, epoch uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%s.hb-%d", name, epoch))
+}
+
+func (c *ClaimDir) now() int64 { return c.opts.Clock().UnixNano() }
+
+func (c *ClaimDir) note(event string) {
+	if c.opts.Observe != nil {
+		c.opts.Observe(event)
+	}
+}
+
+// leaseRecord is the on-disk lease body — written once per claim, never
+// rewritten (renewals go to the heartbeat sidecar).
 type leaseRecord struct {
 	Owner    string `json:"owner"`
 	Deadline int64  `json:"deadline_unix_ns"`
+	Epoch    uint64 `json:"epoch"`
 }
 
-// Lease is a held claim. It is valid until its deadline passes; Renew
-// extends it, Release gives it up.
+// hbRecord is the heartbeat sidecar body: the extended deadline for one
+// claim epoch.
+type hbRecord struct {
+	Deadline int64 `json:"deadline_unix_ns"`
+}
+
+// errCorruptLease marks a lease file that exists but does not decode —
+// a torn write from a crashed pre-durable-protocol writer, or bad media.
+var errCorruptLease = errors.New("checkpoint: corrupt lease record")
+
+// readLease decodes the lease at path under the I/O policy. Returns
+// errCorruptLease (wrapped) for present-but-undecodable records, the
+// raw error otherwise.
+func (c *ClaimDir) readLease(op, path string) (leaseRecord, error) {
+	var rec leaseRecord
+	err := c.io.do(op, path, func() error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 || json.Unmarshal(data, &rec) != nil {
+			return errCorruptLease
+		}
+		return nil
+	})
+	return rec, err
+}
+
+// readFloor reads the epoch floor for name: 0 when absent or
+// undecodable (the floor is a monotonicity accelerator; live lease
+// records carry the authoritative epoch).
+func (c *ClaimDir) readFloor(name string) (uint64, error) {
+	path := c.floorPath(name)
+	var floor uint64
+	err := c.io.do("lease.floor-read", path, func() error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		v, perr := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+		if perr == nil {
+			floor = v
+		}
+		return nil
+	})
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return floor, nil
+}
+
+// bumpFloor durably raises name's epoch floor to at least epoch,
+// skipping the write when the floor is already there or beyond.
+func (c *ClaimDir) bumpFloor(name string, epoch uint64) error {
+	cur, err := c.readFloor(name)
+	if err != nil {
+		return err
+	}
+	if cur >= epoch {
+		return nil
+	}
+	path := c.floorPath(name)
+	return c.io.do("lease.floor-write", path, func() error {
+		return WriteFileDurable(path, []byte(strconv.FormatUint(epoch, 10)))
+	})
+}
+
+// effectiveDeadline is the record deadline extended by the claim's
+// heartbeat sidecar, when one exists for the record's epoch. Heartbeats
+// only ever extend — a missing or unreadable sidecar falls back to the
+// claim-time deadline.
+func (c *ClaimDir) effectiveDeadline(name string, rec leaseRecord) int64 {
+	deadline := rec.Deadline
+	path := c.hbPath(name, rec.Epoch)
+	_ = c.io.do("lease.hb-read", path, func() error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil // no heartbeat yet: not an error
+		}
+		var hb hbRecord
+		if json.Unmarshal(data, &hb) == nil && hb.Deadline > deadline {
+			deadline = hb.Deadline
+		}
+		return nil
+	})
+	return deadline
+}
+
+// Lease is a held claim at a specific fencing epoch. It is valid until
+// its (heartbeat-extended) deadline passes; Renew extends it, Release
+// gives it up, Verify checks it has not been superseded.
 type Lease struct {
 	c     *ClaimDir
 	name  string
 	owner string
+	epoch uint64
 }
 
 // Name reports the resource the lease covers.
@@ -55,139 +328,292 @@ func (l *Lease) Name() string { return l.name }
 // Owner reports the holder identity the lease was claimed with.
 func (l *Lease) Owner() string { return l.owner }
 
+// Epoch reports the lease's fencing epoch — the token publication-side
+// fence checks compare against the resource's current claim.
+func (l *Lease) Epoch() uint64 { return l.epoch }
+
 // ErrLeaseLost reports a Renew that found the lease no longer held by its
-// owner — it expired and another process stole it. The holder must assume
-// a competitor is executing the same work (safe here: results are
-// content-addressed and verified byte-identical on duplicate completion).
+// owner at its epoch — it expired and another process stole it, or its
+// record vanished. The holder must stop extending and assume a competitor
+// owns the work; its publications will be rejected by the fence.
 var ErrLeaseLost = fmt.Errorf("checkpoint: lease lost (expired and stolen)")
 
 // TryClaim attempts to acquire the lease on name for owner with the given
 // ttl. It returns (lease, true, nil) on success, (nil, false, nil) when
 // another live holder has it, and an error only on I/O failure. An
-// expired lease is stolen atomically: the stale file is renamed to a
-// tombstone (exactly one contender wins the rename) and a fresh claim is
-// attempted.
+// expired lease — deadline + MaxSkew in the past, or held by a provably
+// dead same-host pid — is stolen atomically: exactly one contender wins
+// the rename to a tombstone, and the fresh claim carries a strictly
+// greater epoch. Unreadable lease records are quarantined to
+// <lease>.corrupt-<ts>-<seq> rather than silently treated as expired.
 func (c *ClaimDir) TryClaim(name, owner string, ttl time.Duration) (*Lease, bool, error) {
 	path := c.leasePath(name)
 	for attempt := 0; attempt < 16; attempt++ {
-		ok, err := c.createExcl(path, owner, ttl)
-		if err != nil {
-			return nil, false, err
-		}
-		if ok {
-			return &Lease{c: c, name: name, owner: owner}, true, nil
-		}
-		rec, err := readLease(path)
-		if os.IsNotExist(err) {
-			continue // holder released between our create and read; re-contend
-		}
-		// An unreadable or corrupt lease (crash mid-write predating the
-		// durable-write protocol, or torn media) is treated as expired.
-		if err == nil && time.Now().UnixNano() < rec.Deadline {
-			return nil, false, nil
-		}
-		tomb := path + ".stale"
-		if err := os.Rename(path, tomb); err != nil {
-			if os.IsNotExist(err) {
-				continue // lost the steal race; re-contend for the fresh lease
+		rec, err := c.readLease("lease.read", path)
+		switch {
+		case err == nil:
+			// Name held: live, dead-holder, or expired.
+			deadline := c.effectiveDeadline(name, rec)
+			event := EvSteal
+			if c.now() < deadline+int64(c.opts.MaxSkew) {
+				o, pok := ParseOwner(rec.Owner)
+				if !pok || !c.opts.IsDead(o) {
+					return nil, false, nil
+				}
+				event = EvFastReclaim
 			}
-			return nil, false, fmt.Errorf("checkpoint: steal lease %s: %w", name, err)
+			won, serr := c.removeStale(name, path, rec)
+			if serr != nil {
+				return nil, false, serr
+			}
+			if won {
+				c.note(event)
+			}
+			continue
+		case os.IsNotExist(err):
+			// Name free: contend for a fresh claim. The floor is bumped
+			// BEFORE the link so a crash between the two only burns an
+			// epoch number, never creates a lease above the floor.
+			floor, ferr := c.readFloor(name)
+			if ferr != nil {
+				return nil, false, ferr
+			}
+			epoch := floor + 1
+			if berr := c.bumpFloor(name, epoch); berr != nil {
+				return nil, false, berr
+			}
+			ok, cerr := c.createExcl(path, owner, ttl, epoch)
+			if cerr != nil {
+				return nil, false, cerr
+			}
+			if ok {
+				c.note(EvClaim)
+				return &Lease{c: c, name: name, owner: owner, epoch: epoch}, true, nil
+			}
+			continue // lost the link race; re-read the winner's record
+		case errors.Is(err, errCorruptLease):
+			if qerr := c.quarantine(name, path); qerr != nil {
+				return nil, false, qerr
+			}
+			continue
+		default:
+			return nil, false, fmt.Errorf("checkpoint: claim %s: %w", name, err)
 		}
-		os.Remove(tomb)
 	}
 	// Pathological churn: behave as "held elsewhere" and let the caller's
 	// next scan retry.
 	return nil, false, nil
 }
 
+// removeStale atomically removes an expired lease record via a unique
+// tombstone rename. Exactly one contender wins; won=false means someone
+// else removed (or replaced) it first. The tombstone is read back after
+// the rename: if the record moved is not the one we judged expired — a
+// competitor stole it and a fresh live claim landed in the window — the
+// live record is restored via link(2) and the steal is retried from
+// scratch.
+func (c *ClaimDir) removeStale(name, path string, rec leaseRecord) (won bool, err error) {
+	tomb := fmt.Sprintf("%s.stale-%d-%d", path, os.Getpid(), c.tombSeq.Add(1))
+	err = c.io.do("lease.steal", path, func() error { return os.Rename(path, tomb) })
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil // lost the steal race
+		}
+		return false, fmt.Errorf("checkpoint: steal lease %s: %w", name, err)
+	}
+	moved, rerr := c.readLease("lease.steal-verify", tomb)
+	if rerr == nil && (moved.Epoch != rec.Epoch || moved.Owner != rec.Owner) {
+		// We renamed a live successor lease, not the stale record. Put it
+		// back; EEXIST means yet another claim already holds the name, in
+		// which case the displaced holder is fenced by epoch at its next
+		// Renew/Verify rather than silently losing work.
+		if lerr := os.Link(tomb, path); lerr != nil && !os.IsExist(lerr) {
+			return false, fmt.Errorf("checkpoint: restore displaced lease %s: %w", name, lerr)
+		}
+		os.Remove(tomb)
+		return false, nil
+	}
+	os.Remove(tomb)
+	os.Remove(c.hbPath(name, rec.Epoch))
+	syncDir(c.dir)
+	return true, nil
+}
+
+// quarantine renames an undecodable lease record to a .corrupt-* sidecar
+// so torn-media events stay observable post-mortem instead of silently
+// reading as expired.
+func (c *ClaimDir) quarantine(name, path string) error {
+	dst := fmt.Sprintf("%s.corrupt-%d-%d", path, c.now(), c.tombSeq.Add(1))
+	err := c.io.do("lease.quarantine", path, func() error { return os.Rename(path, dst) })
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // another contender quarantined or claimed it first
+		}
+		return fmt.Errorf("checkpoint: quarantine corrupt lease %s: %w", name, err)
+	}
+	syncDir(c.dir)
+	c.note(EvCorrupt)
+	return nil
+}
+
 // createExcl atomically creates the lease file, failing (ok=false) if it
 // already exists. The record is staged in a temp file and link(2)ed into
 // place, so the lease name never exists with incomplete contents — a
 // contender that raced an O_CREATE-then-write here could read the
-// empty in-progress file, deem it corrupt/expired, steal it by rename,
-// and leave two workers each believing they hold the cell. The link is
-// fsynced into the directory so a claim survives a crash — an
-// unrecorded claim would likewise let two workers share a cell after
-// recovery.
-func (c *ClaimDir) createExcl(path, owner string, ttl time.Duration) (ok bool, err error) {
-	data, _ := json.Marshal(leaseRecord{Owner: owner, Deadline: time.Now().Add(ttl).UnixNano()})
-	f, err := os.CreateTemp(c.dir, ".claim-*")
-	if err != nil {
-		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
-	}
-	tmp := f.Name()
-	defer os.Remove(tmp)
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
-	}
-	if err := os.Link(tmp, path); err != nil {
-		if os.IsExist(err) {
-			return false, nil
+// empty in-progress file, deem it corrupt, quarantine it, and leave two
+// workers each believing they hold the cell. The link is fsynced into
+// the directory so a claim survives a crash — an unrecorded claim would
+// likewise let two workers share a cell after recovery.
+func (c *ClaimDir) createExcl(path, owner string, ttl time.Duration, epoch uint64) (ok bool, err error) {
+	data, _ := json.Marshal(leaseRecord{
+		Owner:    owner,
+		Deadline: c.opts.Clock().Add(ttl).UnixNano(),
+		Epoch:    epoch,
+	})
+	err = c.io.do("lease.create", path, func() error {
+		f, err := os.CreateTemp(c.dir, ".claim-*")
+		if err != nil {
+			return err
 		}
-		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
-	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
-		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
-	}
-	return true, nil
-}
-
-func readLease(path string) (leaseRecord, error) {
-	var rec leaseRecord
-	data, err := os.ReadFile(path)
+		tmp := f.Name()
+		defer os.Remove(tmp)
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := os.Link(tmp, path); err != nil {
+			if os.IsExist(err) {
+				ok = false
+				return nil
+			}
+			return err
+		}
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			return err
+		}
+		ok = true
+		return nil
+	})
 	if err != nil {
-		return rec, err
+		return false, fmt.Errorf("checkpoint: claim %s: %w", path, err)
 	}
-	if err := json.Unmarshal(data, &rec); err != nil {
-		return rec, err
-	}
-	return rec, nil
+	return ok, nil
 }
 
-// Renew extends the lease by ttl from now. It verifies ownership first
-// and returns ErrLeaseLost when the lease has been stolen. (A stalled
-// holder can in principle renew in the window between the verify and the
-// write; that race is benign here because duplicate completions are
-// verified byte-identical by the content-addressed store.)
+// Renew extends the lease by ttl from now. The claim record is immutable;
+// the extension is written to the epoch-scoped heartbeat sidecar, whose
+// only legitimate writer is this claim — so a renew that lost the epoch
+// race returns ErrLeaseLost without writing anything, and a stalled
+// holder can never resurrect a stolen lease (its sidecar is inert
+// garbage keyed to a dead epoch).
 func (l *Lease) Renew(ttl time.Duration) error {
-	path := l.c.leasePath(l.name)
-	rec, err := readLease(path)
-	if err != nil || rec.Owner != l.owner {
+	c := l.c
+	path := c.leasePath(l.name)
+	rec, err := c.readLease("lease.renew-read", path)
+	switch {
+	case err == nil:
+		if rec.Owner != l.owner || rec.Epoch != l.epoch {
+			return ErrLeaseLost
+		}
+	case os.IsNotExist(err), errors.Is(err, errCorruptLease):
 		return ErrLeaseLost
+	default:
+		return fmt.Errorf("checkpoint: renew lease %s: %w", l.name, err)
 	}
-	data, _ := json.Marshal(leaseRecord{Owner: l.owner, Deadline: time.Now().Add(ttl).UnixNano()})
-	if err := WriteFileDurable(path, data); err != nil {
+	hb, _ := json.Marshal(hbRecord{Deadline: c.opts.Clock().Add(ttl).UnixNano()})
+	hbp := c.hbPath(l.name, l.epoch)
+	err = c.io.do("lease.hb-write", hbp, func() error { return WriteFileDurable(hbp, hb) })
+	if err != nil {
 		return fmt.Errorf("checkpoint: renew lease %s: %w", l.name, err)
 	}
 	return nil
 }
 
-// Release gives the lease up. Releasing a lease that was already stolen
-// is a no-op for the current holder's file (the thief's lease has the
-// same path, so ownership is re-verified before removal).
+// Verify reports whether this lease is still the resource's current
+// claim. nil means publications fenced on it may proceed; a *FencedError
+// (matching ErrFenced) means a newer epoch superseded it. Corrupt
+// records read as fenced (conservative: requeue beats double-publish);
+// transient I/O failure after retries is returned as-is.
+func (l *Lease) Verify() error {
+	c := l.c
+	path := c.leasePath(l.name)
+	rec, err := c.readLease("lease.verify", path)
+	switch {
+	case err == nil:
+		if rec.Owner == l.owner && rec.Epoch == l.epoch {
+			return nil
+		}
+		return &FencedError{Name: l.name, Epoch: l.epoch, NewerEpoch: rec.Epoch, Holder: rec.Owner}
+	case os.IsNotExist(err):
+		// No record: fenced only if the floor proves a newer claim
+		// existed. (A thief bumps the floor before linking its record, so
+		// floor <= our epoch guarantees no steal ever started.)
+		floor, ferr := c.readFloor(l.name)
+		if ferr != nil {
+			return ferr
+		}
+		if floor > l.epoch {
+			return &FencedError{Name: l.name, Epoch: l.epoch, NewerEpoch: floor}
+		}
+		return nil
+	case errors.Is(err, errCorruptLease):
+		return &FencedError{Name: l.name, Epoch: l.epoch}
+	default:
+		return fmt.Errorf("checkpoint: verify lease %s: %w", l.name, err)
+	}
+}
+
+// Release gives the lease up. The removal is atomic with respect to
+// ownership: the record is renamed to a unique tombstone and read back,
+// so releasing a lease that was already stolen can never tear down the
+// thief's claim — a displaced successor record is restored via link(2)
+// and the release becomes a no-op.
 func (l *Lease) Release() {
-	path := l.c.leasePath(l.name)
-	if rec, err := readLease(path); err != nil || rec.Owner != l.owner {
+	c := l.c
+	path := c.leasePath(l.name)
+	rec, err := c.readLease("lease.release-read", path)
+	if err != nil || rec.Owner != l.owner || rec.Epoch != l.epoch {
+		c.note(EvReleaseLost)
 		return
 	}
-	os.Remove(path)
-	syncDir(l.c.dir)
+	tomb := fmt.Sprintf("%s.rel-%d-%d", path, os.Getpid(), c.tombSeq.Add(1))
+	if err := c.io.do("lease.release-rename", path, func() error { return os.Rename(path, tomb) }); err != nil {
+		c.note(EvReleaseLost)
+		return // record vanished (stolen+released) or I/O failed; nothing held
+	}
+	moved, rerr := c.readLease("lease.release-verify", tomb)
+	if rerr == nil && (moved.Owner != l.owner || moved.Epoch != l.epoch) {
+		// A thief stole our expired claim and linked a fresh record in the
+		// window between our ownership read and the rename; we displaced
+		// the thief's live lease. Restore it (EEXIST: an even newer claim
+		// already took the name — the displaced thief gets fenced at its
+		// next Renew/Verify).
+		if lerr := os.Link(tomb, path); lerr == nil || os.IsExist(lerr) {
+			os.Remove(tomb)
+		}
+		c.note(EvReleaseLost)
+		return
+	}
+	os.Remove(tomb)
+	os.Remove(c.hbPath(l.name, l.epoch))
+	syncDir(c.dir)
 }
 
 // Holder reports the current owner of name's lease and whether the lease
-// is still live (deadline in the future). ok=false means unclaimed.
+// is still live (heartbeat-extended deadline in the future, no skew
+// grace — this is observational, not a steal decision). ok=false means
+// unclaimed.
 func (c *ClaimDir) Holder(name string) (owner string, live bool, ok bool) {
-	rec, err := readLease(c.leasePath(name))
+	rec, err := c.readLease("lease.holder", c.leasePath(name))
 	if err != nil {
 		return "", false, false
 	}
-	return rec.Owner, time.Now().UnixNano() < rec.Deadline, true
+	return rec.Owner, c.now() < c.effectiveDeadline(name, rec), true
 }

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/core"
@@ -251,6 +252,12 @@ type Runner struct {
 	// Run records the cell it WOULD execute and returns a synthetic series
 	// without running (or even constructing) anything. See CellsFor.
 	collect *cellCollector
+
+	// fence, when set, guards checkpoint publication: it is re-evaluated
+	// per commit attempt with the cell's cache key, and any error it
+	// returns (typically a checkpoint.FencedError from a lost lease)
+	// aborts the write and fails the series. See SetFence.
+	fence atomic.Pointer[func(key string) error]
 }
 
 // seriesCall is one in-flight or completed series execution.
@@ -387,11 +394,38 @@ func (r *Runner) Run(w WorkloadSpec, p PolicySpec, sys core.SystemConfig) (*Seri
 	return c.s, c.err
 }
 
+// SetFence installs (or, with nil, clears) the publication fence: a
+// callback invoked with the cell's cache key at every checkpoint commit
+// attempt. A non-nil return aborts the publication and fails the series
+// with that error — this is how the shard executor binds a series to its
+// lease epoch, so a worker resumed after its lease was stolen is fenced
+// at the store instead of double-publishing. Safe to swap concurrently
+// with Run; callers that share a Runner across worker slots must scope
+// the callback by key.
+func (r *Runner) SetFence(fence func(key string) error) {
+	if fence == nil {
+		r.fence.Store(nil)
+		return
+	}
+	r.fence.Store(&fence)
+}
+
+func (r *Runner) fenceFor(key string) func() error {
+	f := r.fence.Load()
+	if f == nil {
+		return nil
+	}
+	return func() error { return (*f)(key) }
+}
+
 // runSeriesCheckpointed wraps runSeries with the persistent series store:
 // a valid stored result short-circuits execution entirely (resume), and a
 // fresh success is persisted before being returned. Store write failures
 // degrade to a progress note — persistence is best-effort, the run's own
-// results are never at risk.
+// results are never at risk. Two exceptions fail the series loudly:
+// divergent duplicate bytes (a determinism violation) and a fenced
+// publication (the authorizing lease was superseded — the result must
+// not be trusted as the cell's outcome).
 func (r *Runner) runSeriesCheckpointed(w WorkloadSpec, p PolicySpec, sys core.SystemConfig, sk, key string) (*Series, error) {
 	invalidEntry := false
 	if r.opts.Checkpoint != nil {
@@ -407,24 +441,36 @@ func (r *Runner) runSeriesCheckpointed(w WorkloadSpec, p PolicySpec, sys core.Sy
 	}
 	s, err := r.runSeries(w, p, sys, sk, key)
 	if err == nil && r.opts.Checkpoint != nil {
+		fence := r.fenceFor(key)
 		data, encErr := encodeSeries(key, s)
 		if encErr == nil {
 			if invalidEntry {
 				// The stored entry failed validation (torn write, version
-				// skew): overwrite it, per the store's resume contract.
-				encErr = r.opts.Checkpoint.Put(key, data)
+				// skew): overwrite it, per the store's resume contract —
+				// but never past the fence.
+				if fence != nil {
+					encErr = fence()
+				}
+				if encErr == nil {
+					encErr = r.opts.Checkpoint.Put(key, data)
+				}
 			} else {
-				// PutVerify, not Put: under at-least-once sharded execution
-				// two workers can complete the same cell; byte-identical
-				// duplicates are fine, divergent bytes mean the trials were
-				// not deterministic and must fail loudly, with both payloads
-				// kept on disk for diffing.
-				encErr = r.opts.Checkpoint.PutVerify(key, data)
+				// PutVerifyFenced, not Put: under at-least-once sharded
+				// execution two workers can complete the same cell;
+				// byte-identical duplicates are fine, divergent bytes mean
+				// the trials were not deterministic and must fail loudly
+				// with both payloads kept on disk for diffing — and a
+				// writer whose lease epoch was superseded is fenced before
+				// either comparison, so a zombie can never publish at all.
+				encErr = r.opts.Checkpoint.PutVerifyFenced(key, data, fence)
 			}
 		}
 		var conflict *checkpoint.ConflictError
 		if errors.As(encErr, &conflict) {
 			return nil, fmt.Errorf("series %s: determinism violation: duplicate completion produced different bytes: %w", sk, conflict)
+		}
+		if errors.Is(encErr, checkpoint.ErrFenced) {
+			return nil, fmt.Errorf("series %s: publication fenced: %w", sk, encErr)
 		}
 		if encErr != nil && r.opts.Progress != nil {
 			fmt.Fprintf(r.opts.Progress, "series %-40s checkpoint write failed: %v\n", sk, encErr)

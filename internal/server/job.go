@@ -78,6 +78,25 @@ func newJob(key string, c Canonical, cells []experiments.CellSpec, cached map[st
 	}
 }
 
+// inspect returns the cell states view derives from. Static jobs (no
+// executor batch — the degraded read-only server admits only
+// fully-cached sweeps) have no queue, so their states come straight from
+// the store.
+func (j *job) inspect(store *checkpoint.Store) []shard.CellInfo {
+	if j.queue != nil {
+		return j.queue.Inspect()
+	}
+	out := make([]shard.CellInfo, len(j.cells))
+	for i, c := range j.cells {
+		st := shard.CellQueued
+		if store.Has(c.Key) {
+			st = shard.CellDone
+		}
+		out[i] = shard.CellInfo{Cell: c, Status: st}
+	}
+	return out
+}
+
 // view derives the job's full status from the on-disk protocol. It is
 // the single source every surface (status JSON, SSE diffs) renders from.
 func (j *job) view(store *checkpoint.Store, draining bool) JobStatus {
@@ -88,7 +107,7 @@ func (j *job) view(store *checkpoint.Store, draining bool) JobStatus {
 		Cells:   make([]CellView, 0, len(j.cells)),
 	}
 	terminal := 0
-	for _, info := range j.queue.Inspect() {
+	for _, info := range j.inspect(store) {
 		cv := CellView{
 			CacheKey: checkpoint.KeyHash(info.Cell.Key),
 			Workload: info.Cell.Workload,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,18 @@ type Config struct {
 	ShardAttempts int
 	ShardBackoff  time.Duration
 	ShardPoll     time.Duration
+	// MaxSkew is the clock-skew grace granted to other machines' leases
+	// before stealing (shard.Config.MaxSkew). Zero: single-machine
+	// semantics.
+	MaxSkew time.Duration
+	// IORetry bounds retries of transient shared-filesystem blips on
+	// store and lease operations (NFS fleets). Zero value: no retries.
+	IORetry checkpoint.RetryPolicy
+	// ReadOnly forces degraded mode: fully-cached sweeps are served from
+	// the store, submissions needing execution get 503. It is also
+	// entered automatically when the store or queue directory is not
+	// writable at startup.
+	ReadOnly bool
 	// Counters receives server and executor counters. Required for stats;
 	// created when nil.
 	Counters *telemetry.CounterSet
@@ -62,8 +75,26 @@ type Server struct {
 	activeCold int
 
 	draining atomic.Bool
+	readOnly atomic.Bool
 	quit     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// probeWritable verifies a directory accepts writes by creating and
+// removing a probe file — the startup check behind automatic degraded
+// mode (a server pointed at a read-only NFS export of the fleet's store
+// still serves cached artifacts instead of failing every job later).
+func probeWritable(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }
 
 // New starts a server (its executor pool starts immediately).
@@ -90,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.Counters = telemetry.NewCounterSet()
 	}
 	cfg.Limits = cfg.Limits.withDefaults()
+	cfg.Store.SetIO(cfg.IORetry, nil)
 	shardCfg := shard.Config{
 		Dir:      cfg.Dir,
 		Store:    cfg.Store,
@@ -97,6 +129,8 @@ func New(cfg Config) (*Server, error) {
 		Attempts: cfg.ShardAttempts,
 		Backoff:  cfg.ShardBackoff,
 		Poll:     cfg.ShardPoll,
+		MaxSkew:  cfg.MaxSkew,
+		IORetry:  cfg.IORetry,
 		Counters: cfg.Counters,
 		Progress: cfg.Progress,
 	}
@@ -104,14 +138,30 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	srv := &Server{
 		cfg:      cfg,
 		lim:      cfg.Limits,
 		shardCfg: shardCfg,
 		exec:     exec,
 		jobs:     map[string]*job{},
 		quit:     make(chan struct{}),
-	}, nil
+	}
+	readOnly := cfg.ReadOnly
+	if !readOnly {
+		if err := probeWritable(cfg.Dir); err != nil {
+			readOnly = true
+		} else if err := probeWritable(cfg.Store.Dir()); err != nil {
+			readOnly = true
+		}
+		if readOnly && cfg.Progress != nil {
+			fmt.Fprintln(cfg.Progress, "server: store or queue directory not writable; entering degraded read-only mode")
+		}
+	}
+	if readOnly {
+		srv.readOnly.Store(true)
+		cfg.Counters.Add("server.degraded.readonly", 1)
+	}
+	return srv, nil
 }
 
 // Counters exposes the server's counter set.
@@ -204,6 +254,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	cold := len(cells) - len(cached)
+
+	// Degraded read-only mode: the store cannot be written (or the
+	// operator pinned -readonly), so this process can serve exactly what
+	// the fleet already computed. Fully-cached sweeps resolve instantly
+	// as static jobs; anything needing execution is refused with 503 so
+	// the client retries against a writable peer.
+	if s.readOnly.Load() {
+		if cold > 0 {
+			s.cfg.Counters.Add("server.rejected.readonly", 1)
+			writeAPIError(w, &apiError{Status: http.StatusServiceUnavailable, Code: "degraded-read-only",
+				Message: fmt.Sprintf("server is read-only and %d of %d cells are not cached; resubmit to a writable server",
+					cold, len(cells))})
+			return
+		}
+		s.mu.Lock()
+		j, ok := s.jobs[key]
+		if !ok {
+			j = newJob(key, c, cells, cached)
+			s.jobs[key] = j
+		}
+		s.mu.Unlock()
+		if ok {
+			s.cfg.Counters.Add("server.sweeps.deduped", 1)
+		} else {
+			s.cfg.Counters.Add("server.sweeps.submitted", 1)
+			s.cfg.Counters.Add("server.cells.cached", int64(len(cached)))
+			s.cfg.Counters.Add("server.sweeps.completed", 1)
+			// All cells are terminal at creation: publish once so SSE
+			// subscribers get an immediate snapshot + done.
+			j.publish(j.view(s.cfg.Store, s.draining.Load()))
+		}
+		writeJSON(w, http.StatusOK, j.view(s.cfg.Store, s.draining.Load()))
+		return
+	}
 
 	s.mu.Lock()
 	if j, ok := s.jobs[key]; ok {
@@ -373,6 +457,35 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(blob)
 }
 
+// FleetStats is the worker-fleet section of GET /v1/stats: the
+// coordination-layer health signals an operator watches when many
+// machines share this server's store over a network filesystem.
+type FleetStats struct {
+	ReadOnly bool `json:"readOnly"`
+	// MaxSkew is the configured clock-skew steal grace, as a duration
+	// string.
+	MaxSkew string `json:"maxSkew"`
+	// LeasesStolen counts expired leases this process took over.
+	LeasesStolen int64 `json:"leasesStolen"`
+	// LeasesExpired counts crashed attempts charged on freshly-stolen
+	// leases.
+	LeasesExpired int64 `json:"leasesExpired"`
+	// LeasesFastReclaimed counts same-host dead-pid reclaims that skipped
+	// the TTL wait.
+	LeasesFastReclaimed int64 `json:"leasesFastReclaimed"`
+	// LeasesCorruptQuarantined counts torn/corrupt lease records moved
+	// aside.
+	LeasesCorruptQuarantined int64 `json:"leasesCorruptQuarantined"`
+	// CellsFenced counts attempts voided because a newer lease epoch
+	// superseded them; PublishFenced counts publications rejected at the
+	// store by the fence.
+	CellsFenced   int64 `json:"cellsFenced"`
+	PublishFenced int64 `json:"publishFenced"`
+	// IORetries counts transient shared-filesystem errors absorbed by
+	// the retry policy.
+	IORetries int64 `json:"ioRetries"`
+}
+
 // Stats is the GET /v1/stats response.
 type Stats struct {
 	Draining      bool             `json:"draining"`
@@ -381,6 +494,7 @@ type Stats struct {
 	QueueBound    int              `json:"queueBound"`
 	Workers       int              `json:"workers"`
 	StoredResults int              `json:"storedResults"`
+	Fleet         FleetStats       `json:"fleet"`
 	Counters      map[string]int64 `json:"counters"`
 }
 
@@ -400,14 +514,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueBound:    s.cfg.QueueBound,
 		Workers:       s.exec.Workers(),
 		StoredResults: s.cfg.Store.Len(),
-		Counters:      counters,
+		Fleet: FleetStats{
+			ReadOnly:                 s.readOnly.Load(),
+			MaxSkew:                  s.cfg.MaxSkew.String(),
+			LeasesStolen:             counters["leases.stolen"],
+			LeasesExpired:            counters["leases.expired"],
+			LeasesFastReclaimed:      counters["leases.fast_reclaimed"],
+			LeasesCorruptQuarantined: counters["leases.corrupt_quarantined"],
+			CellsFenced:              counters["cells.fenced"],
+			PublishFenced:            counters["publish.fenced"],
+			IORetries:                counters["io.retries"],
+		},
+		Counters: counters,
 	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	case s.readOnly.Load():
+		// Degraded but serving: cached artifacts and fully-cached sweeps
+		// still work, so this is 200 with an explicit mode marker.
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded-read-only"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -495,5 +496,140 @@ func TestServerBackpressure(t *testing.T) {
 	}
 	if store.Len() != 0 {
 		t.Fatalf("rejected sweep executed cells: store has %d entries", store.Len())
+	}
+}
+
+// TestReadOnlyDegradedMode: a read-only server serves fully-cached
+// sweeps as instantly-done static jobs and refuses anything that would
+// need execution with an actionable 503, while healthz and /v1/stats
+// advertise the degraded mode.
+func TestReadOnlyDegradedMode(t *testing.T) {
+	// Warm a store with the sweep's cells via a normal writable server.
+	store := openStore(t)
+	_, warmTS := startServer(t, fastServerCfg(t, store, 2))
+	code, st, aerr := postSweep(t, warmTS, smallSweep)
+	if aerr != nil {
+		t.Fatalf("warm submit: %d %v", code, aerr)
+	}
+	waitJob(t, warmTS, st.ID)
+
+	// A read-only server over the same store.
+	roCfg := fastServerCfg(t, store, 1)
+	roCfg.ReadOnly = true
+	roSrv, roTS := startServer(t, roCfg)
+
+	// healthz: 200 but explicitly degraded.
+	resp, err := http.Get(roTS.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || health["status"] != "degraded-read-only" {
+		t.Fatalf("healthz = %d %v, want 200 degraded-read-only", resp.StatusCode, health)
+	}
+
+	// Fully-cached sweep: served, already done, every cell cached.
+	code, st, aerr = postSweep(t, roTS, smallSweep)
+	if aerr != nil || code != 200 {
+		t.Fatalf("cached submit on read-only server: %d %v", code, aerr)
+	}
+	if st.State != "done" {
+		t.Fatalf("read-only cached job state = %q, want done", st.State)
+	}
+	if st.Counts["cached"] != smallSweepCells {
+		t.Fatalf("read-only cached counts = %v, want %d cached", st.Counts, smallSweepCells)
+	}
+	// Status and results endpoints work for the static job.
+	got := getJob(t, roTS, st.ID)
+	if got.State != "done" {
+		t.Fatalf("static job status = %q, want done", got.State)
+	}
+	resp, err = http.Get(roTS.URL + "/v1/results/" + st.Cells[0].CacheKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("result fetch on read-only server = %d, want 200", resp.StatusCode)
+	}
+
+	// A sweep with cold cells: refused with 503 degraded-read-only.
+	cold := `{"workloads":["ycsb-c"],"policies":["clock"],"ratios":[0.5],"trials":1,"scale":0.1}`
+	code, _, aerr = postSweep(t, roTS, cold)
+	if code != http.StatusServiceUnavailable || aerr == nil || aerr.Code != "degraded-read-only" {
+		t.Fatalf("cold submit on read-only server = %d %v, want 503 degraded-read-only", code, aerr)
+	}
+	if roSrv.Counters().Get("server.rejected.readonly") != 1 {
+		t.Fatalf("server.rejected.readonly = %d, want 1", roSrv.Counters().Get("server.rejected.readonly"))
+	}
+
+	// Stats advertises the fleet section with the degraded flag.
+	resp, err = http.Get(roTS.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if !stats.Fleet.ReadOnly {
+		t.Fatalf("stats.fleet.readOnly = false, want true (stats %+v)", stats)
+	}
+}
+
+// TestAutoDegradeUnwritableDir: a server pointed at an unwritable queue
+// directory degrades to read-only automatically instead of failing every
+// submission at claim time.
+func TestAutoDegradeUnwritableDir(t *testing.T) {
+	store := openStore(t)
+	cfg := fastServerCfg(t, store, 1)
+	if err := os.MkdirAll(cfg.Dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(cfg.Dir, 0o755) })
+	if os.Getuid() == 0 {
+		t.Skip("running as root: directory permissions do not restrict writes")
+	}
+	srv, _ := startServer(t, cfg)
+	if !srv.readOnly.Load() {
+		t.Fatal("server did not auto-degrade on unwritable queue dir")
+	}
+}
+
+// TestFleetStatsSurfacesCoordinationCounters: the /v1/stats fleet
+// section reflects the shard executor's coordination counters.
+func TestFleetStatsSurfacesCoordinationCounters(t *testing.T) {
+	store := openStore(t)
+	cfg := fastServerCfg(t, store, 2)
+	cfg.MaxSkew = 5 * time.Second
+	_, ts := startServer(t, cfg)
+	code, st, aerr := postSweep(t, ts, smallSweep)
+	if aerr != nil {
+		t.Fatalf("submit: %d %v", code, aerr)
+	}
+	waitJob(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Fleet.MaxSkew != "5s" {
+		t.Fatalf("stats.fleet.maxSkew = %q, want 5s", stats.Fleet.MaxSkew)
+	}
+	if stats.Fleet.ReadOnly {
+		t.Fatal("writable server reports readOnly")
+	}
+	// A healthy single-process run steals and fences nothing.
+	if stats.Fleet.LeasesStolen != 0 || stats.Fleet.CellsFenced != 0 {
+		t.Fatalf("healthy run shows steals/fences: %+v", stats.Fleet)
+	}
+	if stats.Counters["cells.completed"] != smallSweepCells {
+		t.Fatalf("cells.completed = %d, want %d", stats.Counters["cells.completed"], smallSweepCells)
 	}
 }

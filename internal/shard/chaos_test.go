@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -19,8 +20,19 @@ import (
 )
 
 // chaosEnvDir, when set, turns this test binary into a shard worker over
-// the given directory — the helper-process half of the kill-storm test.
+// the given directory — the helper-process half of the kill-storm and
+// SIGSTOP-fence tests.
 const chaosEnvDir = "SHARD_CHAOS_DIR"
+
+// chaosEnvSingle, when "1", restricts the helper worker to the first
+// enumerated cell — the SIGSTOP-fence test wants exactly one cell so the
+// paused worker and the stealing parent contend on the same lease.
+const chaosEnvSingle = "SHARD_CHAOS_SINGLE"
+
+// chaosEnvCounters, when set, makes the helper worker dump its counter
+// set ("name value" lines) to the given path on clean exit, so the
+// parent can assert on fence counters observed inside the worker.
+const chaosEnvCounters = "SHARD_CHAOS_COUNTERS"
 
 func TestMain(m *testing.M) {
 	if dir := os.Getenv(chaosEnvDir); dir != "" {
@@ -42,6 +54,7 @@ func chaosCfg(dir string, store *checkpoint.Store) Config {
 		Dir:     filepath.Join(dir, "queue"),
 		Store:   store,
 		TTL:     400 * time.Millisecond,
+		MaxSkew: 100 * time.Millisecond,
 		Backoff: 20 * time.Millisecond,
 		Poll:    20 * time.Millisecond,
 	}
@@ -61,7 +74,12 @@ func chaosWorkerMain(dir string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	q, err := NewQueue(chaosCfg(dir, store), cells)
+	if os.Getenv(chaosEnvSingle) == "1" {
+		cells = cells[:1]
+	}
+	cfg := chaosCfg(dir, store)
+	cfg.Counters = telemetry.NewCounterSet()
+	q, err := NewQueue(cfg, cells)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -78,6 +96,21 @@ func chaosWorkerMain(dir string) int {
 	if err := q.RunWorker(WorkerConfig{Runner: experiments.NewRunner(opts), Drain: &drain}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if path := os.Getenv(chaosEnvCounters); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := cfg.Counters.WriteText(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 	return 0
 }
@@ -176,5 +209,141 @@ func TestKillStormConvergesByteIdentical(t *testing.T) {
 	serial := renderFig1(t, chaosOpts())
 	if sharded != serial {
 		t.Fatalf("kill-storm figure differs from a fresh serial run:\n--- serial ---\n%s\n--- sharded ---\n%s", serial, sharded)
+	}
+}
+
+// readCounterDump parses a CounterSet.WriteText dump ("name value"
+// lines) written by a helper worker process.
+func readCounterDump(t *testing.T, path string) map[string]int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading worker counter dump: %v", err)
+	}
+	out := map[string]int64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		var name string
+		var val int64
+		if _, err := fmt.Sscanf(line, "%s %d", &name, &val); err == nil {
+			out[name] = val
+		}
+	}
+	return out
+}
+
+// TestSigstopZombieFencedAcrossProcesses is the multi-process half of the
+// fencing story: a real worker process is SIGSTOPped mid-attempt (the
+// harshest zombie — no Go-level cooperation, the whole process freezes,
+// heartbeats included), its lease expires and is stolen by the parent,
+// and when the process is SIGCONTed it finishes computing but its
+// publication is fenced by epoch: the store keeps exactly the thief's
+// bytes, no conflict sidecars appear, and the worker itself observes the
+// fence in its own counters before exiting cleanly.
+func TestSigstopZombieFencedAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	dir := t.TempDir()
+	store, err := checkpoint.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := experiments.CellsFor(chaosOpts(), experiments.Figures["fig1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells = cells[:1] // same restriction the helper applies under chaosEnvSingle
+	cfg := chaosCfg(dir, store)
+	cfg.Counters = telemetry.NewCounterSet()
+	countersPath := filepath.Join(dir, "worker-counters.txt")
+
+	var stderr strings.Builder
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		chaosEnvDir+"="+dir, chaosEnvSingle+"=1", chaosEnvCounters+"="+countersPath)
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait until the worker has recorded its attempt and is executing the
+	// trial, so the SIGSTOP lands mid-computation.
+	q, err := NewQueue(cfg, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		info := q.Inspect()[0]
+		if info.Status == CellRunning && info.Attempts >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never started executing (status %s, stderr: %s)", info.Status, stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let it get into the trial proper
+	if err := cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+
+	// The frozen worker stops heartbeating; once real time passes
+	// TTL+MaxSkew the parent steals the lease, charges the crashed
+	// attempt, requeues, and completes the cell itself.
+	opts := chaosOpts()
+	opts.Checkpoint = store
+	wc := WorkerConfig{Owner: "parent-thief", Runner: experiments.NewRunner(opts)}
+	deadline = time.Now().Add(30 * time.Second)
+	for !store.Has(cells[0].Key) {
+		if time.Now().After(deadline) {
+			t.Fatal("parent failed to steal and complete the cell")
+		}
+		if _, _, err := q.Pass(wc); err != nil {
+			t.Fatalf("parent pass: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := cfg.Counters.Get("leases.stolen"); got != 1 {
+		t.Fatalf("parent leases.stolen = %d, want 1", got)
+	}
+	want, _ := store.Get(cells[0].Key)
+
+	// Thaw the zombie. It finishes the stalled trial, is fenced at
+	// publication, observes the store entry, and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+	select {
+	case err := <-waitc:
+		if err != nil {
+			t.Fatalf("worker exit after fence: %v (stderr: %s)", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("resumed worker did not exit")
+	}
+
+	workerCounters := readCounterDump(t, countersPath)
+	if workerCounters["cells.fenced"] < 1 {
+		t.Fatalf("worker cells.fenced = %d, want >= 1 (counters: %v)", workerCounters["cells.fenced"], workerCounters)
+	}
+	t.Logf("worker fence counters: cells.fenced=%d publish.fenced=%d leases.lost=%d",
+		workerCounters["cells.fenced"], workerCounters["publish.fenced"], workerCounters["leases.lost"])
+
+	got, _ := store.Get(cells[0].Key)
+	if string(got) != string(want) {
+		t.Fatal("resumed zombie altered the published bytes")
+	}
+	if m, _ := filepath.Glob(filepath.Join(store.Dir(), "*.conflict")); len(m) != 0 {
+		t.Fatalf("fence let a conflict sidecar through: %v", m)
+	}
+	if m, _ := filepath.Glob(filepath.Join(cfg.Dir, "*.poison.json")); len(m) != 0 {
+		t.Fatalf("SIGSTOP zombie poisoned the cell: %v", m)
+	}
+	if info := q.Inspect()[0]; info.Status != CellDone {
+		t.Fatalf("cell status = %s, want done", info.Status)
 	}
 }

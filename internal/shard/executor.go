@@ -2,11 +2,11 @@ package shard
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/experiments"
 )
 
@@ -159,7 +159,9 @@ func (e *Executor) live() []*Batch {
 // every live batch, sleeping only when no batch made progress.
 func (e *Executor) worker(slot int) {
 	defer e.wg.Done()
-	owner := fmt.Sprintf("exec-%d-w%d", os.Getpid(), slot)
+	// One parseable host/pid/nonce identity per slot: unique within the
+	// process, and eligible for same-host fast reclaim if we die.
+	owner := checkpoint.NewOwner().String()
 	for {
 		select {
 		case <-e.quit:

@@ -2,9 +2,9 @@ package shard
 
 import (
 	"fmt"
-	"os"
 	"sync"
 
+	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/experiments"
 )
 
@@ -48,7 +48,7 @@ func (p *Pool) Prefill(cells []experiments.CellSpec) error {
 		go func() {
 			defer wg.Done()
 			errs[i] = q.RunWorker(WorkerConfig{
-				Owner:   fmt.Sprintf("pool-%d-w%d", os.Getpid(), i),
+				Owner:   checkpoint.NewOwner().String(),
 				Runner:  p.NewRunner(),
 				Resolve: p.Resolve,
 			})

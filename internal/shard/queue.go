@@ -11,6 +11,7 @@ import (
 
 	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/experiments"
+	"mglrusim/internal/telemetry"
 )
 
 // Queue is one shard work queue: an ordered cell list over a shared
@@ -31,7 +32,13 @@ func NewQueue(cfg Config, cells []experiments.CellSpec) (*Queue, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("shard: Config.Store is required")
 	}
-	claims, err := checkpoint.OpenClaims(cfg.Dir)
+	claims, err := checkpoint.OpenClaimsWith(cfg.Dir, checkpoint.ClaimOptions{
+		Clock:   cfg.Now,
+		MaxSkew: cfg.MaxSkew,
+		Retry:   cfg.IORetry,
+		Hook:    cfg.FaultHook,
+		Observe: leaseObserver(cfg.Counters),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -45,8 +52,30 @@ func NewQueue(cfg Config, cells []experiments.CellSpec) (*Queue, error) {
 	return &Queue{cfg: cfg, claims: claims, cells: sorted, hashes: hashes}, nil
 }
 
+// leaseObserver maps coordination-layer events onto the shard telemetry
+// counters operators read from /v1/stats and pagebench summaries.
+func leaseObserver(counters *telemetry.CounterSet) func(event string) {
+	return func(event string) {
+		switch event {
+		case checkpoint.EvSteal:
+			counters.Add("leases.stolen", 1)
+		case checkpoint.EvFastReclaim:
+			counters.Add("leases.fast_reclaimed", 1)
+		case checkpoint.EvCorrupt:
+			counters.Add("leases.corrupt_quarantined", 1)
+		case checkpoint.EvReleaseLost:
+			counters.Add("leases.release_lost", 1)
+		case checkpoint.EvIORetry:
+			counters.Add("io.retries", 1)
+		}
+	}
+}
+
 // Cells returns the queue's cell list in claim order.
 func (q *Queue) Cells() []experiments.CellSpec { return q.cells }
+
+// now reads the queue's (possibly injected) clock.
+func (q *Queue) now() time.Time { return q.cfg.Now() }
 
 // Progress is a point-in-time queue census.
 type Progress struct {
@@ -208,7 +237,8 @@ func SimulateCrashedAttempt(dir string, cell experiments.CellSpec) error {
 // WorkerConfig identifies one executing worker.
 type WorkerConfig struct {
 	// Owner is the lease-holder identity (must be unique per worker;
-	// default "<hostname>-<pid>").
+	// default a fresh checkpoint.NewOwner "host/pid/nonce" identity,
+	// which also enables same-host fast reclaim when this process dies).
 	Owner string
 	// Runner executes cells. It must share the queue's Store via
 	// Options.Checkpoint — the runner's normal checkpoint path is how
@@ -225,8 +255,7 @@ type WorkerConfig struct {
 
 func (wc WorkerConfig) withDefaults(scale float64) WorkerConfig {
 	if wc.Owner == "" {
-		host, _ := os.Hostname()
-		wc.Owner = fmt.Sprintf("%s-%d", host, os.Getpid())
+		wc.Owner = checkpoint.NewOwner().String()
 	}
 	if wc.Resolve == nil {
 		wc.Resolve = func(cell experiments.CellSpec) (experiments.WorkloadSpec, experiments.PolicySpec, error) {
@@ -317,7 +346,7 @@ func (q *Queue) pass(wc WorkerConfig) (progressed bool, earliest time.Time, err 
 		}
 		// Cheap pre-claim gate; re-read authoritatively under the lease.
 		if st := q.readState(i); !st.Running && st.NotBefore > 0 {
-			if nb := time.Unix(0, st.NotBefore); time.Now().Before(nb) {
+			if nb := time.Unix(0, st.NotBefore); q.now().Before(nb) {
 				if earliest.IsZero() || nb.Before(earliest) {
 					earliest = nb
 				}
@@ -367,7 +396,7 @@ func (q *Queue) runCell(wc WorkerConfig, i int, lease *checkpoint.Lease) bool {
 			return true
 		}
 		st.Running = false
-		st.NotBefore = time.Now().Add(q.backoff(st.Attempts)).UnixNano()
+		st.NotBefore = q.now().Add(q.backoff(st.Attempts)).UnixNano()
 		if err := q.writeState(i, st); err == nil {
 			q.cfg.Counters.Add("cells.requeued", 1)
 			if q.cfg.Progress != nil {
@@ -376,7 +405,7 @@ func (q *Queue) runCell(wc WorkerConfig, i int, lease *checkpoint.Lease) bool {
 		}
 		return true
 	}
-	if st.NotBefore > 0 && time.Now().Before(time.Unix(0, st.NotBefore)) {
+	if st.NotBefore > 0 && q.now().Before(time.Unix(0, st.NotBefore)) {
 		return false // still backing off; earliest-gate handled by the scan
 	}
 	if st.Attempts >= q.cfg.Attempts {
@@ -401,6 +430,22 @@ func (q *Queue) runCell(wc WorkerConfig, i int, lease *checkpoint.Lease) bool {
 	}
 	runErr := q.execute(wc, cell, lease)
 
+	// A fenced outcome — rejected at publication, or a lease found
+	// superseded now — means a newer claim owns this cell and its
+	// records: make no state writes, no poison, no requeue. The
+	// successor does its own accounting; our attempt is void. (A lease
+	// whose Verify fails on plain I/O errors lands here too, on purpose:
+	// when we cannot prove we still own the records, not touching them
+	// is the only safe move.)
+	if errors.Is(runErr, checkpoint.ErrFenced) || lease.Verify() != nil {
+		q.cfg.Counters.Add("cells.fenced", 1)
+		if q.cfg.Progress != nil {
+			fmt.Fprintf(q.cfg.Progress, "shard: %s fenced on %-40s (lease superseded mid-attempt)\n",
+				wc.Owner, cell.SeedKey)
+		}
+		return false
+	}
+
 	if runErr == nil {
 		st.Running = false
 		st.LastErr = ""
@@ -423,7 +468,7 @@ func (q *Queue) runCell(wc WorkerConfig, i int, lease *checkpoint.Lease) bool {
 	default:
 		st.Running = false
 		st.LastErr = runErr.Error()
-		st.NotBefore = time.Now().Add(q.backoff(st.Attempts)).UnixNano()
+		st.NotBefore = q.now().Add(q.backoff(st.Attempts)).UnixNano()
 		q.writeState(i, st)
 		q.cfg.Counters.Add("cells.requeued", 1)
 		if q.cfg.Progress != nil {
@@ -435,10 +480,12 @@ func (q *Queue) runCell(wc WorkerConfig, i int, lease *checkpoint.Lease) bool {
 }
 
 // execute runs one cell through the worker's runner while a heartbeat
-// goroutine renews the lease at TTL/3. A lost lease (we stalled past the
-// TTL and were stolen) does not abort the run: finishing is harmless —
-// the duplicate completion is byte-verified — and cheaper than discarding
-// the work.
+// goroutine renews the lease at TTL/3, with the runner's checkpoint
+// publication fenced on the lease epoch: a worker that stalls past its
+// TTL and is stolen from can finish computing (the simulation has no
+// cancellation point, and the waste is bounded by one cell), but its
+// result is rejected at the store by Lease.Verify — it can neither
+// clobber nor double-publish, regardless of what bytes it produced.
 func (q *Queue) execute(wc WorkerConfig, cell experiments.CellSpec, lease *checkpoint.Lease) error {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -472,6 +519,25 @@ func (q *Queue) execute(wc WorkerConfig, cell experiments.CellSpec, lease *check
 	if err != nil {
 		return err
 	}
+	// Bind this cell's publication to our claim epoch. The fence is
+	// scoped by key so the runner's other series (shared caches, nested
+	// figure reruns) publish unfenced; it is cleared before the lease is
+	// released. Safe because each worker slot owns its runner and
+	// executes one cell at a time.
+	key := cell.Key
+	wc.Runner.SetFence(func(k string) error {
+		if k != key {
+			return nil
+		}
+		if verr := lease.Verify(); verr != nil {
+			if errors.Is(verr, checkpoint.ErrFenced) {
+				q.cfg.Counters.Add("publish.fenced", 1)
+			}
+			return verr
+		}
+		return nil
+	})
+	defer wc.Runner.SetFence(nil)
 	_, err = wc.Runner.Run(w, p, cell.System)
 	return err
 }

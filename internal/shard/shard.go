@@ -12,18 +12,28 @@
 //	<hash>.cell.json   attempt record, written only under the lease
 //	<hash>.poison.json quarantine record for cells past their budget
 //
-// and the store entry itself is the "done" marker. A worker scans the
-// cell list in claim order (cost-descending LPT bin packing), claims the
+// (plus the lease layer's own epoch-floor and heartbeat sidecars), and
+// the store entry itself is the "done" marker. A worker scans the cell
+// list in claim order (cost-descending LPT bin packing), claims the
 // first runnable cell, heartbeats the lease while executing, and writes
 // the result through the runner's normal checkpoint path. A worker that
 // crashes, is SIGKILLed, or stops heartbeating simply stops renewing: the
 // lease expires, the next claimant observes the attempt record still
 // marked running, charges the crashed attempt, and requeues the cell with
 // exponential backoff — or quarantines it once the attempt budget is
-// spent. Execution is at-least-once; it is safe because results are
-// byte-deterministic and content-addressed, so duplicate completions are
-// verified identical (checkpoint.PutVerify) and a mismatch surfaces as a
-// determinism violation with both payloads preserved.
+// spent. Execution is at-least-once; it is safe because every claim
+// carries a monotonic fencing epoch that publication re-checks
+// (checkpoint.PutVerifyFenced over Lease.Verify): a worker resumed after
+// its lease was stolen is fenced at the store, and the cells it thought
+// it owned are accounted by the successor. Results are additionally
+// byte-deterministic and content-addressed, so legitimate duplicate
+// completions are verified identical and a mismatch surfaces as a
+// determinism violation with both payloads preserved. For fleets of
+// machines over one shared filesystem, Config.MaxSkew grants expiring
+// leases a clock-skew grace, owner identities are host/pid/nonce (dead
+// same-host holders are reclaimed fast), and Config.IORetry absorbs
+// transient NFS blips (ESTALE/EINTR/EIO) with bounded seeded-jitter
+// backoff.
 package shard
 
 import (
@@ -60,8 +70,26 @@ type Config struct {
 	// Poll is the idle rescan interval when no cell is runnable.
 	// Default 200ms.
 	Poll time.Duration
+	// MaxSkew is the clock-skew grace for lease stealing: an expired
+	// lease is only stolen once the local clock reads deadline+MaxSkew,
+	// tolerating holders on machines whose clocks run up to MaxSkew
+	// behind this one. Zero (the default) preserves single-machine
+	// semantics; set it when workers span machines over a shared
+	// filesystem (pagebench -max-skew).
+	MaxSkew time.Duration
+	// Now, when non-nil, overrides the wall clock for lease deadlines,
+	// steal decisions, and backoff gates — tests step through expiry
+	// deterministically. Nil means time.Now.
+	Now func() time.Time
+	// IORetry bounds retries of transient shared-filesystem blips
+	// (ESTALE/EINTR/EIO) on lease operations. Zero value: no retries.
+	IORetry checkpoint.RetryPolicy
+	// FaultHook, when non-nil, intercepts lease filesystem operations for
+	// deterministic fault injection (see checkpoint.FaultHook).
+	FaultHook checkpoint.FaultHook
 	// Counters, when non-nil, receives executor counters (leases.held,
-	// leases.expired, cells.requeued, ...). Process-local.
+	// leases.expired, leases.stolen, cells.fenced, io.retries, ...).
+	// Process-local.
 	Counters *telemetry.CounterSet
 	// Progress, when non-nil, receives one line per queue state change.
 	Progress io.Writer
@@ -79,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Poll <= 0 {
 		c.Poll = 200 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
