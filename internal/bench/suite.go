@@ -8,13 +8,16 @@ import (
 	"mglrusim/internal/core"
 	"mglrusim/internal/experiments"
 	"mglrusim/internal/mem"
+	"mglrusim/internal/pagecache"
 	"mglrusim/internal/pagetable"
+	policypkg "mglrusim/internal/policy"
 	"mglrusim/internal/policy/clock"
 	"mglrusim/internal/policy/mglru"
 	policytestutil "mglrusim/internal/policy/policytest"
 	"mglrusim/internal/policy/simple"
 	"mglrusim/internal/rmap"
 	"mglrusim/internal/sim"
+	"mglrusim/internal/swap"
 	"mglrusim/internal/telemetry"
 )
 
@@ -53,6 +56,9 @@ func Suite(size Size) []Benchmark {
 		{Name: "bloom-skip-walk", Func: benchBloomSkipWalk},
 		{Name: "clock-scan", Func: benchClockScan},
 		{Name: "rmap-chase", Func: benchRMapChase},
+		{Name: "file-fault-path", Func: benchFileFaultPath},
+		{Name: "writeback-cluster", Func: benchWritebackCluster},
+		{Name: "refault-shadow-lookup", Func: benchRefaultShadowLookup},
 		{Name: "telemetry-span", Func: benchTelemetrySpan},
 		{Name: "fullscale-fault-path", Macro: true, Fixed: 20000, Func: benchFullScaleFaultPath},
 		{Name: "fig1-series", Macro: true, Fixed: 1, Func: func(n int) { benchFig1Series(n, size) }},
@@ -202,6 +208,107 @@ func benchRMapChase(n int) {
 			r.Walk(mem.FrameID(i % benchFrames))
 		}
 	})
+}
+
+// benchCache builds a page cache spanning the kernel double's whole
+// table, flusher off (Enabled false skips the daemon; the writeback
+// machinery still works when called directly), so benches measure the
+// cache's bookkeeping without background scheduling noise.
+func benchCache(k *policytestutil.Kernel, eng *sim.Engine) *pagecache.Cache {
+	cfg := pagecache.DefaultConfig()
+	cfg.Enabled = false
+	dev := swap.NewSSD(swap.DefaultSSDConfig(), eng, sim.NewRNG(11))
+	spans := []pagecache.FileSpan{{Name: "f0", Base: 0, Pages: k.T.Pages()}}
+	return pagecache.New(cfg, eng, k.T, k.M, dev, spans)
+}
+
+// benchFileFaultPath is benchFaultPath with every page file-backed under
+// default MG-LRU: each miss pays the cache's demand-read service and
+// shadow handoff, each eviction records a shadow and pages out if dirty —
+// the full file major-fault cycle the ext2 figures spend their time in.
+func benchFileFaultPath(n int) {
+	k := policytestutil.New(benchFrames, benchRegions, 7)
+	p := mglru.New(mglru.Default())
+	p.Attach(k)
+	eng := sim.NewEngine(4)
+	c := benchCache(k, eng)
+	k.OnEvict = func(v *sim.Env, vpn pagetable.VPN, sh policypkg.Shadow) {
+		c.RecordEviction(vpn, sh)
+		if c.ClearDirty(vpn) {
+			c.PageOut(v, vpn)
+		}
+	}
+	pages := pagetable.VPN(k.T.Pages())
+	eng.Spawn("bench", false, func(v *sim.Env) {
+		for i := 0; i < n; i++ {
+			vpn := pagetable.VPN(i) % pages
+			if k.Touch(vpn, i%8 == 0) {
+				if i%8 == 0 {
+					c.MarkDirty(vpn)
+				}
+				continue
+			}
+			for k.M.FreePages() == 0 {
+				if p.Reclaim(v, 1) == 0 {
+					p.Age(v)
+				}
+			}
+			c.TakeShadow(vpn)
+			c.ReadPage(v, vpn)
+			c.NoteResident(vpn)
+			k.FaultIn(v, p, vpn, false, true)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// benchWritebackCluster measures one flusher pass's clustering: each op
+// dirties strided runs across the file mapping (adjacent dirty pages the
+// flusher must merge into extents, gaps it must split on) and drains them
+// with FlushAll.
+func benchWritebackCluster(n int) {
+	k := policytestutil.New(benchFrames, benchRegions, 7)
+	eng := sim.NewEngine(4)
+	c := benchCache(k, eng)
+	pages := k.T.Pages()
+	eng.Spawn("bench", false, func(v *sim.Env) {
+		for i := 0; i < n; i++ {
+			for run := 0; run < 8; run++ {
+				base := (i*67 + run*61) % (pages - 16)
+				for j := 0; j < 16; j++ {
+					c.MarkDirty(pagetable.VPN(base + j))
+				}
+			}
+			c.FlushAll(v)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// benchRefaultShadowLookup measures the shadow-entry arena: each op is
+// one HasShadow probe plus a TakeShadow consume and a RecordEviction
+// refill, over a fully populated shadow set — the per-fault overhead
+// refault classification adds to every file page-in.
+func benchRefaultShadowLookup(n int) {
+	k := policytestutil.New(benchFrames, benchRegions, 7)
+	eng := sim.NewEngine(4)
+	c := benchCache(k, eng)
+	pages := k.T.Pages()
+	for i := 0; i < pages; i++ {
+		c.RecordEviction(pagetable.VPN(i), policypkg.Shadow{Gen: uint64(i), Tier: uint8(i % 4)})
+	}
+	for i := 0; i < n; i++ {
+		vpn := pagetable.VPN((i * 31) % pages)
+		if !c.HasShadow(vpn) {
+			panic("bench: shadow set should stay fully populated")
+		}
+		sh := c.TakeShadow(vpn)
+		c.RecordEviction(vpn, *sh)
+	}
 }
 
 // benchTelemetrySpan measures one recorded span (Begin + EndArg) on a

@@ -84,6 +84,23 @@ type Auditor struct {
 	// the manager's view is a lost or duplicated shadow.
 	evicted map[pagetable.VPN]bool
 
+	// fileEvicted is the same ledger for file-backed pages under
+	// page-cache mode. They live in a separate set because the swap-slot
+	// expectation inverts: an evicted anon page must hold a slot, an
+	// evicted file page must not (its backing location is the file).
+	fileEvicted map[pagetable.VPN]bool
+
+	// fileResident mirrors the page cache's resident set page by page:
+	// added at file fault-in/prefetch-in, removed at file eviction. The
+	// cache itself keeps only a counter, so this ledger is what lets the
+	// auditor reconcile it at every file event (not just full scans) and
+	// name the offending pages when a sweep disagrees.
+	fileResident map[pagetable.VPN]bool
+
+	// fc, when set, is the page cache whose shadow entries and resident
+	// count the full scan cross-checks.
+	fc FileCache
+
 	genSeen          bool
 	lastMin, lastMax uint64
 
@@ -101,6 +118,16 @@ type Auditor struct {
 	frameOwn []int64
 }
 
+// FileCache is the page-cache view the auditor cross-checks under
+// page-cache mode: file-page conservation (resident count versus a full
+// PTE scan) and shadow-entry consistency (the cache's shadow set versus
+// the auditor's file-eviction ledger).
+type FileCache interface {
+	ResidentFilePages() int
+	ShadowCount() int
+	HasShadow(vpn pagetable.VPN) bool
+}
+
 // NewAuditor creates an auditor over one trial's memory, table, and
 // policy. Call WatchLists to additionally enforce lock discipline.
 func NewAuditor(eng *sim.Engine, memory *mem.Memory, table *pagetable.Table, pol policy.Policy) *Auditor {
@@ -112,10 +139,16 @@ func NewAuditor(eng *sim.Engine, memory *mem.Memory, table *pagetable.Table, pol
 		Every:         32,
 		MaxViolations: 16,
 		evicted:       make(map[pagetable.VPN]bool),
+		fileEvicted:   make(map[pagetable.VPN]bool),
+		fileResident:  make(map[pagetable.VPN]bool),
 		freeSet:       make([]bool, memory.Size()),
 		frameOwn:      make([]int64, memory.Size()),
 	}
 }
+
+// SetFileCache attaches the page cache for the file-page invariants; the
+// full scan then cross-checks its resident count and shadow set.
+func (a *Auditor) SetFileCache(fc FileCache) { a.fc = fc }
 
 // WatchLists installs the list-mutation hook: every LRU-list insert or
 // remove must happen with the policy's lruvec lock held by the acting
@@ -167,7 +200,7 @@ func (a *Auditor) FaultIn(v *sim.Env, vpn pagetable.VPN, hadShadow bool) {
 	if a.disabled() {
 		return
 	}
-	a.noteReturn(v.Now(), "fault-in", vpn, hadShadow)
+	a.noteReturn(v.Now(), "fault-in", vpn, hadShadow, a.evicted)
 	a.checkpoint(v.Now(), "fault-in")
 }
 
@@ -177,20 +210,58 @@ func (a *Auditor) PrefetchIn(v *sim.Env, vpn pagetable.VPN, hadShadow bool) {
 	if a.disabled() {
 		return
 	}
-	a.noteReturn(v.Now(), "prefetch-in", vpn, hadShadow)
+	a.noteReturn(v.Now(), "prefetch-in", vpn, hadShadow, a.evicted)
 	a.checkpoint(v.Now(), "prefetch-in")
 }
 
-// noteReturn reconciles the shadow set with a page becoming resident and
-// spot-checks the new mapping.
-func (a *Auditor) noteReturn(now sim.Time, kind string, vpn pagetable.VPN, hadShadow bool) {
-	if hadShadow && !a.evicted[vpn] {
+// FileFaultIn is the file-fault checkpoint: a file page became resident
+// through the page cache, consuming its cache shadow entry if one
+// existed.
+func (a *Auditor) FileFaultIn(v *sim.Env, vpn pagetable.VPN, hadShadow bool) {
+	if a.disabled() {
+		return
+	}
+	a.noteReturn(v.Now(), "file-fault-in", vpn, hadShadow, a.fileEvicted)
+	a.noteFileResident(v.Now(), "file-fault-in", vpn)
+	a.checkpoint(v.Now(), "file-fault-in")
+}
+
+// FilePrefetchIn is the file-readahead checkpoint: the page became
+// resident speculatively and its cache shadow, if any, was deliberately
+// dropped.
+func (a *Auditor) FilePrefetchIn(v *sim.Env, vpn pagetable.VPN, hadShadow bool) {
+	if a.disabled() {
+		return
+	}
+	a.noteReturn(v.Now(), "file-prefetch-in", vpn, hadShadow, a.fileEvicted)
+	a.noteFileResident(v.Now(), "file-prefetch-in", vpn)
+	a.checkpoint(v.Now(), "file-prefetch-in")
+}
+
+// noteFileResident reconciles the page cache's resident count with the
+// auditor's own page-by-page ledger at the moment a file page is
+// installed. Checking at every file event — not only at full scans —
+// pins a drifting counter to the exact install or evict that broke it.
+func (a *Auditor) noteFileResident(now sim.Time, kind string, vpn pagetable.VPN) {
+	if a.fileResident[vpn] {
+		a.violate(now, kind, fmt.Sprintf("file vpn %d became resident twice without an intervening eviction", vpn))
+	}
+	a.fileResident[vpn] = true
+	if a.fc != nil && a.fc.ResidentFilePages() != len(a.fileResident) {
+		a.violate(now, kind, fmt.Sprintf("after installing file vpn %d the cache counts %d resident file pages, the auditor ledger %d", vpn, a.fc.ResidentFilePages(), len(a.fileResident)))
+	}
+}
+
+// noteReturn reconciles the given shadow ledger with a page becoming
+// resident and spot-checks the new mapping.
+func (a *Auditor) noteReturn(now sim.Time, kind string, vpn pagetable.VPN, hadShadow bool, set map[pagetable.VPN]bool) {
+	if hadShadow && !set[vpn] {
 		a.violate(now, kind, fmt.Sprintf("vpn %d returned with a shadow the auditor never saw recorded (duplicated shadow)", vpn))
 	}
-	if !hadShadow && a.evicted[vpn] {
+	if !hadShadow && set[vpn] {
 		a.violate(now, kind, fmt.Sprintf("vpn %d refaulted without its shadow (lost shadow entry)", vpn))
 	}
-	delete(a.evicted, vpn)
+	delete(set, vpn)
 
 	pte := a.table.PTE(vpn)
 	if !pte.Present() {
@@ -221,6 +292,36 @@ func (a *Auditor) Evicted(v *sim.Env, vpn pagetable.VPN) {
 		a.violate(now, "evict", fmt.Sprintf("vpn %d evicted without a swap slot", vpn))
 	}
 	a.checkpoint(now, "evict")
+}
+
+// EvictedFile is the file-page eviction checkpoint, called the moment
+// the page cache records the shadow entry. The swap-slot assertion is
+// the inverse of Evicted's: file pages are backed by their file, so an
+// evicted file page must NOT hold a swap slot.
+func (a *Auditor) EvictedFile(v *sim.Env, vpn pagetable.VPN) {
+	if a.disabled() {
+		return
+	}
+	now := v.Now()
+	if a.fileEvicted[vpn] {
+		a.violate(now, "evict-file", fmt.Sprintf("file vpn %d evicted twice without an intervening fault-in (shadow overwritten)", vpn))
+	}
+	a.fileEvicted[vpn] = true
+	if !a.fileResident[vpn] {
+		a.violate(now, "evict-file", fmt.Sprintf("file vpn %d evicted but the auditor never saw it become resident", vpn))
+	}
+	delete(a.fileResident, vpn)
+	if a.fc != nil && a.fc.ResidentFilePages() != len(a.fileResident) {
+		a.violate(now, "evict-file", fmt.Sprintf("after evicting file vpn %d the cache counts %d resident file pages, the auditor ledger %d", vpn, a.fc.ResidentFilePages(), len(a.fileResident)))
+	}
+	pte := a.table.PTE(vpn)
+	if pte.Present() {
+		a.violate(now, "evict-file", fmt.Sprintf("file vpn %d still present after eviction", vpn))
+	}
+	if pte.Swap != pagetable.NilSwap {
+		a.violate(now, "evict-file", fmt.Sprintf("file vpn %d evicted holding swap slot %d; file pages write back to their file, never to swap", vpn, pte.Swap))
+	}
+	a.checkpoint(now, "evict-file")
 }
 
 // Reaped tells the auditor that vpn's swap copy and shadow entry were
@@ -298,7 +399,7 @@ func (a *Auditor) Scan(now sim.Time) {
 	for i := range a.frameOwn {
 		a.frameOwn[i] = -1
 	}
-	present := 0
+	present, presentFile := 0, 0
 	pages := a.table.Pages()
 	for i := 0; i < pages; i++ {
 		vpn := pagetable.VPN(i)
@@ -307,6 +408,9 @@ func (a *Auditor) Scan(now sim.Time) {
 			continue
 		}
 		present++
+		if pte.File() {
+			presentFile++
+		}
 		f := pte.Frame
 		if f < 0 || int(f) >= a.memory.Size() {
 			a.violate(now, "scan", fmt.Sprintf("vpn %d maps out-of-range frame %d", vpn, f))
@@ -361,6 +465,43 @@ func (a *Auditor) Scan(now sim.Time) {
 			a.violate(now, "scan", fmt.Sprintf("vpn %d resident but auditor saw no fault-in since its eviction (missed checkpoint or lost shadow)", vpn))
 		} else if pte.Swap == pagetable.NilSwap {
 			a.violate(now, "scan", fmt.Sprintf("evicted vpn %d has no swap slot", vpn))
+		}
+	}
+
+	// File shadow set: evicted file pages must be non-resident and
+	// slot-free, and the page cache's shadow store must agree with the
+	// ledger entry for entry.
+	//
+	// The cache-wide counts below catch the converse (shadows or
+	// residents the ledger never saw).
+	for vpn := range a.fileEvicted {
+		pte := a.table.PTE(vpn)
+		if pte.Present() {
+			a.violate(now, "scan", fmt.Sprintf("file vpn %d resident but auditor saw no file fault-in since its eviction", vpn))
+		} else if pte.Swap != pagetable.NilSwap {
+			a.violate(now, "scan", fmt.Sprintf("evicted file vpn %d holds swap slot %d", vpn, pte.Swap))
+		}
+		if a.fc != nil && !a.fc.HasShadow(vpn) {
+			a.violate(now, "scan", fmt.Sprintf("evicted file vpn %d has no shadow entry in the page cache", vpn))
+		}
+	}
+	if a.fc != nil {
+		if got := a.fc.ShadowCount(); got != len(a.fileEvicted) {
+			a.violate(now, "scan", fmt.Sprintf("page-cache shadow count %d != auditor file-eviction ledger %d", got, len(a.fileEvicted)))
+		}
+		// File-page conservation: the cache's resident count must match
+		// a full PTE sweep.
+		if got := a.fc.ResidentFilePages(); got != presentFile {
+			// Name the pages the cache never saw become resident — the
+			// usual culprit is an install path that missed NoteResident.
+			var phantom []pagetable.VPN
+			for i := 0; i < pages; i++ {
+				vpn := pagetable.VPN(i)
+				if p := a.table.PTE(vpn); p.Present() && p.File() && !a.fileResident[vpn] {
+					phantom = append(phantom, vpn)
+				}
+			}
+			a.violate(now, "scan", fmt.Sprintf("page cache claims %d resident file pages, table sweep found %d (never-noted vpns: %v)", got, presentFile, phantom))
 		}
 	}
 

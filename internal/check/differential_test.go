@@ -77,6 +77,59 @@ func TestDifferentialAllPolicies(t *testing.T) {
 	}
 }
 
+// TestDifferentialFileServeCell replays one ext2 cell — the serve
+// workload's mixed file+anon trace at the starved cache ratio — under the
+// ext2 policy arm (Clock, MG-LRU, PID-ablated MG-LRU) plus the oracles,
+// with file pages faulting in file-backed so MG-LRU's file shield and
+// refault activation run under the Belady bound: however aggressively the
+// gain controller steers eviction pressure between the types, it must
+// never under-count faults past clairvoyance.
+func TestDifferentialFileServeCell(t *testing.T) {
+	const maxOps = 12000
+	spec := experiments.WorkloadByName("serve", 0.05)
+	w := spec.Make()
+	tr := check.RecordTrace(w, 0xABCD, 42, maxOps)
+	if len(tr) < 1000 {
+		t.Fatalf("trace too short: %d accesses", len(tr))
+	}
+	isFile := check.FileVPNs(w)
+	if isFile == nil {
+		t.Fatal("serve maps no file segment — the ext2 cell premise is gone")
+	}
+	fileAcc := 0
+	for _, vpn := range tr {
+		if isFile(vpn) {
+			fileAcc++
+		}
+	}
+	if fileAcc == 0 || fileAcc == len(tr) {
+		t.Fatalf("trace not mixed: %d of %d accesses file-backed", fileAcc, len(tr))
+	}
+
+	// The ext2 ladder's starved rung: capacity at 35% of the footprint.
+	capacity := int(0.35 * float64(w.FootprintPages()))
+	if capacity < 32 {
+		capacity = 32
+	}
+	policies := map[string]func() policy.Policy{}
+	for _, name := range []string{"clock", "mglru", "mglru-nopid"} {
+		policies[name] = experiments.PolicyByName(name).Make
+	}
+	rep, err := check.RunDifferentialMixed(tr, check.TableFor(w), capacity, policies, true, isFile)
+	if err != nil {
+		t.Fatalf("differential failed:\n%s\nreport: %s", err, rep)
+	}
+	t.Logf("%d/%d file accesses\n%s", fileAcc, len(tr), rep)
+	if rep.OPTFaults <= 0 || rep.OPTFaults >= rep.Accesses {
+		t.Fatalf("implausible OPT fault count %d of %d accesses", rep.OPTFaults, rep.Accesses)
+	}
+	for name, f := range rep.Faults {
+		if f < rep.OPTFaults {
+			t.Errorf("%s beat OPT: %d < %d", name, f, rep.OPTFaults)
+		}
+	}
+}
+
 // TestDifferentialDetectsBrokenPolicy is the harness's own negative
 // control: a policy that under-reports misses by silently double-mapping
 // would beat OPT; simulate the symptom with a policy wrapper whose fault

@@ -61,6 +61,35 @@ func TableForLayout(w workload.Workload, layout pagetable.Layout) func() *pageta
 	}
 }
 
+// FileVPNs returns a classifier reporting whether a VPN lies in one of
+// w's file-backed segments, for replaying mixed file+anon traces. It
+// returns nil — every page anonymous — when w exposes no segment layout
+// or maps no file segment, so callers can pass the result straight to
+// ReplayMixed either way.
+func FileVPNs(w workload.Workload) func(pagetable.VPN) bool {
+	seg, ok := w.(workload.Segmented)
+	if !ok {
+		return nil
+	}
+	var files []workload.Segment
+	for _, s := range seg.Segments() {
+		if s.File {
+			files = append(files, s)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	return func(vpn pagetable.VPN) bool {
+		for _, s := range files {
+			if s.Contains(vpn) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 // Replay runs one policy over a recorded trace under strict demand paging
 // at a fixed capacity: a hit touches the page (setting its accessed bit),
 // a miss reclaims exactly as many pages as needed to free one frame and
@@ -71,6 +100,15 @@ func TableForLayout(w workload.Workload, layout pagetable.Layout) func() *pageta
 // With audit set, a full invariant Auditor runs against the replay kernel
 // and any violation is returned as an error.
 func Replay(pol policy.Policy, tr []pagetable.VPN, mkTable func() *pagetable.Table, capacity int, audit bool) (int, error) {
+	return ReplayMixed(pol, tr, mkTable, capacity, audit, nil)
+}
+
+// ReplayMixed is Replay over a mixed file+anon address space: pages for
+// which isFile reports true fault in file-backed, so type-aware policies
+// (MG-LRU's file shield) exercise their file paths under the same strict
+// demand paging. A nil isFile replays everything anonymous, which is
+// exactly Replay.
+func ReplayMixed(pol policy.Policy, tr []pagetable.VPN, mkTable func() *pagetable.Table, capacity int, audit bool, isFile func(pagetable.VPN) bool) (int, error) {
 	if capacity <= 0 {
 		return 0, fmt.Errorf("check: replay capacity must be positive, got %d", capacity)
 	}
@@ -120,7 +158,7 @@ func Replay(pol policy.Policy, tr []pagetable.VPN, mkTable func() *pagetable.Tab
 			if _, ok := k.Shadows[vpn]; ok {
 				hadShadow = true
 			}
-			k.FaultIn(v, pol, vpn, false, false)
+			k.FaultIn(v, pol, vpn, false, isFile != nil && isFile(vpn))
 			if aud != nil {
 				aud.FaultIn(v, vpn, hadShadow)
 			}
@@ -190,6 +228,14 @@ func (r *DiffReport) String() string {
 //
 // Policies are replayed with full invariant auditing when audit is set.
 func RunDifferential(tr []pagetable.VPN, mkTable func() *pagetable.Table, capacity int, policies map[string]func() policy.Policy, audit bool) (*DiffReport, error) {
+	return RunDifferentialMixed(tr, mkTable, capacity, policies, audit, nil)
+}
+
+// RunDifferentialMixed is RunDifferential over a mixed file+anon address
+// space (see ReplayMixed). The ordering bounds hold regardless of page
+// type — Belady clairvoyance is type-blind, so a type-aware policy that
+// beats OPT has still broken its bookkeeping.
+func RunDifferentialMixed(tr []pagetable.VPN, mkTable func() *pagetable.Table, capacity int, policies map[string]func() policy.Policy, audit bool, isFile func(pagetable.VPN) bool) (*DiffReport, error) {
 	an := trace.NewAnalyzer(len(tr))
 	for _, vpn := range tr {
 		an.Add(vpn)
@@ -215,7 +261,7 @@ func RunDifferential(tr []pagetable.VPN, mkTable func() *pagetable.Table, capaci
 	sort.Strings(names)
 
 	for _, name := range names {
-		faults, err := Replay(all[name](), tr, mkTable, capacity, audit)
+		faults, err := ReplayMixed(all[name](), tr, mkTable, capacity, audit, isFile)
 		if err != nil {
 			return rep, err
 		}

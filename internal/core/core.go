@@ -10,6 +10,7 @@ import (
 
 	"mglrusim/internal/fault"
 	"mglrusim/internal/mem"
+	"mglrusim/internal/pagecache"
 	"mglrusim/internal/pagetable"
 	"mglrusim/internal/policy"
 	"mglrusim/internal/sim"
@@ -80,6 +81,13 @@ type SystemConfig struct {
 	// or packed SoA bit planes). The zero value LayoutAuto picks packed
 	// whenever the fanout allows it.
 	PageTable pagetable.Layout
+	// PageCache, when Enabled, gives file-backed mappings a real page
+	// cache: reads come from a dedicated file device instead of swap,
+	// dirty pages write back through a clustered flusher daemon, and
+	// evictions leave refault-tracking shadow entries. The zero value
+	// (disabled) keeps the historical behaviour where file-backed PTEs
+	// swap like anon memory.
+	PageCache pagecache.Config
 }
 
 // DefaultSystemConfig mirrors the paper's testbed at 50% capacity with
@@ -126,6 +134,12 @@ type Metrics struct {
 	// Injected counts what the fault plane injected (zero when the plan
 	// is disabled).
 	Injected fault.Stats
+	// FileCache are the page cache's counters (zero unless page-cache
+	// mode ran).
+	FileCache pagecache.Stats
+	// FileDevice are the file backing device's counters (zero unless
+	// page-cache mode ran).
+	FileDevice swap.Stats
 }
 
 // LivelockError reports a trial whose workload made no progress for a
@@ -262,6 +276,19 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	pol := mk()
 	mgr := vmm.New(sys.VMM, eng, memory, table, dev, pol, sysRNG.Stream(2))
 
+	// Page-cache mode: file-backed mappings (derived from the laid-out
+	// table) get their own backing device and a writeback flusher. The
+	// cache exists only when enabled AND the workload maps file pages, so
+	// anon-only runs keep their exact historical event order.
+	var fc *pagecache.Cache
+	if sys.PageCache.Enabled {
+		if spans := fileSpans(table); len(spans) > 0 {
+			filedev := swap.NewSSD(sys.PageCache.Backing, eng, sysRNG.Stream(6))
+			fc = pagecache.New(sys.PageCache, eng, table, memory, filedev, spans)
+			mgr.AttachFileCache(fc)
+		}
+	}
+
 	// Telemetry wiring. Order matters for byte-determinism of the output:
 	// gauges and tracks are exported in registration order, so the sequence
 	// below (manager, policy, system-level, device-level) is fixed.
@@ -287,6 +314,9 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 		tr.Gauge("dev.compressed_bytes", func() int64 { return mgr.DeviceStats().CompressedBytes })
 		if ts, ok := dev.(swap.TracerSetter); ok {
 			ts.SetTracer(tr)
+		}
+		if fc != nil {
+			fc.RegisterTelemetry(tr)
 		}
 	}
 
@@ -366,6 +396,10 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	if fdev != nil {
 		m.Injected = fdev.FaultStats()
 	}
+	if fc != nil {
+		m.FileCache = fc.Stats()
+		m.FileDevice = fc.DeviceStats()
+	}
 	for _, p := range procs {
 		m.AppCPU += p.CPUTime()
 	}
@@ -380,6 +414,28 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 		}
 	}
 	return m, nil
+}
+
+// fileSpans derives the page cache's file mappings from the laid-out
+// table: maximal contiguous runs of file-backed VPNs, one span per run.
+func fileSpans(table *pagetable.Table) []pagecache.FileSpan {
+	var spans []pagecache.FileSpan
+	pages := table.Pages()
+	for vpn := 0; vpn < pages; vpn++ {
+		if !table.FileBacked(pagetable.VPN(vpn)) {
+			continue
+		}
+		start := vpn
+		for vpn < pages && table.FileBacked(pagetable.VPN(vpn)) {
+			vpn++
+		}
+		spans = append(spans, pagecache.FileSpan{
+			Name:  fmt.Sprintf("file-%d", len(spans)),
+			Base:  pagetable.VPN(start),
+			Pages: vpn - start,
+		})
+	}
+	return spans
 }
 
 // runThread interprets one workload op stream against the memory manager.

@@ -5,6 +5,7 @@ import (
 
 	"mglrusim/internal/core"
 	"mglrusim/internal/fault"
+	"mglrusim/internal/pagecache"
 	"mglrusim/internal/policy"
 	"mglrusim/internal/sim"
 	"mglrusim/internal/stats"
@@ -45,6 +46,8 @@ type trialMetrics struct {
 	CapacityPages  int
 	SegmentFaults  map[string]uint64 `json:",omitempty"`
 	Injected       fault.Stats
+	FileCache      pagecache.Stats
+	FileDevice     swap.Stats
 }
 
 func samplesOf(l *stats.LatencyRecorder) []int64 {
@@ -86,6 +89,8 @@ func encodeSeries(key string, s *Series) ([]byte, error) {
 			CapacityPages:  m.CapacityPages,
 			SegmentFaults:  m.SegmentFaults,
 			Injected:       m.Injected,
+			FileCache:      m.FileCache,
+			FileDevice:     m.FileDevice,
 		}
 	}
 	return json.Marshal(env)
@@ -164,6 +169,8 @@ func decodeSeries(key string, data []byte) (*Series, bool) {
 			CapacityPages:  t.CapacityPages,
 			SegmentFaults:  t.SegmentFaults,
 			Injected:       t.Injected,
+			FileCache:      t.FileCache,
+			FileDevice:     t.FileDevice,
 		}
 	}
 	return s, true

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/pagecache"
+	"mglrusim/internal/stats"
+	"mglrusim/internal/swap"
+)
+
+// TestTrialMetricsMirrorsCoreMetrics: every exported field of core.Metrics
+// must have a same-named field in trialMetrics (latency recorders are
+// flattened to their []int64 samples under the same name). A field added
+// to core.Metrics but not to the mirror is silently zeroed whenever a
+// series round-trips through the checkpoint store — the sharded and
+// server paths — while in-process runs keep it, so figures diverge by
+// execution mode instead of failing loudly.
+func TestTrialMetricsMirrorsCoreMetrics(t *testing.T) {
+	mirror := reflect.TypeOf(trialMetrics{})
+	metrics := reflect.TypeOf(core.Metrics{})
+	recorder := reflect.TypeOf(&stats.LatencyRecorder{})
+	samples := reflect.TypeOf([]int64(nil))
+	for i := 0; i < metrics.NumField(); i++ {
+		f := metrics.Field(i)
+		m, ok := mirror.FieldByName(f.Name)
+		if !ok {
+			t.Errorf("core.Metrics.%s has no trialMetrics mirror: checkpointed series drop it", f.Name)
+			continue
+		}
+		want := f.Type
+		if want == recorder {
+			want = samples
+		}
+		if m.Type != want {
+			t.Errorf("trialMetrics.%s is %v, want %v", f.Name, m.Type, want)
+		}
+	}
+}
+
+// TestCheckpointRoundTripPreservesFileCache: a series with page-cache
+// counters must survive encode→decode→encode byte-identically — the
+// regression behind the ext2 sharded run rendering zeroed refault and
+// writeback columns.
+func TestCheckpointRoundTripPreservesFileCache(t *testing.T) {
+	s := &Series{
+		Workload: "serve",
+		Policy:   PolMGLRU,
+		System:   SystemAt(0.5, core.SwapSSD),
+		Trials: []core.Metrics{{
+			Runtime:        12345,
+			FootprintPages: 100,
+			CapacityPages:  50,
+			ReadLat:        recorderOf([]int64{10, 20}),
+			WriteLat:       recorderOf(nil),
+			FaultLat:       recorderOf([]int64{30}),
+			FileCache: pagecache.Stats{
+				Reads: 7, ReadaheadReads: 3, Dirtied: 5,
+				FlushPasses: 2, Extents: 4, WritebackPages: 9,
+				PageOuts: 1, Evictions: 6, Refaults: 8,
+			},
+			FileDevice: swap.Stats{Reads: 11, Writes: 13},
+		}},
+	}
+	blob, err := encodeSeries("k", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := decodeSeries("k", blob)
+	if !ok {
+		t.Fatal("decode rejected a freshly encoded envelope")
+	}
+	if got.Trials[0].FileCache != s.Trials[0].FileCache {
+		t.Fatalf("FileCache dropped: %+v, want %+v", got.Trials[0].FileCache, s.Trials[0].FileCache)
+	}
+	if got.Trials[0].FileDevice != s.Trials[0].FileDevice {
+		t.Fatalf("FileDevice dropped: %+v, want %+v", got.Trials[0].FileDevice, s.Trials[0].FileDevice)
+	}
+	blob2, err := encodeSeries("k", got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("round-trip not byte-stable")
+	}
+}

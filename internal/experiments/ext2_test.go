@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mglrusim/internal/core"
+	"mglrusim/internal/pagecache"
+	"mglrusim/internal/workload"
+	"mglrusim/internal/workload/serve"
+)
+
+// TestExtFileServeTiny runs the ext2 page-cache sweep end-to-end at toy
+// scale: full ladder × policy matrix, non-degenerate cache counters, and
+// consistent render/CSV output.
+func TestExtFileServeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs the ext2 matrix")
+	}
+	r := NewRunner(Options{Trials: 2, Scale: 0.2, Seed: 0xABC, Parallelism: 4})
+	res, err := ExtFileServeSweep(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID() != "ext2" {
+		t.Fatalf("id = %s", res.ID())
+	}
+	fr := res.(*FileServeResult)
+	want := len(extCacheRatios) * len(extFilePolicies())
+	if len(fr.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(fr.Rows), want)
+	}
+	for _, row := range fr.Rows {
+		if row.HitRatio <= 0 || row.HitRatio > 1 {
+			t.Fatalf("degenerate hit ratio %v in %+v", row.HitRatio, row)
+		}
+		if row.WritebackPages <= 0 {
+			t.Fatalf("no writeback recorded in %+v (WriteFrac should dirty file pages)", row)
+		}
+		if row.MeanRequestNS <= 0 {
+			t.Fatalf("no request latency in %+v", row)
+		}
+	}
+	// The starved rung must miss more than the roomy rung (same policy).
+	for _, p := range extFilePolicies() {
+		var starved, roomy float64
+		for _, row := range fr.Rows {
+			if row.Policy != p.Name {
+				continue
+			}
+			if row.Ratio == extCacheRatios[0] {
+				starved = row.HitRatio
+			}
+			if row.Ratio == extCacheRatios[len(extCacheRatios)-1] {
+				roomy = row.HitRatio
+			}
+		}
+		if starved >= roomy {
+			t.Fatalf("%s: hit ratio did not improve with cache size (%.4f at %.2f vs %.4f at %.2f)",
+				p.Name, starved, extCacheRatios[0], roomy, extCacheRatios[len(extCacheRatios)-1])
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "serve") || !strings.Contains(out, PolMGLRUNoPID) {
+		t.Fatalf("render missing workload/policy labels:\n%s", out)
+	}
+	csv := res.(CSVer).CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != want+1 {
+		t.Fatalf("CSV rows = %d, want %d", len(lines)-1, want+1)
+	}
+	header := strings.Split(lines[0], ",")
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(header) {
+			t.Fatalf("ragged CSV row: %q", line)
+		}
+	}
+}
+
+// TestExt2DeterministicSharded is the acceptance gate: the ext2 family
+// must render byte-identically whether trials run serially or across an
+// 8-wide worker pool — scheduling must never leak into results.
+func TestExt2DeterministicSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs ext2 twice")
+	}
+	run := func(parallelism int) (string, string) {
+		r := NewRunner(Options{Trials: 3, Scale: 0.15, Seed: 0x5EED, Parallelism: parallelism})
+		res, err := ExtFileServeSweep(r)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return res.Render(), res.(CSVer).CSV()
+	}
+	serialOut, serialCSV := run(1)
+	shardOut, shardCSV := run(8)
+	if serialOut != shardOut {
+		t.Fatalf("render diverges between serial and 8-wide sharded runs:\n--- serial ---\n%s\n--- sharded ---\n%s", serialOut, shardOut)
+	}
+	if serialCSV != shardCSV {
+		t.Fatalf("CSV diverges between serial and 8-wide sharded runs")
+	}
+}
+
+// imbalancedServe is the refault-imbalance stimulus the tier-gain
+// controller exists for, stated as a workload: a near-uniform object
+// catalog whose file working set overflows its share of memory (every
+// premature file eviction refaults), served next to a session table whose
+// steep skew leaves a long dead-cold anon tail (anon evictions are free).
+// A type-blind evictor splits the pressure proportionally and pays file
+// refaults; steering it onto the cold anon tail avoids them.
+func imbalancedServe() WorkloadSpec {
+	return WorkloadSpec{Name: "serve-imbalanced", Latency: true, Make: func() workload.Workload {
+		cfg := serve.DefaultConfig()
+		cfg.Objects = 2000
+		cfg.ObjPages = 4
+		cfg.Theta = 0.4
+		cfg.WriteFrac = 0.05
+		cfg.Requests = 20000
+		cfg.Phases = 1
+		cfg.BurstCount = 0
+		cfg.Sessions = 20000
+		cfg.SessionTheta = 1.1
+		return serve.New(cfg)
+	}}
+}
+
+// TestFileTierProtectionReducesRefaults is the tentpole regression: under
+// refault-imbalanced serving traffic, MG-LRU with the file-vs-anon gain
+// controller must evict the file tier less prematurely than the ablated
+// build — fewer refaults per file touch with protection on than off.
+func TestFileTierProtectionReducesRefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs serve under two policies")
+	}
+	r := NewRunner(Options{Trials: 3, Seed: 0xF11E, Parallelism: 4})
+	w := imbalancedServe()
+	sys := SystemAt(0.25, core.SwapSSD)
+	sys.PageCache = pagecache.DefaultConfig()
+
+	rate := func(policy string) float64 {
+		s, err := r.Run(w, PolicyByName(policy), sys)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		var refaults, touches, fileProt uint64
+		for _, m := range s.Trials {
+			refaults += m.FileCache.Refaults
+			touches += m.Counters.FileAccesses + m.Counters.FileFaults
+			fileProt += m.Policy.FileProtected
+		}
+		if refaults == 0 {
+			t.Fatalf("%s: no refaults — ratio too roomy for the regression to bite", policy)
+		}
+		if policy == PolMGLRU && fileProt == 0 {
+			t.Fatalf("%s: gain controller never steered an eviction (FileProtected = 0)", policy)
+		}
+		return float64(refaults) / float64(touches)
+	}
+
+	protected := rate(PolMGLRU)
+	ablated := rate(PolMGLRUNoPID)
+	// The observed effect is ~35-40%; demand at least 10% so noise can't
+	// sneak a regression past.
+	if protected >= 0.9*ablated {
+		t.Fatalf("file refault rate with tier protection (%.6f/touch) not clearly below ablated (%.6f/touch)", protected, ablated)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"mglrusim/internal/core"
 	"mglrusim/internal/fault"
+	"mglrusim/internal/pagecache"
 	"mglrusim/internal/sim"
 	"mglrusim/internal/stats"
 )
@@ -16,6 +17,7 @@ import (
 // -figure arguments against both maps.
 var Extensions = map[string]FigureFunc{
 	"ext1": ExtDegradedSweep,
+	"ext2": ExtFileServeSweep,
 }
 
 // ExtensionIDs returns all extension IDs in order.
@@ -110,6 +112,147 @@ func (r *DegradedResult) CSV() string {
 // reuse the exact series the paper figures run (cache and checkpoint
 // included) while faulted rows get their own seeded plans — the same
 // trial seeds, since the seed key deliberately excludes the plan.
+// extCacheRatios is the ext2 cache-size ladder: memory capacity as a
+// fraction of the serve workload's footprint. The low rung starves the
+// file tier hard enough that phase shifts refault; the high rung fits
+// most of the hot set.
+var extCacheRatios = []float64{0.35, 0.5, 0.7}
+
+// extFilePolicies is the ext2 policy arm: the paper's Clock-vs-MGLRU
+// baseline plus the PID-ablated MG-LRU, isolating how much of the
+// file-tier protection comes from the tier-gain controller.
+func extFilePolicies() []PolicySpec {
+	return Policies(PolClock, PolMGLRU, PolMGLRUNoPID)
+}
+
+// FileServeRow is one (cache ratio, policy) cell of the page-cache sweep.
+type FileServeRow struct {
+	Ratio  float64
+	Policy string
+	// HitRatio is resident file-page touches over all file-page touches
+	// (hits + file major faults), pooled across trials.
+	HitRatio float64
+	// RefaultRate is shadow-entry refaults per file-page touch (hits +
+	// file major faults) — how often serving traffic lands on a page the
+	// policy evicted prematurely. Normalizing by touches rather than by
+	// evictions keeps the rate comparable across policies: type steering
+	// shrinks the eviction count itself, which would deflate the
+	// denominator and mask the benefit.
+	RefaultRate float64
+	// WritebackPages is the mean writeback volume per trial (flusher
+	// extents plus synchronous eviction pageouts).
+	WritebackPages float64
+	// FlusherShare is the fraction of that volume the flusher wrote
+	// asynchronously (the rest were reclaim-path pageouts).
+	FlusherShare float64
+	// MeanRequestNS is the headline serving latency.
+	MeanRequestNS float64
+	// FaultTail is the major-fault latency at stats.TailPoints, ns.
+	FaultTail []float64
+}
+
+// FileServeResult is the ext2 figure family: file-vs-anon reclaim under
+// production serving traffic, across a cache-size ladder.
+type FileServeResult struct {
+	Workload string
+	Rows     []FileServeRow
+}
+
+// ID implements Result.
+func (r *FileServeResult) ID() string { return "ext2" }
+
+// Render implements Result.
+func (r *FileServeResult) Render() string {
+	t := newTable("ratio", "policy", "hit%", "refault-rate", "wb-pages", "flusher%", "mean-req(ms)", "p50", "p90", "p99", "p99.9", "p99.99")
+	for _, row := range r.Rows {
+		cells := []string{
+			fmt.Sprintf("%.2f", row.Ratio), row.Policy,
+			f2(row.HitRatio * 100), fmt.Sprintf("%.4f", row.RefaultRate),
+			f2(row.WritebackPages), f2(row.FlusherShare * 100),
+			f2(row.MeanRequestNS / 1e6),
+		}
+		for _, v := range row.FaultTail {
+			cells = append(cells, nsToMs(v))
+		}
+		t.row(cells...)
+	}
+	return fmt.Sprintf("Ext 2: %s file-vs-anon reclaim across cache sizes (SSD, page cache on)\n", r.Workload) + t.String()
+}
+
+// CSV implements CSVer.
+func (r *FileServeResult) CSV() string {
+	var c csvBuilder
+	header := []any{"ratio", "policy", "hit_ratio", "refault_rate", "writeback_pages", "flusher_share", "mean_req_ns"}
+	for _, p := range stats.TailPoints {
+		header = append(header, fmt.Sprintf("fault_p%g_ns", p))
+	}
+	c.row(header...)
+	for _, row := range r.Rows {
+		cells := []any{row.Ratio, row.Policy, row.HitRatio, row.RefaultRate,
+			row.WritebackPages, row.FlusherShare, row.MeanRequestNS}
+		for _, v := range row.FaultTail {
+			cells = append(cells, v)
+		}
+		c.row(cells...)
+	}
+	return c.String()
+}
+
+// fileServeCell aggregates a series' page-cache counters into one row.
+// Ratios pool raw counts across trials (a per-trial mean of ratios would
+// overweight quiet trials); volumes are per-trial means.
+func fileServeCell(ratio float64, policy string, s *Series) FileServeRow {
+	var hits, faults, refaults, flushed, total uint64
+	for _, m := range s.Trials {
+		hits += m.Counters.FileAccesses
+		faults += m.Counters.FileFaults
+		refaults += m.FileCache.Refaults
+		flushed += m.FileCache.WritebackPages
+		total += m.FileCache.WrittenBack()
+	}
+	row := FileServeRow{
+		Ratio:         ratio,
+		Policy:        policy,
+		MeanRequestNS: stats.Mean(s.MeanRequestNS()),
+		FaultTail:     s.MergedFaultTail(),
+	}
+	if touches := hits + faults; touches > 0 {
+		row.HitRatio = float64(hits) / float64(touches)
+		row.RefaultRate = float64(refaults) / float64(touches)
+	}
+	if n := len(s.Trials); n > 0 {
+		row.WritebackPages = float64(total) / float64(n)
+	}
+	if total > 0 {
+		row.FlusherShare = float64(flushed) / float64(total)
+	}
+	return row
+}
+
+// ExtFileServeSweep runs the page-cache serving sweep: the serve workload
+// (file-backed object store + anon index and scratch) on SSD swap with
+// the page cache enabled, across the cache-size ladder, comparing Clock,
+// MG-LRU, and PID-ablated MG-LRU on hit ratio, refault rate, writeback
+// volume, and tail fault latency. The serve workload's phase shifts
+// create the refault imbalance the tier-gain controller exists for, so
+// the mglru vs mglru-nopid delta is the controller's measured effect.
+func ExtFileServeSweep(r *Runner) (Result, error) {
+	w := r.workloadByName("serve")
+	res := &FileServeResult{Workload: w.Name}
+	for _, ratio := range extCacheRatios {
+		sys := SystemAt(ratio, core.SwapSSD)
+		sys.PageCache = pagecache.DefaultConfig()
+		for _, p := range extFilePolicies() {
+			s, err := r.Run(w, p, sys)
+			if err != nil {
+				return nil, fmt.Errorf("ext2 %.2f/%s: %w", ratio, p.Name, err)
+			}
+			res.Rows = append(res.Rows, fileServeCell(ratio, p.Name, s))
+		}
+	}
+	return res, nil
+}
+
 func ExtDegradedSweep(r *Runner) (Result, error) {
 	w := r.workloadByName("ycsb-a")
 	res := &DegradedResult{Workload: w.Name}

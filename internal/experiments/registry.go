@@ -15,6 +15,7 @@ import (
 	"mglrusim/internal/policy/simple"
 	"mglrusim/internal/workload"
 	"mglrusim/internal/workload/pagerank"
+	"mglrusim/internal/workload/serve"
 	"mglrusim/internal/workload/tpch"
 	"mglrusim/internal/workload/ycsb"
 )
@@ -36,6 +37,9 @@ const (
 	PolScanRand = "scan-rand"
 	PolFIFO     = "fifo"
 	PolRandom   = "random"
+	// PolMGLRUNoPID is default MG-LRU with PID tier protection switched
+	// off — the ablation arm of the ext2 file-vs-anon figures.
+	PolMGLRUNoPID = "mglru-nopid"
 )
 
 // Policies returns specs for the requested policy names.
@@ -66,6 +70,13 @@ func PolicyByName(name string) PolicySpec {
 		return PolicySpec{Name: name, Make: func() policy.Policy { return simple.NewFIFO() }}
 	case PolRandom:
 		return PolicySpec{Name: name, Make: func() policy.Policy { return simple.NewRandom() }}
+	case PolMGLRUNoPID:
+		return PolicySpec{Name: name, Make: func() policy.Policy {
+			cfg := mglru.Default()
+			cfg.VariantName = PolMGLRUNoPID
+			cfg.TierProtection = false
+			return mglru.New(cfg)
+		}}
 	}
 	panic(fmt.Sprintf("experiments: unknown policy %q", name))
 }
@@ -75,7 +86,7 @@ func PolicyByName(name string) PolicySpec {
 // against (PolicyByName panics on unknown names; check membership here
 // first).
 func PolicyNames() []string {
-	return []string{PolClock, PolMGLRU, PolGen14, PolScanAll, PolScanNone, PolScanRand, PolFIFO, PolRandom}
+	return []string{PolClock, PolMGLRU, PolGen14, PolScanAll, PolScanNone, PolScanRand, PolFIFO, PolRandom, PolMGLRUNoPID}
 }
 
 // BaselinePair is the Clock-vs-MGLRU comparison of §V-A.
@@ -173,12 +184,43 @@ func WorkloadsAt(scale float64, regionPTEs int) []WorkloadSpec {
 	}
 }
 
-// WorkloadNames lists every registered workload name, in registry order —
-// the validation vocabulary for client-supplied names (WorkloadByNameAt
-// panics on unknown names; check membership here first). Enumerating the
-// registry at scale 1 constructs nothing: WorkloadSpec.Make is lazy.
+// ExtensionWorkloadsAt returns workloads added by extension figure
+// families, beyond the paper's five. They resolve by name and sweep like
+// any other workload but never enter WorkloadsAt, so the paper-figure
+// matrix is unchanged.
+func ExtensionWorkloadsAt(scale float64, regionPTEs int) []WorkloadSpec {
+	if scale <= 0 {
+		scale = 1
+	}
+	sc := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return []WorkloadSpec{
+		{Name: "serve", Latency: true, Make: func() workload.Workload {
+			cfg := serve.DefaultConfig()
+			cfg.Objects = sc(cfg.Objects)
+			cfg.Requests = sc(cfg.Requests)
+			cfg.Sessions = sc(cfg.Sessions)
+			if regionPTEs > 0 {
+				cfg.RegionPTEs = regionPTEs
+			}
+			return serve.New(cfg)
+		}},
+	}
+}
+
+// WorkloadNames lists every registered workload name — the paper's five
+// then the extension workloads, in registry order — the validation
+// vocabulary for client-supplied names (WorkloadByNameAt panics on
+// unknown names; check membership here first). Enumerating the registry
+// at scale 1 constructs nothing: WorkloadSpec.Make is lazy.
 func WorkloadNames() []string {
 	ws := WorkloadsAt(1, 0)
+	ws = append(ws, ExtensionWorkloadsAt(1, 0)...)
 	out := make([]string, len(ws))
 	for i, w := range ws {
 		out[i] = w.Name
@@ -196,6 +238,11 @@ func WorkloadByName(name string, scale float64) WorkloadSpec {
 // and region fanout.
 func WorkloadByNameAt(name string, scale float64, regionPTEs int) WorkloadSpec {
 	for _, w := range WorkloadsAt(scale, regionPTEs) {
+		if w.Name == name {
+			return w
+		}
+	}
+	for _, w := range ExtensionWorkloadsAt(scale, regionPTEs) {
 		if w.Name == name {
 			return w
 		}

@@ -1,0 +1,464 @@
+// Package pagecache models file-backed memory as a first-class citizen
+// beside anonymous memory: per-file address-space mappings over the
+// shared page table, read/write-through against a backing block device
+// on fault, dirty tracking with clustered writeback by a virtual-time
+// flusher daemon, and shadow-entry refault tracking on eviction.
+//
+// The model follows the Linux page cache (and the page-cache simulation
+// literature the ROADMAP cites): a file page's backing location is fixed
+// — its offset within the file — so pages that are adjacent in a file
+// are adjacent on the device, and the flusher can batch dirty runs into
+// contiguous extents the way the kernel clusters writeback. Contrast
+// the anonymous path in internal/vmm, where a page's swap slot is
+// assigned at first eviction and adjacency is eviction-order luck.
+//
+// The cache never owns frames or PTEs; internal/vmm remains the only
+// writer of both. It owns what the kernel's address_space owns: the
+// file-offset mapping, the dirty set, the writeback schedule, and the
+// shadow entries left behind by evicted file pages.
+package pagecache
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mglrusim/internal/mem"
+	"mglrusim/internal/pagetable"
+	"mglrusim/internal/policy"
+	"mglrusim/internal/sim"
+	"mglrusim/internal/swap"
+	"mglrusim/internal/telemetry"
+)
+
+// Config tunes the page-cache model. It contains only plain values so it
+// can sit inside core.SystemConfig and enter checkpoint fingerprints.
+type Config struct {
+	// Enabled turns the page-cache mode on: core constructs a backing
+	// device and a Cache, and the vmm routes file-backed faults and
+	// evictions through it. Off (the zero value), file-backed pages fall
+	// back to the historical behaviour of swapping like anonymous ones,
+	// and no flusher daemon is spawned — existing figures are
+	// byte-identical.
+	Enabled bool
+	// Backing parameterizes the file backing store (an SSD model; reads
+	// block, writes are asynchronous with writeback backpressure).
+	Backing swap.SSDConfig
+	// DirtyRatio is the fraction of physical memory that may be dirty
+	// file pages before the flusher starts a writeback pass ahead of its
+	// periodic schedule — the analogue of vm.dirty_background_ratio.
+	DirtyRatio float64
+	// FlushInterval is the periodic writeback cadence: dirty pages older
+	// than roughly one interval are written back even below the ratio
+	// threshold (vm.dirty_writeback_centisecs).
+	FlushInterval sim.Duration
+	// MaxExtent caps how many pages one clustered write extent may span.
+	MaxExtent int
+}
+
+// DefaultConfig returns the enabled page-cache profile with calibrated
+// defaults.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:       true,
+		Backing:       swap.DefaultSSDConfig(),
+		DirtyRatio:    0.10,
+		FlushInterval: 100 * sim.Millisecond,
+		MaxExtent:     16,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.DirtyRatio <= 0 {
+		c.DirtyRatio = 0.10
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 100 * sim.Millisecond
+	}
+	if c.MaxExtent <= 0 {
+		c.MaxExtent = 16
+	}
+	return c
+}
+
+// FileSpan names one file's mapping in the virtual address space.
+type FileSpan struct {
+	Name  string
+	Base  pagetable.VPN
+	Pages int
+}
+
+// Stats aggregates cache activity for a trial. Plain counters, so the
+// struct can ride inside core.Metrics.
+type Stats struct {
+	// Reads counts demand reads from the backing file (file major
+	// faults); ReadaheadReads counts speculative cluster reads.
+	Reads, ReadaheadReads uint64
+	// Dirtied counts clean→dirty transitions of cached pages.
+	Dirtied uint64
+	// FlushPasses, Extents, WritebackPages describe flusher activity:
+	// passes run, contiguous extents issued, pages written back.
+	FlushPasses, Extents, WritebackPages uint64
+	// PageOuts counts dirty pages written back synchronously at
+	// eviction (reclaim beat the flusher to them).
+	PageOuts uint64
+	// Evictions and Refaults are the shadow-entry ledger: file pages
+	// evicted, and faults that found a shadow entry (the page came back
+	// after eviction — the signal the pidctl balancer feeds on).
+	Evictions, Refaults uint64
+}
+
+// WrittenBack is the total writeback volume in pages, however the write
+// was scheduled.
+func (s Stats) WrittenBack() uint64 { return s.WritebackPages + s.PageOuts }
+
+type shadowEntry struct {
+	sh    policy.Shadow
+	valid bool
+}
+
+type mapping struct {
+	FileSpan
+	slotBase swap.Slot
+}
+
+// Cache is the page cache over one trial's file mappings.
+type Cache struct {
+	cfg   Config
+	eng   *sim.Engine
+	table *pagetable.Table
+	memry *mem.Memory
+	dev   swap.Device
+
+	// files is sorted by Base; backing slots are assigned in the same
+	// order, so slot order equals VPN order and both directions of the
+	// translation binary-search the same slice.
+	files      []mapping
+	totalPages int
+
+	// dirty is a bitmap over dense backing slots; dirtyCount mirrors the
+	// set-bit population for the ratio trigger.
+	dirty      []uint64
+	dirtyCount int
+	threshold  int
+
+	// shadows is indexed by backing slot (dense over file pages, unlike
+	// the vmm's per-VPN arena over the whole VA span).
+	shadows    *mem.Arena[shadowEntry]
+	shadowLive int
+
+	resident int
+
+	stats Stats
+}
+
+// New builds a Cache over the given file spans and spawns its flusher
+// daemon on eng when the config enables it. The spans must not overlap;
+// their backing slots are assigned in VPN order.
+func New(cfg Config, eng *sim.Engine, table *pagetable.Table, memry *mem.Memory,
+	dev swap.Device, files []FileSpan) *Cache {
+	cfg = cfg.withDefaults()
+	c := &Cache{cfg: cfg, eng: eng, table: table, memry: memry, dev: dev}
+	spans := append([]FileSpan(nil), files...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Base < spans[j].Base })
+	for i, s := range spans {
+		if s.Pages <= 0 {
+			panic(fmt.Sprintf("pagecache: file %q has non-positive span %d", s.Name, s.Pages))
+		}
+		if i > 0 {
+			prev := spans[i-1]
+			if s.Base < prev.Base+pagetable.VPN(prev.Pages) {
+				panic(fmt.Sprintf("pagecache: file %q overlaps %q", s.Name, prev.Name))
+			}
+		}
+		c.files = append(c.files, mapping{FileSpan: s, slotBase: swap.Slot(c.totalPages)})
+		c.totalPages += s.Pages
+	}
+	c.dirty = make([]uint64, (c.totalPages+63)/64)
+	c.shadows = mem.NewArena[shadowEntry](c.totalPages, 1024)
+	c.threshold = int(cfg.DirtyRatio * float64(memry.Size()))
+	if c.threshold < 1 {
+		c.threshold = 1
+	}
+	if cfg.Enabled {
+		eng.Spawn("flusher", true, c.flusher)
+	}
+	return c
+}
+
+// FilePages reports the total file-backed pages under management.
+func (c *Cache) FilePages() int { return c.totalPages }
+
+// SlotOf translates a VPN to its fixed backing slot. The second return
+// is false for VPNs outside every registered file span.
+func (c *Cache) SlotOf(vpn pagetable.VPN) (swap.Slot, bool) {
+	i := sort.Search(len(c.files), func(i int) bool {
+		f := c.files[i]
+		return vpn < f.Base+pagetable.VPN(f.Pages)
+	})
+	if i == len(c.files) || vpn < c.files[i].Base {
+		return swap.NilSlot, false
+	}
+	return c.files[i].slotBase + swap.Slot(vpn-c.files[i].Base), true
+}
+
+// vpnOf is the inverse translation; slot must be in range.
+func (c *Cache) vpnOf(slot swap.Slot) pagetable.VPN {
+	i := sort.Search(len(c.files), func(i int) bool {
+		f := c.files[i]
+		return slot < f.slotBase+swap.Slot(f.Pages)
+	})
+	f := c.files[i]
+	return f.Base + pagetable.VPN(slot-f.slotBase)
+}
+
+// --- fault-path service ---
+
+// ReadPage blocks the calling proc for the backing read of vpn — the
+// file major-fault service.
+func (c *Cache) ReadPage(v *sim.Env, vpn pagetable.VPN) {
+	slot := c.mustSlot(vpn)
+	c.stats.Reads++
+	c.dev.ReadPage(v, slot, int64(vpn), 0)
+}
+
+// PrefetchPage reads vpn as part of a readahead cluster anchored at a
+// blocking demand read.
+func (c *Cache) PrefetchPage(v *sim.Env, vpn pagetable.VPN) {
+	slot := c.mustSlot(vpn)
+	c.stats.ReadaheadReads++
+	c.dev.PrefetchPage(v, slot, int64(vpn), 0)
+}
+
+// NoteResident records that a file page was installed (demand fault or
+// readahead).
+func (c *Cache) NoteResident(vpn pagetable.VPN) { c.resident++ }
+
+// ResidentFilePages reports installed file pages — the auditor's
+// conservation cross-check against a full PTE scan.
+func (c *Cache) ResidentFilePages() int { return c.resident }
+
+// --- dirty tracking ---
+
+// MarkDirty records a write to a cached page. Idempotent; returns true
+// on the clean→dirty transition.
+func (c *Cache) MarkDirty(vpn pagetable.VPN) bool {
+	slot := c.mustSlot(vpn)
+	w, b := int(slot)/64, uint(slot)%64
+	if c.dirty[w]&(1<<b) != 0 {
+		return false
+	}
+	c.dirty[w] |= 1 << b
+	c.dirtyCount++
+	c.stats.Dirtied++
+	return true
+}
+
+// ClearDirty removes vpn from the dirty set, reporting whether it was
+// dirty.
+func (c *Cache) ClearDirty(vpn pagetable.VPN) bool {
+	slot, ok := c.SlotOf(vpn)
+	if !ok {
+		return false
+	}
+	w, b := int(slot)/64, uint(slot)%64
+	if c.dirty[w]&(1<<b) == 0 {
+		return false
+	}
+	c.dirty[w] &^= 1 << b
+	c.dirtyCount--
+	return true
+}
+
+// DirtyPages reports the current dirty-set size.
+func (c *Cache) DirtyPages() int { return c.dirtyCount }
+
+// DirtyThreshold reports the page count at which the ratio trigger
+// starts a flush pass.
+func (c *Cache) DirtyThreshold() int { return c.threshold }
+
+// --- eviction and refault ---
+
+// RecordEviction stores the policy shadow for an evicted file page. The
+// entry is consumed by the next TakeShadow on the same page; its
+// presence there is what classifies that fault as a refault.
+func (c *Cache) RecordEviction(vpn pagetable.VPN, sh policy.Shadow) {
+	slot := c.mustSlot(vpn)
+	e := c.shadows.At(int(slot))
+	if !e.valid {
+		c.shadowLive++
+	}
+	*e = shadowEntry{sh: sh, valid: true}
+	c.stats.Evictions++
+	c.resident--
+}
+
+// PageOut writes a dirty page back at eviction time (reclaim reached it
+// before the flusher). The write is scheduled on the backing device with
+// its usual asynchronous semantics; the calling proc may block on
+// writeback backpressure.
+func (c *Cache) PageOut(v *sim.Env, vpn pagetable.VPN) {
+	slot := c.mustSlot(vpn)
+	c.stats.PageOuts++
+	c.dev.WritePage(v, slot, int64(vpn), 0)
+}
+
+// TakeShadow consumes and returns vpn's shadow entry, or nil if the page
+// has never been evicted (or its shadow was already consumed). A hit
+// counts as a refault.
+func (c *Cache) TakeShadow(vpn pagetable.VPN) *policy.Shadow {
+	slot := c.mustSlot(vpn)
+	if !c.shadows.Peek(int(slot)).valid {
+		return nil
+	}
+	e := c.shadows.At(int(slot))
+	e.valid = false
+	c.shadowLive--
+	c.stats.Refaults++
+	sh := e.sh
+	return &sh
+}
+
+// DropShadow discards vpn's shadow entry without counting a refault —
+// the readahead path: a speculative read-in is not evidence the
+// eviction was premature. Reports whether an entry was dropped.
+func (c *Cache) DropShadow(vpn pagetable.VPN) bool {
+	slot := c.mustSlot(vpn)
+	if !c.shadows.Peek(int(slot)).valid {
+		return false
+	}
+	e := c.shadows.At(int(slot))
+	e.valid = false
+	c.shadowLive--
+	return true
+}
+
+// HasShadow reports whether vpn currently holds a shadow entry, without
+// consuming it (auditor use).
+func (c *Cache) HasShadow(vpn pagetable.VPN) bool {
+	slot, ok := c.SlotOf(vpn)
+	if !ok {
+		return false
+	}
+	return c.shadows.Peek(int(slot)).valid
+}
+
+// ShadowCount reports live shadow entries (auditor use).
+func (c *Cache) ShadowCount() int { return c.shadowLive }
+
+func (c *Cache) mustSlot(vpn pagetable.VPN) swap.Slot {
+	slot, ok := c.SlotOf(vpn)
+	if !ok {
+		panic(fmt.Sprintf("pagecache: vpn %d is not file-backed under any registered span", vpn))
+	}
+	return slot
+}
+
+// --- writeback ---
+
+// flusher is the background writeback daemon: it polls at a fraction of
+// the flush interval and starts a pass when the dirty set crosses the
+// ratio threshold, or when a full interval has elapsed with anything
+// dirty at all (age-based writeback).
+func (c *Cache) flusher(v *sim.Env) {
+	poll := c.cfg.FlushInterval / 4
+	if poll < sim.Millisecond {
+		poll = sim.Millisecond
+	}
+	last := v.Now()
+	for {
+		v.Sleep(poll)
+		due := v.Now()-last >= sim.Time(c.cfg.FlushInterval)
+		if c.dirtyCount >= c.threshold || (due && c.dirtyCount > 0) {
+			c.flushPass(v)
+			last = v.Now()
+		} else if due {
+			last = v.Now()
+		}
+	}
+}
+
+// flushPass writes the current dirty set back in contiguous extents. The
+// extent list is collected host-side first — clearing both the cache
+// dirty bit and the PTE dirty bit per page — and only then issued to the
+// device, where each write may block on writeback backpressure. A page
+// re-dirtied after collection is simply caught by a later pass; a page
+// evicted after collection was already persisted by the write this pass
+// issues (reclaim sees it clean and skips its own pageout).
+func (c *Cache) flushPass(v *sim.Env) {
+	c.stats.FlushPasses++
+	type extent struct {
+		start swap.Slot
+		n     int
+	}
+	var extents []extent
+	for s := 0; s < c.totalPages; {
+		word := c.dirty[s/64] >> (uint(s) % 64)
+		if word == 0 {
+			s = (s/64 + 1) * 64
+			continue
+		}
+		s += bits.TrailingZeros64(word)
+		if s >= c.totalPages {
+			break
+		}
+		// Grow the dirty run bit by bit (runs cross word boundaries); a
+		// run longer than MaxExtent splits into back-to-back extents.
+		start := s
+		n := 0
+		for s < c.totalPages && n < c.cfg.MaxExtent &&
+			c.dirty[s/64]&(1<<(uint(s)%64)) != 0 {
+			c.dirty[s/64] &^= 1 << (uint(s) % 64)
+			c.dirtyCount--
+			vpn := c.vpnOf(swap.Slot(s))
+			if c.table.IsPresent(vpn) {
+				c.table.TestAndClearDirty(vpn)
+			}
+			n++
+			s++
+		}
+		extents = append(extents, extent{start: swap.Slot(start), n: n})
+	}
+	for _, e := range extents {
+		c.stats.Extents++
+		for i := 0; i < e.n; i++ {
+			slot := e.start + swap.Slot(i)
+			c.stats.WritebackPages++
+			c.dev.WritePage(v, slot, int64(c.vpnOf(slot)), 0)
+		}
+	}
+}
+
+// FlushAll synchronously runs flush passes until the dirty set is empty,
+// then drains the backing device — the explicit fsync/unmount path, and
+// what tests call to assert flush-on-drain.
+func (c *Cache) FlushAll(v *sim.Env) {
+	for c.dirtyCount > 0 {
+		c.flushPass(v)
+	}
+	c.dev.Drain(v)
+}
+
+// --- accessors ---
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// DeviceStats returns the backing device's counters.
+func (c *Cache) DeviceStats() swap.Stats { return c.dev.Stats() }
+
+// RegisterTelemetry implements telemetry.Registrant: the cache's state
+// becomes named gauges in counters.csv and policyviz.
+func (c *Cache) RegisterTelemetry(tr *telemetry.Tracer) {
+	tr.Gauge("pagecache.resident", func() int64 { return int64(c.resident) })
+	tr.Gauge("pagecache.dirty", func() int64 { return int64(c.dirtyCount) })
+	tr.Gauge("pagecache.shadows", func() int64 { return int64(c.shadowLive) })
+	tr.Gauge("pagecache.reads", func() int64 { return int64(c.stats.Reads) })
+	tr.Gauge("pagecache.writeback_pages", func() int64 { return int64(c.stats.WritebackPages) })
+	tr.Gauge("pagecache.extents", func() int64 { return int64(c.stats.Extents) })
+	tr.Gauge("pagecache.pageouts", func() int64 { return int64(c.stats.PageOuts) })
+	tr.Gauge("pagecache.evictions", func() int64 { return int64(c.stats.Evictions) })
+	tr.Gauge("pagecache.refaults", func() int64 { return int64(c.stats.Refaults) })
+}
+
+var _ telemetry.Registrant = (*Cache)(nil)

@@ -524,6 +524,22 @@ func (t *Table) TestAndClearAccessed(vpn VPN) bool {
 	return was
 }
 
+// TestAndClearDirty clears the D bit for vpn and reports whether it was
+// set — the flusher's page_mkclean: writeback marks the page clean so a
+// later eviction need not write it again.
+func (t *Table) TestAndClearDirty(vpn VPN) bool {
+	if t.ptes != nil {
+		p := &t.ptes[vpn]
+		was := p.Bits&BitDirty != 0
+		p.Bits &^= BitDirty
+		return was
+	}
+	w, b := bitpos(vpn)
+	was := t.dirty[w]&b != 0
+	t.dirty[w] &^= b
+	return was
+}
+
 // RegionPresent reports how many pages of region r are resident; linear
 // scans use it to skip empty regions cheaply.
 func (t *Table) RegionPresent(r int) int { return int(t.regionPresent[r]) }

@@ -1,0 +1,74 @@
+package pidctl
+
+// TierGain is the file-vs-anon refault balancer: it tracks one control
+// position per page kind and answers, through a PID controller over the
+// refault-rate imbalance, whether file-backed pages should currently be
+// protected from eviction. This is the second comparison the kernel's
+// lru_gen_eval performs beside the per-tier one — anon and file grow or
+// shrink against each other based on which kind is refaulting harder.
+//
+// The zero kind (anon) plays the role of TierSet's base tier: file pages
+// are protected while their refault rate exceeds the anon rate, and the
+// protection lifts once eviction pressure rebalances the two (or once
+// Decay ages the imbalance out).
+type TierGain struct {
+	anon, file Pos
+	ctl        Controller
+	protecting bool
+}
+
+// NewTierGain creates a balancer with the given proportional and
+// integral gains on the rate imbalance (the same knobs TierSet uses).
+func NewTierGain(kp, ki float64) *TierGain {
+	return &TierGain{ctl: Controller{Kp: kp, Ki: ki, IntegralClamp: 10}}
+}
+
+// RecordEviction notes that a page of the given kind was evicted.
+func (g *TierGain) RecordEviction(file bool) {
+	if file {
+		g.file.Evicted++
+	} else {
+		g.anon.Evicted++
+	}
+}
+
+// RecordRefault notes that an evicted page of the given kind refaulted.
+func (g *TierGain) RecordRefault(file bool) {
+	if file {
+		g.file.Refaulted++
+	} else {
+		g.anon.Refaulted++
+	}
+}
+
+// ProtectFile advances the controller over timestep dt and reports
+// whether file pages should be shielded from eviction right now. A file
+// side with no history yet (nothing evicted, nothing refaulted) is never
+// protected: Laplace smoothing would otherwise report a phantom 0.5 rate
+// for a page kind the workload does not even use, and the controller
+// must stay inert for purely anonymous workloads.
+func (g *TierGain) ProtectFile(dt float64) bool {
+	if g.file.Evicted == 0 && g.file.Refaulted == 0 {
+		g.protecting = false
+		return false
+	}
+	imbalance := g.file.Rate() - g.anon.Rate()
+	g.protecting = g.ctl.Update(imbalance, dt) > 0
+	return g.protecting
+}
+
+// Protecting reports the outcome of the most recent ProtectFile call
+// without advancing the controller — the telemetry-gauge accessor.
+func (g *TierGain) Protecting() bool { return g.protecting }
+
+// Snapshot returns the current anon and file positions.
+func (g *TierGain) Snapshot() (anon, file Pos) { return g.anon, g.file }
+
+// Decay halves all counters, aging out stale history between control
+// periods.
+func (g *TierGain) Decay() {
+	g.anon.Evicted /= 2
+	g.anon.Refaulted /= 2
+	g.file.Evicted /= 2
+	g.file.Refaulted /= 2
+}

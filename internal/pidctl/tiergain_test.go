@@ -1,0 +1,76 @@
+package pidctl
+
+import "testing"
+
+func TestTierGainInertWithoutFileHistory(t *testing.T) {
+	g := NewTierGain(1, 0)
+	// Plenty of anon churn, zero file activity: a purely anonymous
+	// workload must never see file protection engage.
+	for i := 0; i < 100; i++ {
+		g.RecordEviction(false)
+	}
+	for i := 0; i < 10; i++ {
+		if g.ProtectFile(1) {
+			t.Fatal("file protection engaged with no file history")
+		}
+	}
+	if g.Protecting() {
+		t.Fatal("Protecting() true after inert ProtectFile")
+	}
+}
+
+func TestTierGainProtectsRefaultingFileSide(t *testing.T) {
+	g := NewTierGain(1, 0)
+	// Anon rarely refaults; file refaults on every eviction.
+	for i := 0; i < 100; i++ {
+		g.RecordEviction(false)
+	}
+	for i := 0; i < 50; i++ {
+		g.RecordEviction(true)
+		g.RecordRefault(true)
+	}
+	if !g.ProtectFile(1) {
+		t.Fatal("file side refaulting hard, want protection")
+	}
+	if !g.Protecting() {
+		t.Fatal("Protecting() should mirror the last decision")
+	}
+}
+
+func TestTierGainLiftsWhenRatesRebalance(t *testing.T) {
+	g := NewTierGain(1, 0)
+	for i := 0; i < 50; i++ {
+		g.RecordEviction(true)
+		g.RecordRefault(true)
+	}
+	for i := 0; i < 10; i++ {
+		g.RecordEviction(false)
+	}
+	if !g.ProtectFile(1) {
+		t.Fatal("want initial protection under file refault imbalance")
+	}
+	// File evictions stop refaulting; anon starts refaulting instead.
+	for i := 0; i < 500; i++ {
+		g.RecordEviction(true)
+		g.RecordRefault(false)
+		g.RecordEviction(false)
+	}
+	if g.ProtectFile(1) {
+		t.Fatal("protection should lift once anon refaults harder than file")
+	}
+}
+
+func TestTierGainDecayHalvesBothSides(t *testing.T) {
+	g := NewTierGain(1, 0)
+	for i := 0; i < 10; i++ {
+		g.RecordEviction(true)
+		g.RecordRefault(true)
+		g.RecordEviction(false)
+		g.RecordRefault(false)
+	}
+	g.Decay()
+	anon, file := g.Snapshot()
+	if anon.Evicted != 5 || anon.Refaulted != 5 || file.Evicted != 5 || file.Refaulted != 5 {
+		t.Fatalf("post-decay anon=%+v file=%+v", anon, file)
+	}
+}

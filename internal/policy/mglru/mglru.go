@@ -25,6 +25,13 @@ type MGLRU struct {
 
 	tiers *pidctl.TierSet
 
+	// fileGain, non-nil under TierProtection, watches the file-vs-anon
+	// refault balance: when evicted file pages refault harder than anon
+	// ones, eviction skips upper-tier file pages so the file tier is
+	// protected under refault imbalance (§III-D applied across the
+	// file/anon split, the way the kernel balances its two LRU types).
+	fileGain *pidctl.TierGain
+
 	// lock is the lruvec lock: list mutations from the fault path, the
 	// eviction path, and the aging walk all serialize on it.
 	lock policy.LRULock
@@ -76,6 +83,9 @@ func (g *MGLRU) Attach(k policy.Kernel) {
 	g.minSeq = 0
 	g.maxSeq = uint64(g.cfg.MinGens - 1) // start with MinGens generations
 	g.tiers = pidctl.NewTierSet(g.cfg.Tiers, g.cfg.PIDKp, g.cfg.PIDKi)
+	if g.cfg.TierProtection && !g.cfg.NoFileGain {
+		g.fileGain = pidctl.NewTierGain(g.cfg.PIDKp, g.cfg.PIDKi)
+	}
 	regions := k.Table().Regions()
 	seed := g.rng.Uint64()
 	g.cur = bloom.NewForItems(regions, seed)
@@ -100,6 +110,29 @@ func (g *MGLRU) RegisterTelemetry(tr *telemetry.Tracer) {
 	for i := range g.gens {
 		l := g.gens[i]
 		tr.Gauge(fmt.Sprintf("mglru.gen%d.len", i), func() int64 { return int64(l.Len()) })
+	}
+	if g.cfg.TierProtection {
+		// Tier control positions: the raw evicted/refaulted counts behind
+		// the PID decisions, so policyviz can plot per-tier refault ratios.
+		for t := 0; t < g.cfg.Tiers; t++ {
+			t := t
+			tr.Gauge(fmt.Sprintf("mglru.tier%d.evicted", t),
+				func() int64 { return int64(g.tiers.Snapshot(t).Evicted) })
+			tr.Gauge(fmt.Sprintf("mglru.tier%d.refaulted", t),
+				func() int64 { return int64(g.tiers.Snapshot(t).Refaulted) })
+		}
+	}
+	if g.fileGain != nil {
+		tr.Gauge("mglru.file_gain.anon_evicted", func() int64 { a, _ := g.fileGain.Snapshot(); return int64(a.Evicted) })
+		tr.Gauge("mglru.file_gain.anon_refaulted", func() int64 { a, _ := g.fileGain.Snapshot(); return int64(a.Refaulted) })
+		tr.Gauge("mglru.file_gain.file_evicted", func() int64 { _, f := g.fileGain.Snapshot(); return int64(f.Evicted) })
+		tr.Gauge("mglru.file_gain.file_refaulted", func() int64 { _, f := g.fileGain.Snapshot(); return int64(f.Refaulted) })
+		tr.Gauge("mglru.file_gain.protecting", func() int64 {
+			if g.fileGain.Protecting() {
+				return 1
+			}
+			return 0
+		})
 	}
 }
 
@@ -148,6 +181,9 @@ func (g *MGLRU) PageIn(v *sim.Env, f mem.FrameID, sh *policy.Shadow) {
 			}
 			g.tiers.RecordRefault(int(t))
 		}
+		if g.fileGain != nil {
+			g.fileGain.RecordRefault(fr.Flags&mem.FlagFile != 0)
+		}
 	}
 	// Second-oldest generation when the window allows, else oldest.
 	oldGen := g.minSeq
@@ -156,9 +192,11 @@ func (g *MGLRU) PageIn(v *sim.Env, f mem.FrameID, sh *policy.Shadow) {
 	}
 	switch {
 	case fr.Flags&mem.FlagFile != 0:
-		// File pages never enter the youngest generation, so single-use
-		// streaming reads cannot displace the working set; repeat FD
-		// accesses climb tiers instead.
+		// First-use file pages never enter the youngest generation, so
+		// single-use streaming reads cannot displace the working set;
+		// repeat FD accesses climb tiers instead. A refault is the
+		// exception: workingset_refault activates the folio, so the page
+		// that came back enters the youngest generation directly.
 		refs := uint8(0)
 		if sh != nil && sh.Refs < 255 {
 			refs = sh.Refs + 1
@@ -166,6 +204,9 @@ func (g *MGLRU) PageIn(v *sim.Env, f mem.FrameID, sh *policy.Shadow) {
 		fr.Refs = refs
 		fr.Tier = g.tierOf(refs)
 		fr.Gen = oldGen
+		if sh != nil {
+			fr.Gen = g.maxSeq
+		}
 	case fr.Flags&mem.FlagPrefetch != 0:
 		// Speculative readahead pages have not actually been accessed;
 		// they must prove themselves from an old generation.
@@ -210,6 +251,9 @@ func (g *MGLRU) advanceMinSeq() {
 	for g.nrGens() > g.cfg.MinGens && g.genList(g.minSeq).Empty() {
 		g.minSeq++
 		g.tiers.Decay()
+		if g.fileGain != nil {
+			g.fileGain.Decay()
+		}
 		if g.tr != nil {
 			g.tr.Instant(g.trTrack, "inc-min-seq", int64(g.minSeq))
 		}
@@ -244,7 +288,21 @@ func (g *MGLRU) Reclaim(v *sim.Env, target int) int {
 	if g.cfg.TierProtection && g.cfg.Tiers > 1 {
 		allowTier = g.tiers.ProtectedTier(1)
 	}
+	// One file-gain decision per reclaim pass (a control period). When
+	// active, eviction pressure is steered onto the anon side — the
+	// kernel's get_type_to_scan picking the type whose evictions are NOT
+	// coming back; the progress fallback below keeps reclaim live when
+	// the tail holds nothing but file pages.
+	protectFile := false
+	if g.fileGain != nil {
+		protectFile = g.fileGain.ProtectFile(1)
+	}
+	// shielded counts candidates tier protection or the file shield
+	// turned away this pass — the progress-guarantee fallback below keys
+	// off it.
+	shielded := 0
 
+scan:
 	for evicted < target && budget > 0 {
 		g.lock.Acquire(v)
 		g.advanceMinSeq()
@@ -277,10 +335,24 @@ func (g *MGLRU) Reclaim(v *sim.Env, target int) int {
 		g.trackRemove(fr.Gen, fr)
 		budget--
 
-		// Tier protection: pages in protected tiers are moved up a
-		// generation instead of being considered for eviction.
-		if int(fr.Tier) > allowTier {
-			fr.Gen = g.minSeq + 1
+		// Tier protection: protected pages are moved to the youngest
+		// generation instead of being considered for eviction (the
+		// kernel's folio_inc_gen in sort_folio) — one rotation buys a
+		// full generation window of protection, instead of the page
+		// reappearing as a candidate on the very next pass.
+		if int(fr.Tier) > allowTier ||
+			(protectFile && fr.Flags&mem.FlagFile != 0) {
+			shielded++
+			if int(fr.Tier) <= allowTier {
+				g.stats.FileProtected++
+			}
+			fr.Gen = g.maxSeq
+			// Protection is a second chance, not a grant of tenure: the
+			// kernel's folio_inc_gen clears LRU_REFS_MASK, so the page
+			// must re-earn its tier through fresh accesses before the
+			// next time it reaches the tail.
+			fr.Refs = 0
+			fr.Tier = 0
 			g.genList(fr.Gen).PushHead(f)
 			g.trackAdd(fr.Gen, fr)
 			g.stats.TierProtected++
@@ -326,12 +398,32 @@ func (g *MGLRU) Reclaim(v *sim.Env, target int) int {
 		if g.cfg.TierProtection {
 			g.tiers.RecordEviction(int(fr.Tier))
 		}
+		if g.fileGain != nil {
+			g.fileGain.RecordEviction(fr.Flags&mem.FlagFile != 0)
+		}
 		g.stats.Evicted++
 		g.k.EvictPage(v, f, sh)
 		evicted++
 	}
+	// Progress guarantee: a whole pass that evicts nothing while
+	// protection turned candidates away means the oldest generations hold
+	// only protected pages (hot-tier file pages under refault imbalance).
+	// Memory pressure outranks tier balance — the kernel's equivalent is
+	// scan-priority escalation ignoring protection — so drop every shield,
+	// refill the scan budget, and retry once.
+	if evicted == 0 && shielded > 0 && (allowTier < g.cfg.Tiers-1 || protectFile) {
+		allowTier = g.cfg.Tiers - 1
+		protectFile = false
+		shielded = 0
+		budget = target*g.cfg.ScanBatch + g.cfg.ScanBatch
+		goto scan
+	}
 	return evicted
 }
+
+// FileGain exposes the file-vs-anon gain state, nil unless
+// TierProtection is on (tests and visualization tools).
+func (g *MGLRU) FileGain() *pidctl.TierGain { return g.fileGain }
 
 // LockStats exposes lruvec-lock contention counters.
 func (g *MGLRU) LockStats() (acquisitions, contended uint64, waitTime sim.Duration) {

@@ -83,6 +83,7 @@ type Stats struct {
 	AgingRuns      uint64 // background aging passes
 	Refaults       uint64 // evicted pages faulted back in
 	TierProtected  uint64 // pages spared by tier/PID protection
+	FileProtected  uint64 // of TierProtected, spared by the file-vs-anon gain alone
 	ScanCPU        sim.Duration
 }
 

@@ -3,6 +3,7 @@ package policytest
 import (
 	"testing"
 
+	"mglrusim/internal/mem"
 	"mglrusim/internal/pagetable"
 	"mglrusim/internal/policy"
 	"mglrusim/internal/sim"
@@ -35,6 +36,7 @@ func ConformanceWithLayout(t *testing.T, name string, layout pagetable.Layout, m
 	t.Run(name+"/counter-coherence", func(t *testing.T) { conformCounters(t, layout, mk) })
 	t.Run(name+"/stats-monotone", func(t *testing.T) { conformMonotone(t, layout, mk) })
 	t.Run(name+"/residency", func(t *testing.T) { conformResidency(t, layout, mk) })
+	t.Run(name+"/mixed-file-anon", func(t *testing.T) { conformMixedFileAnon(t, layout, mk) })
 }
 
 const confFrames = 64
@@ -145,14 +147,14 @@ func statsFields(s policy.Stats) []uint64 {
 	return []uint64{
 		s.PTEScanned, s.RegionsScanned, s.RegionsSkipped, s.RMapWalks,
 		s.Promoted, s.Demoted, s.Evicted, s.Rotated, s.AgingRuns,
-		s.Refaults, s.TierProtected, uint64(s.ScanCPU),
+		s.Refaults, s.TierProtected, s.FileProtected, uint64(s.ScanCPU),
 	}
 }
 
 var statsFieldNames = []string{
 	"PTEScanned", "RegionsScanned", "RegionsSkipped", "RMapWalks",
 	"Promoted", "Demoted", "Evicted", "Rotated", "AgingRuns",
-	"Refaults", "TierProtected", "ScanCPU",
+	"Refaults", "TierProtected", "FileProtected", "ScanCPU",
 }
 
 // conformMonotone: no Stats counter ever decreases.
@@ -189,6 +191,66 @@ func conformMonotone(t *testing.T, layout pagetable.Layout, mk func() policy.Pol
 			step("reclaim")
 		}
 	})
+}
+
+// conformMixedFileAnon: a stream where half the address space is
+// file-backed owes the same contract as a pure-anon one. The policy may
+// steer eviction pressure between the types (MG-LRU's file shield does),
+// but it must still make reclaim progress, reconcile its counters against
+// the kernel's ground truth, eventually evict both types under uniform
+// overcommit, and never corrupt the file flag on frames it shuffles
+// between lists.
+func conformMixedFileAnon(t *testing.T, layout pagetable.Layout, mk func() policy.Policy) {
+	k := NewWithLayout(confFrames, 2, layout, 7)
+	p := mk()
+	p.Attach(k)
+	pages := confFrames * 2
+	fileHalf := func(i int) bool { return i >= pages/2 }
+	shadowedPageIns := 0
+	Run(func(v *sim.Env) {
+		for r := 0; r < 3; r++ {
+			for i := 0; i < pages; i++ {
+				vpn := pagetable.VPN(i)
+				if k.Touch(vpn, i%5 == 0) {
+					continue
+				}
+				if !freeOne(v, k, p) {
+					t.Fatal("no reclaim progress on mixed file+anon stream")
+				}
+				if _, ok := k.Shadows[vpn]; ok {
+					shadowedPageIns++
+				}
+				k.FaultIn(v, p, vpn, false, fileHalf(i))
+			}
+		}
+	})
+	st := p.Stats()
+	if st.Evicted != uint64(len(k.EvictOrder)) {
+		t.Errorf("Stats.Evicted = %d, kernel saw %d evictions", st.Evicted, len(k.EvictOrder))
+	}
+	if st.Refaults != uint64(shadowedPageIns) {
+		t.Errorf("Stats.Refaults = %d, %d PageIns carried a shadow", st.Refaults, shadowedPageIns)
+	}
+	var fileEv, anonEv int
+	for _, vpn := range k.EvictOrder {
+		if fileHalf(int(vpn)) {
+			fileEv++
+		} else {
+			anonEv++
+		}
+	}
+	if fileEv == 0 || anonEv == 0 {
+		t.Errorf("uniform 2x overcommit evicted %d file / %d anon pages; both types must face pressure", fileEv, anonEv)
+	}
+	for f := 0; f < k.M.Size(); f++ {
+		fr := k.M.Frame(mem.FrameID(f))
+		if fr.VPN < 0 {
+			continue
+		}
+		if got, want := fr.Flags&mem.FlagFile != 0, fileHalf(int(fr.VPN)); got != want {
+			t.Errorf("frame %d (vpn %d): file flag = %v, want %v — policy corrupted frame flags", f, fr.VPN, got, want)
+		}
+	}
 }
 
 // conformResidency: frames in use always equal pages present.

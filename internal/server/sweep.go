@@ -17,6 +17,7 @@ import (
 
 	"mglrusim/internal/core"
 	"mglrusim/internal/experiments"
+	"mglrusim/internal/pagecache"
 	"mglrusim/internal/workload"
 )
 
@@ -50,6 +51,10 @@ type SystemOverride struct {
 	// (core.FanoutMismatchError) instead of failing every cell at
 	// execution time.
 	RegionPTEs int `json:"regionPTEs,omitempty"`
+	// PageCache enables the file-backed page cache (default profile) for
+	// every cell. Workloads that map no file segment run unchanged, so
+	// mixing serve with anon-only workloads in one sweep is safe.
+	PageCache bool `json:"pagecache,omitempty"`
 }
 
 // apiError is a structured 4xx/5xx response body.
@@ -123,6 +128,7 @@ type Canonical struct {
 	Scale      float64   `json:"scale"`
 	CPUs       int       `json:"cpus"`
 	RegionPTEs int       `json:"regionPTEs"`
+	PageCache  bool      `json:"pagecache"`
 }
 
 // ParseSweepRequest decodes and validates one submission body against
@@ -207,6 +213,7 @@ func canonicalize(req SweepRequest, lim Limits) (Canonical, *apiError) {
 			}
 			c.CPUs = req.System.CPUs
 		}
+		c.PageCache = req.System.PageCache
 		if want := req.System.RegionPTEs; want != 0 && want != c.RegionPTEs {
 			// The PR 6 typed mismatch, surfaced at validation time: the
 			// system the client asks for could never run against the fanout
@@ -314,7 +321,7 @@ func (c Canonical) reencodeAsRequest() []byte {
 		Swaps:     c.Swaps,
 		Trials:    c.Trials,
 		Scale:     c.Scale,
-		System:    &SystemOverride{CPUs: c.CPUs, RegionPTEs: c.RegionPTEs},
+		System:    &SystemOverride{CPUs: c.CPUs, RegionPTEs: c.RegionPTEs, PageCache: c.PageCache},
 	}
 	data, err := json.Marshal(req)
 	if err != nil {
@@ -327,6 +334,9 @@ func (c Canonical) reencodeAsRequest() []byte {
 func (c Canonical) SweepSpec() experiments.SweepSpec {
 	base := core.DefaultSystemConfig()
 	base.CPUs = c.CPUs
+	if c.PageCache {
+		base.PageCache = pagecache.DefaultConfig()
+	}
 	swaps := make([]core.SwapKind, len(c.Swaps))
 	for i, s := range c.Swaps {
 		swaps[i], _ = swapByName(s)

@@ -110,6 +110,42 @@ func TestCanonicalizeNormalizes(t *testing.T) {
 	}
 }
 
+// TestPageCacheKnob: the pagecache override survives canonicalization,
+// changes the job identity, round-trips through the reparse idempotence
+// path, and threads into the sweep's base system config.
+func TestPageCacheKnob(t *testing.T) {
+	body := `{"workloads":["serve"],"policies":["mglru","mglru-nopid"],"ratios":[0.5],"system":{"pagecache":true}}`
+	c, aerr := ParseSweepRequest(strings.NewReader(body), Limits{})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if !c.PageCache {
+		t.Fatal("pagecache override dropped during canonicalization")
+	}
+	if !c.SweepSpec().Base.PageCache.Enabled {
+		t.Fatal("canonical pagecache not threaded into the sweep base config")
+	}
+	re, aerr := c.Reparse(Limits{})
+	if aerr != nil {
+		t.Fatalf("reparse: %v", aerr)
+	}
+	if string(re.Encode()) != string(c.Encode()) {
+		t.Fatalf("reparse not idempotent:\n%s\n%s", re.Encode(), c.Encode())
+	}
+
+	plain, aerr := ParseSweepRequest(strings.NewReader(
+		`{"workloads":["serve"],"policies":["mglru","mglru-nopid"],"ratios":[0.5]}`), Limits{})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if plain.SweepSpec().Base.PageCache.Enabled {
+		t.Fatal("pagecache enabled without the override")
+	}
+	if c.JobKey(1) == plain.JobKey(1) {
+		t.Fatal("pagecache override does not change the job identity")
+	}
+}
+
 // TestValidationTimeout sanity-checks the bounded request handling: an
 // oversized body is cut off by the limit reader, not read forever.
 func TestValidationBodyLimit(t *testing.T) {

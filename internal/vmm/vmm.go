@@ -9,6 +9,7 @@ import (
 
 	"mglrusim/internal/check"
 	"mglrusim/internal/mem"
+	"mglrusim/internal/pagecache"
 	"mglrusim/internal/pagetable"
 	"mglrusim/internal/policy"
 	"mglrusim/internal/rmap"
@@ -87,6 +88,9 @@ type Counters struct {
 	ReadaheadIn    uint64 // pages brought in speculatively by readahead
 	ReadaheadHits  uint64 // prefetched pages touched before eviction
 	ReadaheadWaste uint64 // prefetched pages evicted untouched
+	FileFaults     uint64 // faults served through the file page cache
+	FileWritebacks uint64 // dirty file pages written back at eviction (flusher writes live in pagecache.Stats)
+	FileAccesses   uint64 // resident (hit) touches of file-backed pages; hit ratio = hits/(hits+FileFaults)
 	OOMKills       uint64 // swap-exhaustion OOM victim selections
 	OOMReapedSlots uint64 // swap slots reclaimed by the OOM reaper
 }
@@ -131,6 +135,12 @@ type Manager struct {
 	raHits     []int16
 	raOutcomes []int16
 	raMaxShift int8
+
+	// fc, when non-nil, is the file page cache: file-backed pages fault
+	// through it and write back to its device instead of swap. Nil (the
+	// default) keeps the historical behaviour where file-backed PTEs swap
+	// like anon memory.
+	fc *pagecache.Cache
 
 	// audit, when non-nil, receives checkpoint events; every checkpoint
 	// call below sits before the next possible yield point so the auditor
@@ -240,6 +250,10 @@ func (m *Manager) RequestAging() { m.agingReq = true }
 func (m *Manager) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
 	fr := m.memry.Frame(f)
 	vpn := pagetable.VPN(fr.VPN)
+	if m.fc != nil && fr.Flags&mem.FlagFile != 0 {
+		m.evictFilePage(v, f, fr, vpn, sh)
+		return
+	}
 	slot := m.table.SwapOf(vpn)
 	firstEvict := slot == pagetable.NilSwap
 	if firstEvict {
@@ -277,6 +291,34 @@ func (m *Manager) EvictPage(v *sim.Env, f mem.FrameID, sh policy.Shadow) {
 	m.memry.Free(f)
 }
 
+// evictFilePage is EvictPage's page-cache branch. No swap slot is ever
+// allocated — the backing location is the page's fixed file offset — and
+// writeback happens only when the page is still dirty under the PTE or
+// the cache's bitmap (the flusher may already have cleaned both).
+func (m *Manager) evictFilePage(v *sim.Env, f mem.FrameID, fr *mem.Frame, vpn pagetable.VPN, sh policy.Shadow) {
+	if fr.Flags&mem.FlagPrefetch != 0 {
+		// Speculation miss: evicted without ever being touched.
+		m.counters.ReadaheadWaste++
+		m.raOutcome(vpn, false)
+	}
+	dirty := m.table.Evict(vpn, pagetable.NilSwap)
+	if m.fc.ClearDirty(vpn) {
+		dirty = true
+	}
+	m.fc.RecordEviction(vpn, sh)
+	if m.audit != nil {
+		// Checkpoint before the device write: the write yields, and the
+		// page may legitimately refault during it.
+		m.audit.EvictedFile(v, vpn)
+	}
+	if dirty {
+		m.counters.FileWritebacks++
+		m.fc.PageOut(v, vpn)
+	}
+	fr.VPN = -1
+	m.memry.Free(f)
+}
+
 // --- fault path ---
 
 // TryTouch performs the hot-path hardware access: if vpn is resident it
@@ -286,10 +328,19 @@ func (m *Manager) TryTouch(vpn pagetable.VPN, write bool) bool {
 	m.counters.Accesses++
 	f, ok := m.table.Walk(vpn, write)
 	if ok {
-		if fr := m.memry.Frame(f); fr.Flags&mem.FlagPrefetch != 0 {
+		fr := m.memry.Frame(f)
+		if fr.Flags&mem.FlagPrefetch != 0 {
 			fr.Flags &^= mem.FlagPrefetch
 			m.counters.ReadaheadHits++
 			m.raOutcome(vpn, true)
+		}
+		if fr.Flags&mem.FlagFile != 0 {
+			m.counters.FileAccesses++
+			if m.fc != nil && write {
+				// Resident write to a file page: the cache tracks dirtiness
+				// for the flusher (the PTE D bit alone is invisible to it).
+				m.fc.MarkDirty(vpn)
+			}
 		}
 	}
 	return ok
@@ -324,6 +375,10 @@ func (m *Manager) raOutcome(vpn pagetable.VPN, hit bool) {
 func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
 	if m.table.IsPresent(vpn) {
 		return // raced with another thread's fault-in
+	}
+	if m.fc != nil && m.table.FileBacked(vpn) {
+		m.fileFault(v, vpn, write)
+		return
 	}
 	major := m.table.SwapOf(vpn) != pagetable.NilSwap
 	if major {
@@ -438,6 +493,99 @@ func (m *Manager) readahead(v *sim.Env, at pagetable.VPN, slot int32) {
 		}
 		m.counters.ReadaheadIn++
 		m.dev.PrefetchPage(v, s2, owner, m.versions.Peek(int(vpn2)))
+		m.pol.PageIn(v, f, nil)
+	}
+}
+
+// fileFault services a non-present access to a file-backed page through
+// the page cache: always a major fault — the content comes from the
+// backing file, never swap — followed by sequential file readahead. The
+// page's shadow entry, if one survives from a prior eviction, feeds the
+// policy's refault detection exactly like the anon path.
+func (m *Manager) fileFault(v *sim.Env, vpn pagetable.VPN, write bool) {
+	start := v.Now()
+	defer func() { m.faultLat.Record(int64(v.Now() - start)) }()
+	if m.tr != nil {
+		sp := m.tr.Begin(m.tr.Track(v.Proc().Name()), "file-fault")
+		defer sp.EndArg(int64(vpn))
+	}
+
+	f := m.ensureFrame(v)
+	m.counters.MajorFaults++
+	m.counters.FileFaults++
+	*m.faultsAt.At(int(vpn))++
+	v.Charge(m.cfg.MajorFaultOverhead)
+	m.fc.ReadPage(v, vpn)
+
+	if m.table.IsPresent(vpn) {
+		// Another thread faulted the page in while we were blocked on
+		// the device read; release our frame.
+		m.memry.Free(f)
+		return
+	}
+
+	m.table.Insert(vpn, f, write)
+	fr := m.memry.Frame(f)
+	fr.VPN = int64(vpn)
+	fr.Flags |= mem.FlagFile
+	if write {
+		m.fc.MarkDirty(vpn)
+	}
+	m.fc.NoteResident(vpn)
+	sh := m.fc.TakeShadow(vpn)
+	if m.audit != nil {
+		// Checkpoint before PageIn: PageIn charges CPU (a yield point),
+		// and concurrent reclaim could evict this page before it returns.
+		m.audit.FileFaultIn(v, vpn, sh != nil)
+	}
+	m.pol.PageIn(v, f, sh)
+
+	m.fileReadahead(v, vpn)
+}
+
+// fileReadahead pulls the pages sequentially ahead of the fault within
+// the same file span into memory. Unlike swap readahead there is no slot
+// layout to gamble on — file adjacency is device adjacency by
+// construction — so the window is purely sequential, governed by the
+// same per-region adaptive shift as swap readahead: streaming reads keep
+// wide windows, random object access collapses to demand paging.
+func (m *Manager) fileReadahead(v *sim.Env, at pagetable.VPN) {
+	w := pagetable.VPN(1) << m.raShift[m.table.RegionOf(at)]
+	if w <= 1 || m.cfg.ReadaheadWindow <= 1 {
+		return
+	}
+	pages := pagetable.VPN(m.table.Pages())
+	for vpn2 := at + 1; vpn2 <= at+w && vpn2 < pages; vpn2++ {
+		if !m.table.FileBacked(vpn2) {
+			return // ran off the end of the file span
+		}
+		if m.memry.FreePages() <= m.memry.Low {
+			return // never reclaim for speculation
+		}
+		if m.table.IsPresent(vpn2) {
+			continue
+		}
+		f := m.memry.Alloc()
+		if f == mem.NilFrame {
+			return
+		}
+		m.table.InsertPrefetch(vpn2, f)
+		fr := m.memry.Frame(f)
+		fr.VPN = int64(vpn2)
+		fr.Flags |= mem.FlagPrefetch | mem.FlagFile
+		// The prefetch deliberately drops the page's shadow without
+		// counting a refault: speculation is not eviction-was-premature
+		// evidence.
+		hadShadow := m.fc.DropShadow(vpn2)
+		m.fc.NoteResident(vpn2)
+		if m.audit != nil {
+			// Checkpoint after NoteResident (the auditor reconciles the
+			// cache's resident count) but before the device read (a
+			// yield point).
+			m.audit.FilePrefetchIn(v, vpn2, hadShadow)
+		}
+		m.counters.ReadaheadIn++
+		m.fc.PrefetchPage(v, vpn2)
 		m.pol.PageIn(v, f, nil)
 	}
 }
@@ -588,6 +736,19 @@ func (m *Manager) auditSwapOwnership() error {
 // Auditor exposes the invariant auditor, or nil when auditing is off.
 func (m *Manager) Auditor() *check.Auditor { return m.audit }
 
+// AttachFileCache wires the page cache into the fault and eviction
+// paths: file-backed pages then read through and write back to the
+// cache's own device instead of swap. Call after New and before the
+// engine runs. Without a cache (the default) file-backed PTEs swap like
+// anon memory and the only added cost is a nil check per fault,
+// eviction, and resident write.
+func (m *Manager) AttachFileCache(fc *pagecache.Cache) {
+	m.fc = fc
+	if m.audit != nil {
+		m.audit.SetFileCache(fc)
+	}
+}
+
 // SetTracer attaches the telemetry tracer and registers the manager's
 // gauges. Call after New and before the engine runs: the daemons read the
 // field only at instrumented sites, so late binding is safe, but gauges
@@ -610,6 +771,8 @@ func (m *Manager) SetTracer(tr *telemetry.Tracer) {
 	tr.Gauge("vmm.direct_reclaims", func() int64 { return int64(m.counters.DirectReclaims) })
 	tr.Gauge("vmm.kswapd_bursts", func() int64 { return int64(m.counters.KswapdBursts) })
 	tr.Gauge("vmm.readahead_in", func() int64 { return int64(m.counters.ReadaheadIn) })
+	tr.Gauge("vmm.file_faults", func() int64 { return int64(m.counters.FileFaults) })
+	tr.Gauge("vmm.file_writebacks", func() int64 { return int64(m.counters.FileWritebacks) })
 	tr.Gauge("vmm.oom_kills", func() int64 { return int64(m.counters.OOMKills) })
 	if m.audit != nil {
 		// Auditor→telemetry hook: each invariant violation lands in the

@@ -39,6 +39,7 @@ import (
 	"mglrusim/internal/experiments"
 	"mglrusim/internal/fault"
 	"mglrusim/internal/mem"
+	"mglrusim/internal/pagecache"
 	"mglrusim/internal/pagetable"
 	"mglrusim/internal/policy"
 	"mglrusim/internal/policy/clock"
@@ -50,6 +51,7 @@ import (
 	"mglrusim/internal/vmm"
 	"mglrusim/internal/workload"
 	"mglrusim/internal/workload/pagerank"
+	"mglrusim/internal/workload/serve"
 	"mglrusim/internal/workload/tpch"
 	"mglrusim/internal/workload/ycsb"
 	"mglrusim/internal/zram"
@@ -221,6 +223,29 @@ func YCSBDefaults(mix YCSBMix) YCSBConfig { return ycsb.DefaultConfig(mix) }
 
 // NewYCSB builds a YCSB workload.
 func NewYCSB(cfg YCSBConfig) Workload { return ycsb.New(cfg) }
+
+// ServeConfig sizes the serving-fleet workload model (file-backed
+// object corpus, long-tailed sessions, diurnal phases, flash crowds).
+type ServeConfig = serve.Config
+
+// ServeDefaults returns the calibrated serving-fleet configuration.
+func ServeDefaults() ServeConfig { return serve.DefaultConfig() }
+
+// NewServe builds the serving-fleet workload. Its object corpus is a
+// file segment: under a system with PageCache enabled those pages fault
+// through the page cache instead of swap.
+func NewServe(cfg ServeConfig) Workload { return serve.New(cfg) }
+
+// PageCacheConfig tunes the file-backed page-cache mode
+// (SystemConfig.PageCache). The zero value disables the mode.
+type PageCacheConfig = pagecache.Config
+
+// PageCacheStats are the page-cache counters inside Metrics.
+type PageCacheStats = pagecache.Stats
+
+// PageCacheDefaults returns the enabled page-cache profile with
+// calibrated defaults (SSD backing, 10% dirty ratio, 100 ms flusher).
+func PageCacheDefaults() PageCacheConfig { return pagecache.DefaultConfig() }
 
 // ContentClass describes page compressibility for the ZRAM device.
 type ContentClass = zram.ContentClass
