@@ -7,6 +7,7 @@
 //	pagebench -figure fig1,fig2      # several
 //	pagebench -figure all            # the whole evaluation
 //	pagebench -figure ext1           # extension: degraded-device sweep
+//	pagebench -figure ext3           # extension: degraded FILE device (page cache)
 //	pagebench -trials 25 -scale 1.0  # methodology knobs
 //	pagebench -size fullscale -figure fig1   # native 3-4M-page footprints, 512-PTE regions
 //	pagebench -layout legacy         # force the AoS page-table layout
@@ -119,7 +120,7 @@ func realMain() int {
 		audit    = flag.Bool("audit", false, "run every trial with the kernel invariant auditor enabled (slower; fails on any bookkeeping violation)")
 		csvDir   = flag.String("csv", "", "also write each figure's data points as CSV into this directory")
 
-		ckptDir  = flag.String("checkpoint", "", "persist completed series into this directory and resume from it")
+		ckptDir = flag.String("checkpoint", "", "persist completed series into this directory and resume from it")
 
 		workers       = flag.Int("workers", 0, "run figure cells across N supervised worker processes sharing -checkpoint (0 = in-process)")
 		workerMode    = flag.Bool("worker", false, "run as one shard worker over the -checkpoint queue (spawned by -workers; exits when the queue is resolved)")
@@ -127,9 +128,9 @@ func realMain() int {
 		shardAttempts = flag.Int("shard-attempts", 5, "per-cell execution budget before a failing cell is quarantined")
 		maxSkew       = flag.Duration("max-skew", 0, "clock-skew grace before stealing an expired lease; set when workers span machines over a shared filesystem (NFS)")
 		owner         = flag.String("owner", "", "lease-owner identity for this worker (default: host/pid/nonce, enabling same-host dead-worker fast reclaim)")
-		faults   = flag.String("faults", "", "fault-injection preset applied to every series: off, mild, severe")
-		watchdog = flag.Duration("watchdog", 0, "virtual-time progress watchdog window (e.g. 60s of simulated time; 0 = off)")
-		retries  = flag.Int("retries", 0, "per-trial retries of transient fault-injected failures")
+		faults        = flag.String("faults", "", "fault-injection preset applied to every series: off, mild, severe, file-mild, file-severe")
+		watchdog      = flag.Duration("watchdog", 0, "virtual-time progress watchdog window (e.g. 60s of simulated time; 0 = off)")
+		retries       = flag.Int("retries", 0, "per-trial retries of transient fault-injected failures")
 
 		traceDir        = flag.String("trace", "", "write per-trial telemetry (Chrome trace JSON, counter CSV, flight dumps) into this directory")
 		metricsInterval = flag.Duration("metrics-interval", 0, "virtual-time cadence of counter snapshots in traced runs (simulated time; 0 = 10ms)")
@@ -227,7 +228,7 @@ func realMain() int {
 
 	plan, ok := fault.Preset(*faults)
 	if !ok {
-		fatalf("unknown fault preset %q (known: off, mild, severe)", *faults)
+		fatalf("unknown fault preset %q (known: off, mild, severe, file-mild, file-severe)", *faults)
 	}
 	if *workerMode && *workers > 0 {
 		fatalf("-worker and -workers are mutually exclusive (-worker is the spawned side)")

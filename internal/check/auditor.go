@@ -238,6 +238,27 @@ func (a *Auditor) FilePrefetchIn(v *sim.Env, vpn pagetable.VPN, hadShadow bool) 
 	a.checkpoint(v.Now(), "file-prefetch-in")
 }
 
+// FilePrefetchAbandoned undoes a FilePrefetchIn whose speculative read
+// failed: the page was torn back out untouched, leaving no shadow entry
+// (speculation failing is not an eviction).
+func (a *Auditor) FilePrefetchAbandoned(v *sim.Env, vpn pagetable.VPN) {
+	if a.disabled() {
+		return
+	}
+	now := v.Now()
+	if !a.fileResident[vpn] {
+		a.violate(now, "file-prefetch-abandon", fmt.Sprintf("file vpn %d prefetch abandoned but the auditor never saw it become resident", vpn))
+	}
+	delete(a.fileResident, vpn)
+	if a.fc != nil && a.fc.ResidentFilePages() != len(a.fileResident) {
+		a.violate(now, "file-prefetch-abandon", fmt.Sprintf("after abandoning file vpn %d the cache counts %d resident file pages, the auditor ledger %d", vpn, a.fc.ResidentFilePages(), len(a.fileResident)))
+	}
+	if pte := a.table.PTE(vpn); pte.Present() {
+		a.violate(now, "file-prefetch-abandon", fmt.Sprintf("file vpn %d still present after its prefetch was abandoned", vpn))
+	}
+	a.checkpoint(now, "file-prefetch-abandon")
+}
+
 // noteFileResident reconciles the page cache's resident count with the
 // auditor's own page-by-page ledger at the moment a file page is
 // installed. Checking at every file event — not only at full scans —

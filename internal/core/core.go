@@ -131,9 +131,13 @@ type Metrics struct {
 	// including device time and injected retries) — the fault-latency CDF
 	// the degraded-device sweep plots.
 	FaultLat *stats.LatencyRecorder
-	// Injected counts what the fault plane injected (zero when the plan
-	// is disabled).
+	// Injected counts what the fault plane injected at the swap device
+	// (zero when the plan is disabled or targets only the file device).
 	Injected fault.Stats
+	// FileInjected counts what the fault plane injected at the file
+	// backing device (zero unless a file-targeted plan ran in page-cache
+	// mode).
+	FileInjected fault.Stats
 	// FileCache are the page cache's counters (zero unless page-cache
 	// mode ran).
 	FileCache pagecache.Stats
@@ -141,6 +145,11 @@ type Metrics struct {
 	// page-cache mode ran).
 	FileDevice swap.Stats
 }
+
+// The page cache detects recoverable-I/O devices structurally (it cannot
+// import the fault package); this pin keeps the wrapper satisfying that
+// contract.
+var _ pagecache.FallibleDevice = (*fault.Device)(nil)
 
 // LivelockError reports a trial whose workload made no progress for a
 // full watchdog window: the virtual system is livelocked (or stalled past
@@ -258,10 +267,11 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	}
 
 	// The fault wrapper and its RNG streams exist only when the plan
-	// injects device faults, so a disabled plan leaves the un-faulted
-	// stream sequence — and with it every metric — untouched.
+	// injects device faults at this device, so a disabled (or
+	// elsewhere-targeted) plan leaves the un-faulted stream sequence —
+	// and with it every metric — untouched.
 	var fdev *fault.Device
-	if sys.Fault.DeviceEnabled() {
+	if sys.Fault.DeviceEnabled() && sys.Fault.TargetsSwap() {
 		var backing swap.Device
 		if sys.Fault.NeedsBacking() && sys.Swap == SwapZRAM {
 			backing = swap.NewSSD(sys.SSD, eng, sysRNG.Stream(4))
@@ -279,11 +289,25 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	// Page-cache mode: file-backed mappings (derived from the laid-out
 	// table) get their own backing device and a writeback flusher. The
 	// cache exists only when enabled AND the workload maps file pages, so
-	// anon-only runs keep their exact historical event order.
+	// anon-only runs keep their exact historical event order. A
+	// file-targeted fault plan wraps the backing device on its own RNG
+	// stream; the cache detects the wrapper (FallibleDevice) and degrades
+	// kernel-fashion instead of letting hard errors kill the trial.
 	var fc *pagecache.Cache
+	var ffdev *fault.Device
 	if sys.PageCache.Enabled {
 		if spans := fileSpans(table); len(spans) > 0 {
-			filedev := swap.NewSSD(sys.PageCache.Backing, eng, sysRNG.Stream(6))
+			var filedev swap.Device = swap.NewSSD(sys.PageCache.Backing, eng, sysRNG.Stream(6))
+			// The wrapper installs whenever the plan targets the file
+			// device, even with all-zero injection configs: an inert
+			// wrapper draws no RNG and spawns no procs, so it is
+			// byte-invisible (the zero-plan transparency tests pin this),
+			// and gating on targeting alone keeps the install decision
+			// independent of which knobs the plan happens to set.
+			if sys.Fault.TargetsFile() {
+				ffdev = fault.Wrap(filedev, sys.Fault, nil, sysRNG.Stream(7))
+				filedev = ffdev
+			}
 			fc = pagecache.New(sys.PageCache, eng, table, memory, filedev, spans)
 			mgr.AttachFileCache(fc)
 		}
@@ -317,6 +341,11 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 		}
 		if fc != nil {
 			fc.RegisterTelemetry(tr)
+		}
+		if ffdev != nil {
+			// The file fault wrapper's own lane; it forwards the tracer to
+			// the wrapped backing SSD.
+			ffdev.SetTracer(tr)
 		}
 	}
 
@@ -395,6 +424,9 @@ func RunTrialOpts(w workload.Workload, mk PolicyFactory, sys SystemConfig,
 	}
 	if fdev != nil {
 		m.Injected = fdev.FaultStats()
+	}
+	if ffdev != nil {
+		m.FileInjected = ffdev.FaultStats()
 	}
 	if fc != nil {
 		m.FileCache = fc.Stats()

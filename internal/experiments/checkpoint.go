@@ -46,6 +46,7 @@ type trialMetrics struct {
 	CapacityPages  int
 	SegmentFaults  map[string]uint64 `json:",omitempty"`
 	Injected       fault.Stats
+	FileInjected   fault.Stats
 	FileCache      pagecache.Stats
 	FileDevice     swap.Stats
 }
@@ -89,6 +90,7 @@ func encodeSeries(key string, s *Series) ([]byte, error) {
 			CapacityPages:  m.CapacityPages,
 			SegmentFaults:  m.SegmentFaults,
 			Injected:       m.Injected,
+			FileInjected:   m.FileInjected,
 			FileCache:      m.FileCache,
 			FileDevice:     m.FileDevice,
 		}
@@ -169,6 +171,7 @@ func decodeSeries(key string, data []byte) (*Series, bool) {
 			CapacityPages:  t.CapacityPages,
 			SegmentFaults:  t.SegmentFaults,
 			Injected:       t.Injected,
+			FileInjected:   t.FileInjected,
 			FileCache:      t.FileCache,
 			FileDevice:     t.FileDevice,
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mglrusim/internal/core"
+	"mglrusim/internal/fault"
 	"mglrusim/internal/pagecache"
 	"mglrusim/internal/stats"
 	"mglrusim/internal/swap"
@@ -60,8 +61,15 @@ func TestCheckpointRoundTripPreservesFileCache(t *testing.T) {
 				Reads: 7, ReadaheadReads: 3, Dirtied: 5,
 				FlushPasses: 2, Extents: 4, WritebackPages: 9,
 				PageOuts: 1, Evictions: 6, Refaults: 8,
+				FileIOErrors: 2, PoisonedFaults: 4, ReadaheadAborts: 1,
+				WriteErrors: 3, DataAtRisk: 3,
+				ThrottleStalls: 5, ThrottleStallTime: 777,
 			},
 			FileDevice: swap.Stats{Reads: 11, Writes: 13},
+			FileInjected: fault.Stats{
+				Storms: 2, StormDelay: 999, TransientReadErrors: 4,
+				HardWriteErrors: 1, PrefetchErrors: 6,
+			},
 		}},
 	}
 	blob, err := encodeSeries("k", s)
@@ -77,6 +85,9 @@ func TestCheckpointRoundTripPreservesFileCache(t *testing.T) {
 	}
 	if got.Trials[0].FileDevice != s.Trials[0].FileDevice {
 		t.Fatalf("FileDevice dropped: %+v, want %+v", got.Trials[0].FileDevice, s.Trials[0].FileDevice)
+	}
+	if got.Trials[0].FileInjected != s.Trials[0].FileInjected {
+		t.Fatalf("FileInjected dropped: %+v, want %+v", got.Trials[0].FileInjected, s.Trials[0].FileInjected)
 	}
 	blob2, err := encodeSeries("k", got)
 	if err != nil {

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mglrusim/internal/fault"
+)
+
+// TestExtFileFaultTiny runs the ext3 degraded-file-device sweep
+// end-to-end at toy scale: the acceptance gate that a severe file-device
+// plan degrades the trial instead of killing it. Every cell must
+// complete (no *HardError aborts); the severe rows must show the
+// degradation machinery firing — poisoned faults, errseq entries,
+// data-at-risk — while the none rows stay error-free.
+func TestExtFileFaultTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs the ext3 matrix")
+	}
+	r := NewRunner(Options{Trials: 2, Scale: 0.2, Seed: 0xE3, Parallelism: 4})
+	res, err := ExtDegradedFileSweep(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID() != "ext3" {
+		t.Fatalf("id = %s", res.ID())
+	}
+	dr := res.(*DegradedFileResult)
+	want := len(extFileSeverities) * len(extFilePolicies())
+	if len(dr.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(dr.Rows), want)
+	}
+	for _, row := range dr.Rows {
+		if row.MeanRequestNS <= 0 || row.HitRatio <= 0 {
+			t.Fatalf("degenerate cell %+v", row)
+		}
+		switch row.Severity {
+		case "none":
+			if row.IOErrors != 0 || row.PoisonedFaults != 0 || row.WriteErrors != 0 ||
+				row.DataAtRisk != 0 || row.Injected != (fault.Stats{}) {
+				t.Fatalf("clean device injected errors: %+v", row)
+			}
+		case "severe":
+			if row.IOErrors == 0 || row.PoisonedFaults == 0 {
+				t.Fatalf("severe plan produced no SIGBUS ledger: %+v", row)
+			}
+			if row.WriteErrors == 0 || row.DataAtRisk == 0 {
+				t.Fatalf("severe plan produced no errseq ledger: %+v", row)
+			}
+			if row.Injected.Storms == 0 || row.Injected.HardReadErrors == 0 {
+				t.Fatalf("severe plan injected nothing: %+v", row.Injected)
+			}
+		case "mild":
+			// Mild's generous retry budget absorbs nearly everything into
+			// retries; hard failures are possible but rare. The retries
+			// themselves must be visible.
+			if row.Injected.ReadRetries == 0 && row.Injected.WriteRetries == 0 {
+				t.Fatalf("mild plan shows no retry activity: %+v", row.Injected)
+			}
+		}
+	}
+	// Degradation must cost latency: severe mean request latency above the
+	// clean device's, per policy.
+	for _, p := range extFilePolicies() {
+		var clean, severe float64
+		for _, row := range dr.Rows {
+			if row.Policy != p.Name {
+				continue
+			}
+			switch row.Severity {
+			case "none":
+				clean = row.MeanRequestNS
+			case "severe":
+				severe = row.MeanRequestNS
+			}
+		}
+		if severe <= clean {
+			t.Fatalf("%s: severe faults did not slow serving (%.0f ns vs clean %.0f ns)",
+				p.Name, severe, clean)
+		}
+	}
+	out := res.Render()
+	for _, label := range []string{"severe", "sigbus", "at-risk", "throttle"} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("render missing %q:\n%s", label, out)
+		}
+	}
+	csv := res.(CSVer).CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != want+1 {
+		t.Fatalf("CSV rows = %d, want %d", len(lines)-1, want)
+	}
+	header := strings.Split(lines[0], ",")
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(header) {
+			t.Fatalf("ragged CSV row: %q", line)
+		}
+	}
+}
+
+// TestExt3DeterministicSharded: same-seed degraded runs must be
+// byte-deterministic serial vs 8-wide — injected faults, poisonings, and
+// throttle stalls all ride the per-trial seed, never the scheduler.
+func TestExt3DeterministicSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs ext3 twice")
+	}
+	run := func(parallelism int) (string, string) {
+		r := NewRunner(Options{Trials: 3, Scale: 0.15, Seed: 0xDE9, Parallelism: parallelism})
+		res, err := ExtDegradedFileSweep(r)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return res.Render(), res.(CSVer).CSV()
+	}
+	serialOut, serialCSV := run(1)
+	shardOut, shardCSV := run(8)
+	if serialOut != shardOut {
+		t.Fatalf("render diverges between serial and 8-wide degraded runs:\n--- serial ---\n%s\n--- sharded ---\n%s", serialOut, shardOut)
+	}
+	if serialCSV != shardCSV {
+		t.Fatalf("CSV diverges between serial and 8-wide degraded runs")
+	}
+}
+
+// TestExt2InertFileWrapperByteIdentical is the zero-plan transparency
+// gate at figure level: a file-device fault wrapper installed with an
+// all-zero plan (Target: file, every injection config zero) must leave
+// the full ext2 figure byte-identical to the unwrapped baseline — the
+// wrapper draws no RNG, spawns no procs, and moves no event.
+func TestExt2InertFileWrapperByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs ext2 twice")
+	}
+	run := func(plan fault.Plan) (string, string) {
+		r := NewRunner(Options{Trials: 2, Scale: 0.15, Seed: 0x1E27, Parallelism: 4})
+		res, err := extFileServeSweep(r, plan)
+		if err != nil {
+			t.Fatalf("plan %+v: %v", plan, err)
+		}
+		return res.Render(), res.(CSVer).CSV()
+	}
+	inert := fault.Plan{Target: fault.TargetFile}
+	if inert.Enabled() {
+		t.Fatal("the inert plan must not count as enabled")
+	}
+	baseOut, baseCSV := run(fault.Plan{})
+	wrapOut, wrapCSV := run(inert)
+	if baseOut != wrapOut {
+		t.Fatalf("inert wrapper moved the ext2 render:\n--- bare ---\n%s\n--- wrapped ---\n%s", baseOut, wrapOut)
+	}
+	if baseCSV != wrapCSV {
+		t.Fatal("inert wrapper moved the ext2 CSV")
+	}
+}

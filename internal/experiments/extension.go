@@ -18,6 +18,7 @@ import (
 var Extensions = map[string]FigureFunc{
 	"ext1": ExtDegradedSweep,
 	"ext2": ExtFileServeSweep,
+	"ext3": ExtDegradedFileSweep,
 }
 
 // ExtensionIDs returns all extension IDs in order.
@@ -237,11 +238,19 @@ func fileServeCell(ratio float64, policy string, s *Series) FileServeRow {
 // create the refault imbalance the tier-gain controller exists for, so
 // the mglru vs mglru-nopid delta is the controller's measured effect.
 func ExtFileServeSweep(r *Runner) (Result, error) {
+	return extFileServeSweep(r, fault.Plan{})
+}
+
+// extFileServeSweep is ExtFileServeSweep with an explicit fault plan —
+// the zero-plan transparency test injects an inert file-targeted plan
+// here and asserts the figure stays byte-identical.
+func extFileServeSweep(r *Runner, plan fault.Plan) (Result, error) {
 	w := r.workloadByName("serve")
 	res := &FileServeResult{Workload: w.Name}
 	for _, ratio := range extCacheRatios {
 		sys := SystemAt(ratio, core.SwapSSD)
 		sys.PageCache = pagecache.DefaultConfig()
+		sys.Fault = plan
 		for _, p := range extFilePolicies() {
 			s, err := r.Run(w, p, sys)
 			if err != nil {
@@ -251,6 +260,163 @@ func ExtFileServeSweep(r *Runner) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// extFileSeverities is the ext3 fault-plan ladder for the file backing
+// device. Unlike ext1's swap ladder these plans target the file device,
+// so the anon/swap path stays pristine and every observed degradation is
+// attributable to the page cache's error handling.
+var extFileSeverities = []struct {
+	Name string
+	Plan fault.Plan
+}{
+	{"none", fault.Plan{}},
+	{"mild", fault.MildFile()},
+	{"severe", fault.SevereFile()},
+}
+
+// DegradedFileRow is one (severity, policy) cell of the ext3 sweep.
+type DegradedFileRow struct {
+	Severity, Policy string
+	// MeanRequestNS is the headline serving latency under this plan.
+	MeanRequestNS float64
+	// HitRatio and RefaultRate are the ext2 cache-health metrics, here
+	// tracking refault inflation as the device degrades.
+	HitRatio, RefaultRate float64
+	// IOErrors / PoisonedFaults are the SIGBUS ledger: demand reads that
+	// exhausted retries (poisoning their page) and later fast-failed
+	// faults on those pages.
+	IOErrors, PoisonedFaults uint64
+	// WriteErrors / DataAtRisk are the errseq ledger: writeback writes
+	// past their retry budget and pages whose latest data never
+	// persisted.
+	WriteErrors, DataAtRisk uint64
+	// ThrottleStalls / ThrottleStallMS account the hard dirty throttle.
+	ThrottleStalls  uint64
+	ThrottleStallMS float64
+	// FaultTail is the major-fault latency at stats.TailPoints, ns.
+	FaultTail []float64
+	// Injected sums the file-device fault plane's counters across trials.
+	Injected fault.Stats
+}
+
+// DegradedFileResult is the ext3 figure: the serve workload over a
+// degrading file backing device — the page cache degrading
+// kernel-fashion (SIGBUS, errseq, dirty throttle) instead of dying.
+type DegradedFileResult struct {
+	Workload string
+	Rows     []DegradedFileRow
+}
+
+// ID implements Result.
+func (r *DegradedFileResult) ID() string { return "ext3" }
+
+// Render implements Result.
+func (r *DegradedFileResult) Render() string {
+	t := newTable("severity", "policy", "mean-req(ms)", "hit%", "refault-rate",
+		"io-err", "sigbus", "wr-err", "at-risk", "throttles", "throttle-ms",
+		"p50", "p99", "p99.99")
+	for _, row := range r.Rows {
+		cells := []string{
+			row.Severity, row.Policy,
+			f2(row.MeanRequestNS / 1e6),
+			f2(row.HitRatio * 100), fmt.Sprintf("%.4f", row.RefaultRate),
+			fmt.Sprintf("%d", row.IOErrors),
+			fmt.Sprintf("%d", row.PoisonedFaults),
+			fmt.Sprintf("%d", row.WriteErrors),
+			fmt.Sprintf("%d", row.DataAtRisk),
+			fmt.Sprintf("%d", row.ThrottleStalls),
+			f2(row.ThrottleStallMS),
+			nsToMs(row.FaultTail[0]), nsToMs(row.FaultTail[2]), nsToMs(row.FaultTail[4]),
+		}
+		t.row(cells...)
+	}
+	return fmt.Sprintf("Ext 3: %s serving over a degraded file device (SSD, page cache + dirty throttle)\n", r.Workload) + t.String()
+}
+
+// CSV implements CSVer.
+func (r *DegradedFileResult) CSV() string {
+	var c csvBuilder
+	header := []any{"severity", "policy", "mean_req_ns", "hit_ratio", "refault_rate",
+		"io_errors", "poisoned_faults", "write_errors", "data_at_risk",
+		"throttle_stalls", "throttle_stall_ns"}
+	for _, p := range stats.TailPoints {
+		header = append(header, fmt.Sprintf("fault_p%g_ns", p))
+	}
+	header = append(header, "storms", "stall_storms", "storm_delay_ns",
+		"read_retries", "write_retries", "prefetch_errors")
+	c.row(header...)
+	for _, row := range r.Rows {
+		cells := []any{row.Severity, row.Policy, row.MeanRequestNS,
+			row.HitRatio, row.RefaultRate,
+			row.IOErrors, row.PoisonedFaults, row.WriteErrors, row.DataAtRisk,
+			row.ThrottleStalls, row.ThrottleStallMS * 1e6}
+		for _, v := range row.FaultTail {
+			cells = append(cells, v)
+		}
+		cells = append(cells, row.Injected.Storms, row.Injected.StallStorms,
+			row.Injected.StormDelay, row.Injected.ReadRetries,
+			row.Injected.WriteRetries, row.Injected.PrefetchErrors)
+		c.row(cells...)
+	}
+	return c.String()
+}
+
+// ExtDegradedFileSweep runs the degraded-file-device sweep: the serve
+// workload at the middle cache ratio with the degraded page-cache
+// profile (hard dirty throttle armed), under each file-device fault
+// severity, comparing Clock, MG-LRU, and PID-ablated MG-LRU. The
+// severity only swaps the fault plan — the system profile is otherwise
+// identical across rows, and the seed key excludes the plan, so every
+// row reruns the same seeded trials over a progressively sicker device.
+// The "none" rows double as the zero-plan transparency baseline: no
+// wrapper is installed and they execute the pristine event sequence.
+func ExtDegradedFileSweep(r *Runner) (Result, error) {
+	w := r.workloadByName("serve")
+	res := &DegradedFileResult{Workload: w.Name}
+	for _, sev := range extFileSeverities {
+		sys := SystemAt(0.5, core.SwapSSD)
+		sys.PageCache = pagecache.DegradedConfig()
+		sys.Fault = sev.Plan
+		for _, p := range extFilePolicies() {
+			s, err := r.Run(w, p, sys)
+			if err != nil {
+				return nil, fmt.Errorf("ext3 %s/%s: %w", sev.Name, p.Name, err)
+			}
+			res.Rows = append(res.Rows, degradedFileCell(sev.Name, p.Name, s))
+		}
+	}
+	return res, nil
+}
+
+// degradedFileCell aggregates a series into one ext3 row. Ratios pool
+// raw counts across trials (as in ext2); error and throttle counters are
+// trial totals — the figure's point is their growth down the ladder.
+func degradedFileCell(severity, policy string, s *Series) DegradedFileRow {
+	var hits, faults uint64
+	for _, m := range s.Trials {
+		hits += m.Counters.FileAccesses
+		faults += m.Counters.FileFaults
+	}
+	fc := s.FileCacheTotals()
+	row := DegradedFileRow{
+		Severity:        severity,
+		Policy:          policy,
+		MeanRequestNS:   stats.Mean(s.MeanRequestNS()),
+		IOErrors:        fc.FileIOErrors,
+		PoisonedFaults:  fc.PoisonedFaults,
+		WriteErrors:     fc.WriteErrors,
+		DataAtRisk:      fc.DataAtRisk,
+		ThrottleStalls:  fc.ThrottleStalls,
+		ThrottleStallMS: float64(fc.ThrottleStallTime) / 1e6,
+		FaultTail:       s.MergedFaultTail(),
+		Injected:        s.FileInjectionTotals(),
+	}
+	if touches := hits + faults; touches > 0 {
+		row.HitRatio = float64(hits) / float64(touches)
+		row.RefaultRate = float64(fc.Refaults) / float64(touches)
+	}
+	return row
 }
 
 func ExtDegradedSweep(r *Runner) (Result, error) {

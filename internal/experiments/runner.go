@@ -12,6 +12,7 @@ import (
 	"mglrusim/internal/checkpoint"
 	"mglrusim/internal/core"
 	"mglrusim/internal/fault"
+	"mglrusim/internal/pagecache"
 	"mglrusim/internal/pagetable"
 	"mglrusim/internal/sim"
 	"mglrusim/internal/stats"
@@ -127,6 +128,25 @@ func (s *Series) InjectionTotals() fault.Stats {
 	var t fault.Stats
 	for _, m := range s.Trials {
 		t.Add(m.Injected)
+	}
+	return t
+}
+
+// FileInjectionTotals sums the fault plane's file-device injection
+// counters across all trials.
+func (s *Series) FileInjectionTotals() fault.Stats {
+	var t fault.Stats
+	for _, m := range s.Trials {
+		t.Add(m.FileInjected)
+	}
+	return t
+}
+
+// FileCacheTotals sums the page cache's counters across all trials.
+func (s *Series) FileCacheTotals() pagecache.Stats {
+	var t pagecache.Stats
+	for _, m := range s.Trials {
+		t.Add(m.FileCache)
 	}
 	return t
 }

@@ -65,8 +65,9 @@ type Device struct {
 	// rather than in the wrapped device.
 	writtenBack map[swap.Slot]struct{}
 
-	maxBackoff sim.Duration
-	stats      Stats
+	maxBackoff  sim.Duration // read-retry backoff cap
+	maxWBackoff sim.Duration // write-retry backoff cap
+	stats       Stats
 
 	tr      *telemetry.Tracer
 	trTrack telemetry.TrackID // the fault plane's own lane
@@ -93,12 +94,13 @@ func (d *Device) SetTracer(tr *telemetry.Tracer) {
 // dedicated stream.
 func Wrap(inner swap.Device, plan Plan, backing swap.Device, rng *sim.RNG) *Device {
 	d := &Device{
-		inner:      inner,
-		backing:    backing,
-		plan:       plan,
-		rng:        rng,
-		storm:      stormClock{cfg: plan.Storms, rng: rng.Stream(1)},
-		maxBackoff: plan.ReadErrors.Backoff * 32,
+		inner:       inner,
+		backing:     backing,
+		plan:        plan,
+		rng:         rng,
+		storm:       stormClock{cfg: plan.Storms, rng: rng.Stream(1)},
+		maxBackoff:  plan.ReadErrors.Backoff * 32,
+		maxWBackoff: plan.WriteErrors.Backoff * 32,
 	}
 	if plan.NeedsBacking() && backing != nil {
 		d.writtenBack = make(map[swap.Slot]struct{}, 256)
@@ -159,24 +161,35 @@ func (d *Device) readFrom(v *sim.Env, slot swap.Slot, vpn int64, version uint32)
 // ReadPage implements Device: storm delay, then the inner read, retried
 // with exponential backoff on injected transient errors. Exhausting the
 // retry budget panics a *HardError, failing the trial the way an
-// uncorrectable media error fails a real swap-in.
+// uncorrectable media error fails a real swap-in. Consumers that can
+// degrade instead (the page cache) call ReadPageErr.
 func (d *Device) ReadPage(v *sim.Env, slot swap.Slot, vpn int64, version uint32) {
+	if err := d.ReadPageErr(v, slot, vpn, version); err != nil {
+		panic(err)
+	}
+}
+
+// ReadPageErr performs the faulted read and returns the *HardError (as an
+// error) when the retry budget is exhausted, instead of panicking. RNG
+// draws and timing are identical to ReadPage up to the point of failure.
+func (d *Device) ReadPageErr(v *sim.Env, slot swap.Slot, vpn int64, version uint32) error {
 	d.stormDelay(v)
 	cfg := d.plan.ReadErrors
 	backoff := cfg.Backoff
 	for attempt := 0; ; attempt++ {
 		d.readFrom(v, slot, vpn, version)
 		if !cfg.Enabled() || !d.rng.Bool(cfg.Prob) {
-			return
+			return nil
 		}
 		d.stats.TransientReadErrors++
 		if attempt >= cfg.MaxRetries {
 			d.stats.HardReadErrors++
 			if d.tr != nil {
-				// Newest flight-recorder entry when the HardError unwinds.
+				// Newest flight-recorder entry when the HardError unwinds
+				// (or, on the degradation path, when the page is poisoned).
 				d.tr.Instant(d.trTrack, "hard-read-error", int64(slot))
 			}
-			panic(&HardError{Device: d.inner.Name(), Slot: slot, Attempts: attempt + 1})
+			return &HardError{Device: d.inner.Name(), Op: "read", Slot: slot, Attempts: attempt + 1}
 		}
 		d.stats.ReadRetries++
 		if d.tr != nil {
@@ -200,9 +213,22 @@ func (d *Device) overLimit() bool {
 
 // WritePage implements Device: storm delay, then either the inner write
 // or — when the compressed pool is over its mem limit — a writeback to
-// the backing SSD or a reclaim stall.
+// the backing SSD or a reclaim stall. Injected write errors past the
+// retry budget panic a *HardError; consumers that can degrade instead
+// (page-cache writeback into the error ledger) call WritePageErr.
 func (d *Device) WritePage(v *sim.Env, slot swap.Slot, vpn int64, version uint32) {
+	if err := d.WritePageErr(v, slot, vpn, version); err != nil {
+		panic(err)
+	}
+}
+
+// WritePageErr performs the faulted write and returns the *HardError (as
+// an error) when the write-retry budget is exhausted, instead of
+// panicking. With WriteErrors unconfigured no coins are flipped and the
+// behaviour is byte-identical to the pre-write-error WritePage.
+func (d *Device) WritePageErr(v *sim.Env, slot swap.Slot, vpn int64, version uint32) error {
 	d.stormDelay(v)
+	target := d.inner
 	if d.overLimit() {
 		if d.writtenBack != nil {
 			d.stats.WritebackPages++
@@ -210,26 +236,51 @@ func (d *Device) WritePage(v *sim.Env, slot swap.Slot, vpn int64, version uint32
 			if d.tr != nil {
 				d.tr.Instant(d.trTrack, "pool-writeback", int64(slot))
 			}
-			d.backing.WritePage(v, slot, vpn, version)
-			return
-		}
-		// No writeback target: the reclaiming thread stalls, as a real
-		// zram allocation does under mem_limit pressure, then the write
-		// proceeds (the pool over-commits rather than losing the page).
-		d.stats.PoolStalls++
-		if d.tr != nil {
-			d.tr.Instant(d.trTrack, "pool-stall", int64(slot))
-		}
-		if d.plan.ZRAM.StallDelay > 0 {
-			d.stats.PoolStallTime += d.plan.ZRAM.StallDelay
-			v.Sleep(d.plan.ZRAM.StallDelay)
+			target = d.backing
+		} else {
+			// No writeback target: the reclaiming thread stalls, as a real
+			// zram allocation does under mem_limit pressure, then the write
+			// proceeds (the pool over-commits rather than losing the page).
+			d.stats.PoolStalls++
+			if d.tr != nil {
+				d.tr.Instant(d.trTrack, "pool-stall", int64(slot))
+			}
+			if d.plan.ZRAM.StallDelay > 0 {
+				d.stats.PoolStallTime += d.plan.ZRAM.StallDelay
+				v.Sleep(d.plan.ZRAM.StallDelay)
+			}
 		}
 	}
-	if d.writtenBack != nil {
+	if target == d.inner && d.writtenBack != nil {
 		// A fresh write into the pool supersedes any written-back copy.
 		delete(d.writtenBack, slot)
 	}
-	d.inner.WritePage(v, slot, vpn, version)
+	cfg := d.plan.WriteErrors
+	backoff := cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		target.WritePage(v, slot, vpn, version)
+		if !cfg.Enabled() || !d.rng.Bool(cfg.Prob) {
+			return nil
+		}
+		d.stats.TransientWriteErrors++
+		if attempt >= cfg.MaxRetries {
+			d.stats.HardWriteErrors++
+			if d.tr != nil {
+				d.tr.Instant(d.trTrack, "hard-write-error", int64(slot))
+			}
+			return &HardError{Device: d.inner.Name(), Op: "write", Slot: slot, Attempts: attempt + 1}
+		}
+		d.stats.WriteRetries++
+		if d.tr != nil {
+			d.tr.Instant(d.trTrack, "write-retry", int64(slot))
+		}
+		if backoff > 0 {
+			v.Sleep(backoff)
+			if backoff < d.maxWBackoff {
+				backoff *= 2
+			}
+		}
+	}
 }
 
 // PrefetchPage implements Device. Readahead rides the anchoring demand
@@ -243,6 +294,23 @@ func (d *Device) PrefetchPage(v *sim.Env, slot swap.Slot, vpn int64, version uin
 		return
 	}
 	d.inner.PrefetchPage(v, slot, vpn, version)
+}
+
+// PrefetchPageErr is PrefetchPage plus a single transient-error coin:
+// speculative I/O gets no retry budget (the kernel never retries
+// readahead), so one failed flip abandons the prefetch. Callers must not
+// treat the error as fatal — readahead failures fail nothing.
+func (d *Device) PrefetchPageErr(v *sim.Env, slot swap.Slot, vpn int64, version uint32) error {
+	d.PrefetchPage(v, slot, vpn, version)
+	cfg := d.plan.ReadErrors
+	if cfg.Enabled() && d.rng.Bool(cfg.Prob) {
+		d.stats.PrefetchErrors++
+		if d.tr != nil {
+			d.tr.Instant(d.trTrack, "prefetch-error", int64(slot))
+		}
+		return &HardError{Device: d.inner.Name(), Op: "read", Slot: slot, Attempts: 1}
+	}
+	return nil
 }
 
 // FreeSlot implements Device.

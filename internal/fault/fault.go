@@ -62,6 +62,54 @@ type ReadErrorConfig struct {
 // Enabled reports whether read errors are configured.
 func (c ReadErrorConfig) Enabled() bool { return c.Prob > 0 }
 
+// WriteErrorConfig parameterizes transient write failures on the wrapped
+// device. Each completed write flips a seeded coin; on failure the writer
+// backs off and reissues, doubling the backoff per attempt. What happens
+// when MaxRetries is exhausted depends on the caller: swap writeback
+// treats it as a hard error, while page-cache writeback records the page
+// in the per-file error ledger (errseq_t-style) and moves on.
+type WriteErrorConfig struct {
+	// Prob is the per-write transient failure probability. Zero disables.
+	Prob float64
+	// MaxRetries bounds reissues per logical write.
+	MaxRetries int
+	// Backoff is the initial retry delay; it doubles per attempt, capped
+	// at 32x.
+	Backoff sim.Duration
+}
+
+// Enabled reports whether write errors are configured.
+func (c WriteErrorConfig) Enabled() bool { return c.Prob > 0 }
+
+// DeviceTarget selects which backing device(s) a plan's device-level
+// faults apply to. The zero value targets the swap device, preserving the
+// meaning of every pre-existing plan.
+type DeviceTarget int
+
+const (
+	// TargetSwap applies device faults to the swap device only (default).
+	TargetSwap DeviceTarget = iota
+	// TargetFile applies device faults to the file backing device only.
+	TargetFile
+	// TargetBoth applies device faults to both devices (each gets its own
+	// wrapper and RNG stream).
+	TargetBoth
+)
+
+// String implements fmt.Stringer so Plans render readably in %+v
+// configuration fingerprints.
+func (t DeviceTarget) String() string {
+	switch t {
+	case TargetSwap:
+		return "swap"
+	case TargetFile:
+		return "file"
+	case TargetBoth:
+		return "both"
+	}
+	return fmt.Sprintf("DeviceTarget(%d)", int(t))
+}
+
 // ZRAMPressureConfig models zram pool mem-limit exhaustion (the kernel's
 // zram mem_limit). Once the pool's compressed bytes reach the limit, new
 // writes either spill to a backing SSD (zram writeback) or stall the
@@ -86,10 +134,16 @@ func (c ZRAMPressureConfig) Enabled() bool { return c.MemLimitBytes > 0 }
 // experiment runner's %+v configuration fingerprint automatically. The
 // zero Plan injects nothing.
 type Plan struct {
+	// Target selects which device(s) the device-level faults below apply
+	// to. The zero value is TargetSwap, so pre-existing plans keep their
+	// meaning; a Target set on an otherwise-zero plan installs nothing.
+	Target DeviceTarget
 	// Storms degrades device latency in seeded windows.
 	Storms StormConfig
 	// ReadErrors injects transient read failures with bounded retry.
 	ReadErrors ReadErrorConfig
+	// WriteErrors injects transient write failures with bounded retry.
+	WriteErrors WriteErrorConfig
 	// ZRAM injects compressed-pool exhaustion.
 	ZRAM ZRAMPressureConfig
 	// SwapSlots caps the swap area at this many slots (zero keeps the
@@ -103,8 +157,15 @@ func (p Plan) Enabled() bool { return p.DeviceEnabled() || p.SwapSlots > 0 }
 
 // DeviceEnabled reports whether the plan needs a device wrapper.
 func (p Plan) DeviceEnabled() bool {
-	return p.Storms.Enabled() || p.ReadErrors.Enabled() || p.ZRAM.Enabled()
+	return p.Storms.Enabled() || p.ReadErrors.Enabled() || p.WriteErrors.Enabled() || p.ZRAM.Enabled()
 }
+
+// TargetsSwap reports whether device faults apply to the swap device.
+func (p Plan) TargetsSwap() bool { return p.Target == TargetSwap || p.Target == TargetBoth }
+
+// TargetsFile reports whether device faults apply to the file backing
+// device.
+func (p Plan) TargetsFile() bool { return p.Target == TargetFile || p.Target == TargetBoth }
 
 // NeedsBacking reports whether the plan wants a writeback SSD behind the
 // wrapped device.
@@ -118,7 +179,12 @@ type Stats struct {
 
 	TransientReadErrors uint64 // injected read failures
 	ReadRetries         uint64 // reissued reads
-	HardReadErrors      uint64 // retry budgets exhausted (fails the trial)
+	HardReadErrors      uint64 // read retry budgets exhausted
+
+	TransientWriteErrors uint64 // injected write failures
+	WriteRetries         uint64 // reissued writes
+	HardWriteErrors      uint64 // write retry budgets exhausted
+	PrefetchErrors       uint64 // injected failures on speculative reads
 
 	WritebackPages uint64 // over-limit writes spilled to the backing SSD
 	WritebackReads uint64 // reads served from the backing SSD
@@ -126,7 +192,8 @@ type Stats struct {
 	PoolStallTime  sim.Duration
 }
 
-// Add accumulates other into s (series-level aggregation).
+// Add accumulates other into s (series-level aggregation). Every field of
+// Stats must appear here; a reflection test enforces completeness.
 func (s *Stats) Add(other Stats) {
 	s.Storms += other.Storms
 	s.StallStorms += other.StallStorms
@@ -134,29 +201,40 @@ func (s *Stats) Add(other Stats) {
 	s.TransientReadErrors += other.TransientReadErrors
 	s.ReadRetries += other.ReadRetries
 	s.HardReadErrors += other.HardReadErrors
+	s.TransientWriteErrors += other.TransientWriteErrors
+	s.WriteRetries += other.WriteRetries
+	s.HardWriteErrors += other.HardWriteErrors
+	s.PrefetchErrors += other.PrefetchErrors
 	s.WritebackPages += other.WritebackPages
 	s.WritebackReads += other.WritebackReads
 	s.PoolStalls += other.PoolStalls
 	s.PoolStallTime += other.PoolStallTime
 }
 
-// HardError is an unrecoverable injected device error: a read whose retry
-// budget is exhausted. It is panicked from the device model, surfaces as
-// the trial error, and is classified as retryable-with-a-fresh-seed by
-// the experiment harness.
+// HardError is an unrecoverable injected device error: an I/O whose retry
+// budget is exhausted. On the swap path it is panicked from the device
+// model, surfaces as the trial error, and is classified as
+// retryable-with-a-fresh-seed by the experiment harness. The page cache
+// instead absorbs it into a kernel-faithful degradation path (poisoned
+// page / error ledger) and the trial continues.
 type HardError struct {
 	Device   string
+	Op       string // "read" or "write"; empty means "read" (legacy)
 	Slot     int32
 	Attempts int
 }
 
 // Error implements error.
 func (e *HardError) Error() string {
-	return fmt.Sprintf("fault: hard read error on %s slot %d after %d attempts", e.Device, e.Slot, e.Attempts)
+	op := e.Op
+	if op == "" {
+		op = "read"
+	}
+	return fmt.Sprintf("fault: hard %s error on %s slot %d after %d attempts", op, e.Device, e.Slot, e.Attempts)
 }
 
 // Preset resolves a named fault plan for CLI use. Known names: "off",
-// "mild", "severe".
+// "mild", "severe", "file-mild", "file-severe".
 func Preset(name string) (Plan, bool) {
 	switch name {
 	case "", "off", "none":
@@ -165,6 +243,10 @@ func Preset(name string) (Plan, bool) {
 		return Mild(), true
 	case "severe":
 		return Severe(), true
+	case "file-mild":
+		return MildFile(), true
+	case "file-severe":
+		return SevereFile(), true
 	}
 	return Plan{}, false
 }
@@ -203,6 +285,61 @@ func Severe() Plan {
 			Prob:       0.005,
 			MaxRetries: 10,
 			Backoff:    2 * sim.Millisecond,
+		},
+	}
+}
+
+// MildFile models an aging file-backing device: short latency storms and
+// rare transient I/O errors on both directions, with retry budgets deep
+// enough that almost everything is absorbed — degradation shows up as
+// latency and retry counts, not poisoned pages.
+func MildFile() Plan {
+	return Plan{
+		Target: TargetFile,
+		Storms: StormConfig{
+			Rate:         0.5,
+			MeanDuration: 150 * sim.Millisecond,
+			ExtraLatency: 3 * sim.Millisecond,
+			Jitter:       0.3,
+		},
+		ReadErrors: ReadErrorConfig{
+			Prob:       0.01,
+			MaxRetries: 6,
+			Backoff:    500 * sim.Microsecond,
+		},
+		WriteErrors: WriteErrorConfig{
+			Prob:       0.01,
+			MaxRetries: 6,
+			Backoff:    500 * sim.Microsecond,
+		},
+	}
+}
+
+// SevereFile models a dying file-backing device: frequent stally storms
+// and high transient error rates with shallow retry budgets, so a visible
+// fraction of demand reads poison pages (SIGBUS analog) and writeback
+// exhausts into the per-file error ledger (data at risk). Dirty pages
+// pile up behind the slow, erroring device and push writers into the
+// hard dirty throttle.
+func SevereFile() Plan {
+	return Plan{
+		Target: TargetFile,
+		Storms: StormConfig{
+			Rate:         2,
+			MeanDuration: 400 * sim.Millisecond,
+			ExtraLatency: 10 * sim.Millisecond,
+			Jitter:       0.5,
+			StallProb:    0.3,
+		},
+		ReadErrors: ReadErrorConfig{
+			Prob:       0.2,
+			MaxRetries: 2,
+			Backoff:    1 * sim.Millisecond,
+		},
+		WriteErrors: WriteErrorConfig{
+			Prob:       0.2,
+			MaxRetries: 2,
+			Backoff:    1 * sim.Millisecond,
 		},
 	}
 }

@@ -54,10 +54,18 @@ type Config struct {
 	FlushInterval sim.Duration
 	// MaxExtent caps how many pages one clustered write extent may span.
 	MaxExtent int
+	// DirtyHardRatio is the fraction of physical memory at which writers
+	// dirtying new file pages are throttled until the flusher catches up
+	// — the analogue of vm.dirty_ratio. Zero (the default) disables hard
+	// throttling entirely, keeping historical behaviour byte-identical;
+	// when set it is clamped above DirtyRatio so the background flusher
+	// always engages first.
+	DirtyHardRatio float64
 }
 
 // DefaultConfig returns the enabled page-cache profile with calibrated
-// defaults.
+// defaults. Hard dirty throttling stays off so existing figures are
+// unchanged; DegradedConfig turns it on.
 func DefaultConfig() Config {
 	return Config{
 		Enabled:       true,
@@ -66,6 +74,16 @@ func DefaultConfig() Config {
 		FlushInterval: 100 * sim.Millisecond,
 		MaxExtent:     16,
 	}
+}
+
+// DegradedConfig is DefaultConfig plus the hard dirty throttle — the
+// profile for running against a faulted file backing device, where a
+// stalled or erroring device lets dirty pages pile up unboundedly
+// without vm.dirty_ratio-style backpressure.
+func DegradedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DirtyHardRatio = 0.20
+	return cfg
 }
 
 func (c Config) withDefaults() Config {
@@ -106,11 +124,94 @@ type Stats struct {
 	// evicted, and faults that found a shadow entry (the page came back
 	// after eviction — the signal the pidctl balancer feeds on).
 	Evictions, Refaults uint64
+	// FileIOErrors counts demand reads that exhausted the device's retry
+	// budget: the page is poisoned in the mapping and the fault fails
+	// SIGBUS-style instead of aborting the trial.
+	FileIOErrors uint64
+	// PoisonedFaults counts later faults on already-poisoned pages — fast
+	// SIGBUS deliveries that touch no I/O.
+	PoisonedFaults uint64
+	// ReadaheadAborts counts speculative reads abandoned on injected
+	// error (the installed-but-unread page is torn back out; nothing
+	// fails).
+	ReadaheadAborts uint64
+	// WriteErrors counts writeback writes that exhausted their retry
+	// budget; each bumps the owning file's errseq-style ledger.
+	WriteErrors uint64
+	// DataAtRisk counts pages whose latest dirty data never reached the
+	// backing device (the kernel's "lost writeback" — what fsync would
+	// report via errseq_t).
+	DataAtRisk uint64
+	// ThrottleStalls and ThrottleStallTime account the hard dirty
+	// throttle: writers stalled at the vm.dirty_ratio analogue, and the
+	// total virtual time they lost.
+	ThrottleStalls    uint64
+	ThrottleStallTime sim.Duration
 }
 
 // WrittenBack is the total writeback volume in pages, however the write
 // was scheduled.
 func (s Stats) WrittenBack() uint64 { return s.WritebackPages + s.PageOuts }
+
+// Add accumulates other into s (series-level aggregation). Every field of
+// Stats must appear here; a reflection test enforces completeness.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.ReadaheadReads += other.ReadaheadReads
+	s.Dirtied += other.Dirtied
+	s.FlushPasses += other.FlushPasses
+	s.Extents += other.Extents
+	s.WritebackPages += other.WritebackPages
+	s.PageOuts += other.PageOuts
+	s.Evictions += other.Evictions
+	s.Refaults += other.Refaults
+	s.FileIOErrors += other.FileIOErrors
+	s.PoisonedFaults += other.PoisonedFaults
+	s.ReadaheadAborts += other.ReadaheadAborts
+	s.WriteErrors += other.WriteErrors
+	s.DataAtRisk += other.DataAtRisk
+	s.ThrottleStalls += other.ThrottleStalls
+	s.ThrottleStallTime += other.ThrottleStallTime
+}
+
+// FallibleDevice is a backing device whose I/O can fail recoverably —
+// the fault plane's *fault.Device implements it (asserted in
+// internal/core, which owns the wiring; this package stays free of a
+// fault dependency). When New receives a device that satisfies it, the
+// cache routes I/O through the Err variants and degrades the way the
+// kernel does instead of letting a *HardError panic kill the trial.
+type FallibleDevice interface {
+	swap.Device
+	ReadPageErr(v *sim.Env, slot swap.Slot, vpn int64, version uint32) error
+	WritePageErr(v *sim.Env, slot swap.Slot, vpn int64, version uint32) error
+	PrefetchPageErr(v *sim.Env, slot swap.Slot, vpn int64, version uint32) error
+}
+
+// FlusherError classifies a panic that unwound the flusher daemon: the
+// trial fails with writeback context (how much was dirty) instead of a
+// bare panic string, and the experiment harness can unwrap the cause for
+// retry classification.
+type FlusherError struct {
+	Cause      error
+	DirtyPages int
+}
+
+// Error implements error.
+func (e *FlusherError) Error() string {
+	return fmt.Sprintf("pagecache: flusher failed with %d pages dirty: %v", e.DirtyPages, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.As/Is.
+func (e *FlusherError) Unwrap() error { return e.Cause }
+
+// FileErrors is one file's errseq_t-style writeback-error ledger: how
+// many writeback failures the file has seen (what fsync would observe as
+// an errseq advance) and how many pages' latest data never persisted.
+type FileErrors struct {
+	Name       string
+	ErrSeq     uint64
+	DataAtRisk uint64
+}
 
 type shadowEntry struct {
 	sh    policy.Shadow
@@ -129,6 +230,9 @@ type Cache struct {
 	table *pagetable.Table
 	memry *mem.Memory
 	dev   swap.Device
+	// fdev is dev when it supports recoverable I/O errors (a fault-plane
+	// wrapper); nil otherwise. All degradation paths are gated on it.
+	fdev FallibleDevice
 
 	// files is sorted by Base; backing slots are assigned in the same
 	// order, so slot order equals VPN order and both directions of the
@@ -141,6 +245,17 @@ type Cache struct {
 	dirty      []uint64
 	dirtyCount int
 	threshold  int
+	// hardThreshold is the writer-throttle point (vm.dirty_ratio); zero
+	// means throttling is off.
+	hardThreshold int
+
+	// poisoned marks slots whose demand read exhausted its retry budget:
+	// hwpoison-style, later faults fail fast without touching the device.
+	poisoned      []uint64
+	poisonedCount int
+
+	// fileErrs parallels files: the per-file errseq ledgers.
+	fileErrs []FileErrors
 
 	// shadows is indexed by backing slot (dense over file pages, unlike
 	// the vmm's per-VPN arena over the whole VA span).
@@ -150,6 +265,9 @@ type Cache struct {
 	resident int
 
 	stats Stats
+
+	tr      *telemetry.Tracer
+	trTrack telemetry.TrackID // the cache's own degradation-event lane
 }
 
 // New builds a Cache over the given file spans and spawns its flusher
@@ -180,6 +298,22 @@ func New(cfg Config, eng *sim.Engine, table *pagetable.Table, memry *mem.Memory,
 	if c.threshold < 1 {
 		c.threshold = 1
 	}
+	if cfg.DirtyHardRatio > 0 {
+		c.hardThreshold = int(cfg.DirtyHardRatio * float64(memry.Size()))
+		// The hard wall must sit above the background trigger or writers
+		// would throttle before the flusher even wakes.
+		if c.hardThreshold <= c.threshold {
+			c.hardThreshold = c.threshold + 1
+		}
+	}
+	if fd, ok := dev.(FallibleDevice); ok {
+		c.fdev = fd
+		c.poisoned = make([]uint64, (c.totalPages+63)/64)
+	}
+	c.fileErrs = make([]FileErrors, len(c.files))
+	for i, f := range c.files {
+		c.fileErrs[i].Name = f.Name
+	}
 	if cfg.Enabled {
 		eng.Spawn("flusher", true, c.flusher)
 	}
@@ -204,35 +338,98 @@ func (c *Cache) SlotOf(vpn pagetable.VPN) (swap.Slot, bool) {
 
 // vpnOf is the inverse translation; slot must be in range.
 func (c *Cache) vpnOf(slot swap.Slot) pagetable.VPN {
-	i := sort.Search(len(c.files), func(i int) bool {
+	f := c.files[c.fileIndexOf(slot)]
+	return f.Base + pagetable.VPN(slot-f.slotBase)
+}
+
+// fileIndexOf locates the file owning slot; slot must be in range.
+func (c *Cache) fileIndexOf(slot swap.Slot) int {
+	return sort.Search(len(c.files), func(i int) bool {
 		f := c.files[i]
 		return slot < f.slotBase+swap.Slot(f.Pages)
 	})
-	f := c.files[i]
-	return f.Base + pagetable.VPN(slot-f.slotBase)
 }
 
 // --- fault-path service ---
 
 // ReadPage blocks the calling proc for the backing read of vpn — the
-// file major-fault service.
-func (c *Cache) ReadPage(v *sim.Env, vpn pagetable.VPN) {
+// file major-fault service. It reports whether the read succeeded: on a
+// fallible device whose retry budget is exhausted the page is poisoned
+// in the mapping (hwpoison-style) and the caller must fail the fault
+// SIGBUS-fashion — skip the install, free the frame, keep running. On a
+// plain device it always succeeds (a hard error panics, historical
+// behaviour).
+func (c *Cache) ReadPage(v *sim.Env, vpn pagetable.VPN) bool {
 	slot := c.mustSlot(vpn)
 	c.stats.Reads++
-	c.dev.ReadPage(v, slot, int64(vpn), 0)
+	if c.fdev == nil {
+		c.dev.ReadPage(v, slot, int64(vpn), 0)
+		return true
+	}
+	if err := c.fdev.ReadPageErr(v, slot, int64(vpn), 0); err != nil {
+		c.poison(slot)
+		c.stats.FileIOErrors++
+		if c.tr != nil {
+			c.tr.Instant(c.trTrack, "file-io-error", int64(vpn))
+		}
+		return false
+	}
+	return true
 }
 
 // PrefetchPage reads vpn as part of a readahead cluster anchored at a
-// blocking demand read.
-func (c *Cache) PrefetchPage(v *sim.Env, vpn pagetable.VPN) {
+// blocking demand read. It reports whether the speculative read
+// succeeded; on failure the caller abandons the prefetch — speculative
+// I/O never fails anything, matching the kernel, which silently drops
+// failed readahead pages.
+func (c *Cache) PrefetchPage(v *sim.Env, vpn pagetable.VPN) bool {
 	slot := c.mustSlot(vpn)
 	c.stats.ReadaheadReads++
-	c.dev.PrefetchPage(v, slot, int64(vpn), 0)
+	if c.fdev == nil {
+		c.dev.PrefetchPage(v, slot, int64(vpn), 0)
+		return true
+	}
+	return c.fdev.PrefetchPageErr(v, slot, int64(vpn), 0) == nil
 }
+
+func (c *Cache) poison(slot swap.Slot) {
+	w, b := int(slot)/64, uint(slot)%64
+	if c.poisoned[w]&(1<<b) == 0 {
+		c.poisoned[w] |= 1 << b
+		c.poisonedCount++
+	}
+}
+
+// Poisoned reports whether vpn's backing read previously exhausted its
+// retry budget. Faults on poisoned pages must fail fast without I/O.
+func (c *Cache) Poisoned(vpn pagetable.VPN) bool {
+	if c.poisonedCount == 0 {
+		return false
+	}
+	slot, ok := c.SlotOf(vpn)
+	if !ok {
+		return false
+	}
+	return c.poisoned[int(slot)/64]&(1<<(uint(slot)%64)) != 0
+}
+
+// NotePoisonedFault accounts one fast SIGBUS delivery on an
+// already-poisoned page.
+func (c *Cache) NotePoisonedFault() { c.stats.PoisonedFaults++ }
+
+// PoisonedPages reports how many distinct pages are poisoned.
+func (c *Cache) PoisonedPages() int { return c.poisonedCount }
 
 // NoteResident records that a file page was installed (demand fault or
 // readahead).
 func (c *Cache) NoteResident(vpn pagetable.VPN) { c.resident++ }
+
+// AbandonResident undoes a NoteResident for a readahead page torn back
+// out after its speculative read failed, and accounts the abort.
+func (c *Cache) AbandonResident(vpn pagetable.VPN) {
+	c.resident--
+	c.stats.ReadaheadAborts++
+}
 
 // ResidentFilePages reports installed file pages — the auditor's
 // conservation cross-check against a full PTE scan.
@@ -277,6 +474,60 @@ func (c *Cache) DirtyPages() int { return c.dirtyCount }
 // starts a flush pass.
 func (c *Cache) DirtyThreshold() int { return c.threshold }
 
+// --- hard dirty throttle (vm.dirty_ratio analogue) ---
+
+// HardDirtyThreshold reports the writer-throttle point; zero means hard
+// throttling is off.
+func (c *Cache) HardDirtyThreshold() int { return c.hardThreshold }
+
+// OverHardLimit reports whether the dirty set has reached the hard
+// throttle point.
+func (c *Cache) OverHardLimit() bool {
+	return c.hardThreshold > 0 && c.dirtyCount >= c.hardThreshold
+}
+
+// NeedsWriteThrottle reports whether a write to vpn must stall before it
+// may dirty the page. Kernel-faithfully this is page_mkwrite-time
+// backpressure: only the clean→dirty transition throttles — repeated
+// writes to an already-dirty page add nothing to the dirty set and pass
+// freely. With the hard ratio unset this is always false and the fast
+// path is untouched.
+func (c *Cache) NeedsWriteThrottle(vpn pagetable.VPN) bool {
+	if !c.OverHardLimit() {
+		return false
+	}
+	slot, ok := c.SlotOf(vpn)
+	if !ok {
+		return false
+	}
+	return c.dirty[int(slot)/64]&(1<<(uint(slot)%64)) == 0
+}
+
+// throttleQuantum is the balance_dirty_pages-style pause unit: writers
+// sleep in small slices, rechecking the dirty set after each, so they
+// resume promptly once a flush pass collects (and thereby cleans) pages.
+const throttleQuantum = 500 * sim.Microsecond
+
+// ThrottleWriter stalls the calling proc until the dirty set drops back
+// under the hard threshold, accounting the stall. The flusher clears
+// dirty bits at collection time (before the device I/O completes), so
+// the loop terminates even while the device itself is storm-stalled.
+func (c *Cache) ThrottleWriter(v *sim.Env) {
+	if !c.OverHardLimit() {
+		return
+	}
+	c.stats.ThrottleStalls++
+	start := v.Now()
+	for c.OverHardLimit() {
+		v.Sleep(throttleQuantum)
+	}
+	stalled := sim.Duration(v.Now() - start)
+	c.stats.ThrottleStallTime += stalled
+	if c.tr != nil {
+		c.tr.Emit(c.trTrack, "dirty-throttle", start, stalled, int64(c.dirtyCount))
+	}
+}
+
 // --- eviction and refault ---
 
 // RecordEviction stores the policy shadow for an evicted file page. The
@@ -296,11 +547,37 @@ func (c *Cache) RecordEviction(vpn pagetable.VPN, sh policy.Shadow) {
 // PageOut writes a dirty page back at eviction time (reclaim reached it
 // before the flusher). The write is scheduled on the backing device with
 // its usual asynchronous semantics; the calling proc may block on
-// writeback backpressure.
+// writeback backpressure. On a fallible device a write past its retry
+// budget lands in the file's error ledger instead of failing reclaim.
 func (c *Cache) PageOut(v *sim.Env, vpn pagetable.VPN) {
 	slot := c.mustSlot(vpn)
 	c.stats.PageOuts++
-	c.dev.WritePage(v, slot, int64(vpn), 0)
+	c.writePage(v, slot, int64(vpn))
+}
+
+// writePage issues one writeback write, absorbing a hard injected write
+// error into the owning file's errseq_t-style ledger: the error sequence
+// advances and the page counts as data-at-risk — its latest bytes never
+// reached the device, which is exactly what a later fsync on the file
+// would report. The page stays logically clean (its dirty bit was
+// already cleared by the caller), matching the kernel, which does not
+// re-dirty pages after failed writeback — so the dirty set, and with it
+// the hard throttle, still drains on an erroring device.
+func (c *Cache) writePage(v *sim.Env, slot swap.Slot, vpn int64) {
+	if c.fdev == nil {
+		c.dev.WritePage(v, slot, vpn, 0)
+		return
+	}
+	if err := c.fdev.WritePageErr(v, slot, vpn, 0); err != nil {
+		c.stats.WriteErrors++
+		c.stats.DataAtRisk++
+		fe := &c.fileErrs[c.fileIndexOf(slot)]
+		fe.ErrSeq++
+		fe.DataAtRisk++
+		if c.tr != nil {
+			c.tr.Instant(c.trTrack, "writeback-error", vpn)
+		}
+	}
 }
 
 // TakeShadow consumes and returns vpn's shadow entry, or nil if the page
@@ -356,11 +633,42 @@ func (c *Cache) mustSlot(vpn pagetable.VPN) swap.Slot {
 
 // --- writeback ---
 
-// flusher is the background writeback daemon: it polls at a fraction of
-// the flush interval and starts a pass when the dirty set crosses the
-// ratio threshold, or when a full interval has elapsed with anything
-// dirty at all (age-based writeback).
+// flusher is the daemon entry point: the writeback loop wrapped in the
+// same panic→classified-trial-error recovery the other daemons get. A
+// bug (or an unabsorbed injected fault) in writeback surfaces as a
+// *FlusherError carrying dirty-set context — recorded in the flight
+// recorder, classified by the experiment harness — instead of an
+// anonymous panic. Engine shutdown signals pass through untouched.
 func (c *Cache) flusher(v *sim.Env) {
+	defer func() {
+		r := recover()
+		if r == nil || sim.IsKillSignal(r) {
+			if r != nil {
+				panic(r)
+			}
+			return
+		}
+		cause, ok := r.(error)
+		if !ok {
+			cause = fmt.Errorf("pagecache: flusher panic: %v", r)
+		}
+		fe := &FlusherError{Cause: cause, DirtyPages: c.dirtyCount}
+		if c.tr != nil {
+			c.tr.Note(fe.Error())
+		}
+		// Re-panic the classified error; sim.Proc's own recovery turns it
+		// into the trial error with %w wrapping, so errors.As still sees
+		// both *FlusherError and the underlying cause.
+		panic(fe)
+	}()
+	c.flushLoop(v)
+}
+
+// flushLoop is the background writeback daemon body: it polls at a
+// fraction of the flush interval and starts a pass when the dirty set
+// crosses the ratio threshold, or when a full interval has elapsed with
+// anything dirty at all (age-based writeback).
+func (c *Cache) flushLoop(v *sim.Env) {
 	poll := c.cfg.FlushInterval / 4
 	if poll < sim.Millisecond {
 		poll = sim.Millisecond
@@ -424,7 +732,7 @@ func (c *Cache) flushPass(v *sim.Env) {
 		for i := 0; i < e.n; i++ {
 			slot := e.start + swap.Slot(i)
 			c.stats.WritebackPages++
-			c.dev.WritePage(v, slot, int64(c.vpnOf(slot)), 0)
+			c.writePage(v, slot, int64(c.vpnOf(slot)))
 		}
 	}
 }
@@ -447,9 +755,20 @@ func (c *Cache) Stats() Stats { return c.stats }
 // DeviceStats returns the backing device's counters.
 func (c *Cache) DeviceStats() swap.Stats { return c.dev.Stats() }
 
+// ErrorLedger returns a copy of the per-file errseq ledgers, in file
+// Base order. All-zero entries mean the file never saw a writeback
+// error.
+func (c *Cache) ErrorLedger() []FileErrors {
+	return append([]FileErrors(nil), c.fileErrs...)
+}
+
 // RegisterTelemetry implements telemetry.Registrant: the cache's state
-// becomes named gauges in counters.csv and policyviz.
+// becomes named gauges in counters.csv and policyviz. Degradation events
+// (poisonings, writeback errors, throttle spans) additionally land on a
+// dedicated "pagecache" track.
 func (c *Cache) RegisterTelemetry(tr *telemetry.Tracer) {
+	c.tr = tr
+	c.trTrack = tr.Track("pagecache")
 	tr.Gauge("pagecache.resident", func() int64 { return int64(c.resident) })
 	tr.Gauge("pagecache.dirty", func() int64 { return int64(c.dirtyCount) })
 	tr.Gauge("pagecache.shadows", func() int64 { return int64(c.shadowLive) })
@@ -459,6 +778,11 @@ func (c *Cache) RegisterTelemetry(tr *telemetry.Tracer) {
 	tr.Gauge("pagecache.pageouts", func() int64 { return int64(c.stats.PageOuts) })
 	tr.Gauge("pagecache.evictions", func() int64 { return int64(c.stats.Evictions) })
 	tr.Gauge("pagecache.refaults", func() int64 { return int64(c.stats.Refaults) })
+	tr.Gauge("pagecache.io_errors", func() int64 { return int64(c.stats.FileIOErrors) })
+	tr.Gauge("pagecache.poisoned", func() int64 { return int64(c.poisonedCount) })
+	tr.Gauge("pagecache.write_errors", func() int64 { return int64(c.stats.WriteErrors) })
+	tr.Gauge("pagecache.data_at_risk", func() int64 { return int64(c.stats.DataAtRisk) })
+	tr.Gauge("pagecache.throttle_stalls", func() int64 { return int64(c.stats.ThrottleStalls) })
 }
 
 var _ telemetry.Registrant = (*Cache)(nil)

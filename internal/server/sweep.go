@@ -17,6 +17,7 @@ import (
 
 	"mglrusim/internal/core"
 	"mglrusim/internal/experiments"
+	"mglrusim/internal/fault"
 	"mglrusim/internal/pagecache"
 	"mglrusim/internal/workload"
 )
@@ -55,6 +56,12 @@ type SystemOverride struct {
 	// every cell. Workloads that map no file segment run unchanged, so
 	// mixing serve with anon-only workloads in one sweep is safe.
 	PageCache bool `json:"pagecache,omitempty"`
+	// Fault applies a named fault-injection preset to every cell ("mild",
+	// "severe", "file-mild", "file-severe"; "", "off", and "none" inject
+	// nothing). A file-targeted preset combined with PageCache switches
+	// the cache to its degraded profile (hard dirty throttle armed) so
+	// server cells share cache keys with the batch ext3 figure.
+	Fault string `json:"fault,omitempty"`
 }
 
 // apiError is a structured 4xx/5xx response body.
@@ -129,6 +136,7 @@ type Canonical struct {
 	CPUs       int       `json:"cpus"`
 	RegionPTEs int       `json:"regionPTEs"`
 	PageCache  bool      `json:"pagecache"`
+	Fault      string    `json:"fault"`
 }
 
 // ParseSweepRequest decodes and validates one submission body against
@@ -214,6 +222,18 @@ func canonicalize(req SweepRequest, lim Limits) (Canonical, *apiError) {
 			c.CPUs = req.System.CPUs
 		}
 		c.PageCache = req.System.PageCache
+		if req.System.Fault != "" {
+			plan, ok := fault.Preset(req.System.Fault)
+			if !ok {
+				return c, badRequest("bad-fault", "unknown fault preset %q (known: off, mild, severe, file-mild, file-severe)", req.System.Fault)
+			}
+			// Inert spellings ("off", "none") canonicalize to the empty
+			// string so they share a JobKey with requests that omit the
+			// field entirely.
+			if plan.Enabled() {
+				c.Fault = req.System.Fault
+			}
+		}
 		if want := req.System.RegionPTEs; want != 0 && want != c.RegionPTEs {
 			// The PR 6 typed mismatch, surfaced at validation time: the
 			// system the client asks for could never run against the fanout
@@ -321,7 +341,7 @@ func (c Canonical) reencodeAsRequest() []byte {
 		Swaps:     c.Swaps,
 		Trials:    c.Trials,
 		Scale:     c.Scale,
-		System:    &SystemOverride{CPUs: c.CPUs, RegionPTEs: c.RegionPTEs, PageCache: c.PageCache},
+		System:    &SystemOverride{CPUs: c.CPUs, RegionPTEs: c.RegionPTEs, PageCache: c.PageCache, Fault: c.Fault},
 	}
 	data, err := json.Marshal(req)
 	if err != nil {
@@ -336,6 +356,16 @@ func (c Canonical) SweepSpec() experiments.SweepSpec {
 	base.CPUs = c.CPUs
 	if c.PageCache {
 		base.PageCache = pagecache.DefaultConfig()
+	}
+	if c.Fault != "" {
+		plan, _ := fault.Preset(c.Fault)
+		base.Fault = plan
+		if c.PageCache && plan.TargetsFile() {
+			// Degraded file device + page cache arms the hard dirty
+			// throttle, exactly as the batch ext3 figure configures its
+			// cells — so warmed stores answer both.
+			base.PageCache = pagecache.DegradedConfig()
+		}
 	}
 	swaps := make([]core.SwapKind, len(c.Swaps))
 	for i, s := range c.Swaps {

@@ -158,3 +158,70 @@ func TestValidationBodyLimit(t *testing.T) {
 		t.Fatalf("code %q, want bad-json (truncated at the byte limit)", aerr.Code)
 	}
 }
+
+// TestFaultPresetKnob: the fault override validates, canonicalizes
+// (inert spellings normalize away), changes job identity, and threads
+// the resolved plan — plus the degraded page-cache profile for
+// file-targeted plans — into the sweep base config.
+func TestFaultPresetKnob(t *testing.T) {
+	parse := func(body string) Canonical {
+		t.Helper()
+		c, aerr := ParseSweepRequest(strings.NewReader(body), Limits{})
+		if aerr != nil {
+			t.Fatalf("%s: %v", body, aerr)
+		}
+		return c
+	}
+	mk := func(preset string) string {
+		if preset == "" {
+			return `{"workloads":["serve"],"policies":["mglru"],"ratios":[0.5],"system":{"pagecache":true}}`
+		}
+		return `{"workloads":["serve"],"policies":["mglru"],"ratios":[0.5],"system":{"pagecache":true,"fault":"` + preset + `"}}`
+	}
+
+	// Unknown presets are rejected at the door.
+	if _, aerr := ParseSweepRequest(strings.NewReader(mk("volcanic")), Limits{}); aerr == nil || aerr.Code != "bad-fault" {
+		t.Fatalf("unknown preset: %+v", aerr)
+	}
+
+	// Inert spellings ("off", "none") canonicalize to the empty string, so
+	// they share a job identity with the unfaulted request.
+	plain := parse(mk(""))
+	for _, inert := range []string{"off", "none"} {
+		c := parse(mk(inert))
+		if c.Fault != "" {
+			t.Fatalf("%q did not normalize away: %q", inert, c.Fault)
+		}
+		if c.JobKey(1) != plain.JobKey(1) {
+			t.Fatalf("inert preset %q changed the job identity", inert)
+		}
+	}
+
+	for _, preset := range []string{"mild", "severe", "file-mild", "file-severe"} {
+		c := parse(mk(preset))
+		if c.Fault != preset {
+			t.Fatalf("preset %q canonicalized to %q", preset, c.Fault)
+		}
+		if c.JobKey(1) == plain.JobKey(1) {
+			t.Fatalf("preset %q does not change the job identity", preset)
+		}
+		spec := c.SweepSpec()
+		if !spec.Base.Fault.Enabled() {
+			t.Fatalf("preset %q not threaded into the sweep base config", preset)
+		}
+		// File-targeted plans against the page cache must run the degraded
+		// profile (hard dirty throttle) — the same coupling the batch ext3
+		// figure uses, so server cells and batch cells share cache keys.
+		wantHard := strings.HasPrefix(preset, "file-")
+		if gotHard := spec.Base.PageCache.DirtyHardRatio > 0; gotHard != wantHard {
+			t.Fatalf("preset %q: degraded profile = %v, want %v", preset, gotHard, wantHard)
+		}
+		re, aerr := c.Reparse(Limits{})
+		if aerr != nil {
+			t.Fatalf("reparse %q: %v", preset, aerr)
+		}
+		if string(re.Encode()) != string(c.Encode()) {
+			t.Fatalf("reparse of %q not idempotent:\n%s\n%s", preset, re.Encode(), c.Encode())
+		}
+	}
+}

@@ -34,6 +34,15 @@ type killSignalType struct{}
 
 var killSignal = killSignalType{}
 
+// IsKillSignal reports whether a recovered panic value is the engine's
+// shutdown signal. Procs that install their own recover (to convert panics
+// into classified errors) must re-panic kill signals untouched so the
+// engine can unwind them normally.
+func IsKillSignal(r any) bool {
+	_, ok := r.(killSignalType)
+	return ok
+}
+
 // Proc is a simulated task: a goroutine that runs only while the engine has
 // handed it control, making execution fully deterministic.
 type Proc struct {

@@ -337,6 +337,13 @@ func (m *Manager) TryTouch(vpn pagetable.VPN, write bool) bool {
 		if fr.Flags&mem.FlagFile != 0 {
 			m.counters.FileAccesses++
 			if m.fc != nil && write {
+				if m.fc.NeedsWriteThrottle(vpn) {
+					// Dirtying one more page must stall at the hard dirty
+					// wall: fail the fast path so Fault's present branch
+					// throttles, then completes the write. With the hard
+					// ratio unset this check is one branch and never fires.
+					return false
+				}
 				// Resident write to a file page: the cache tracks dirtiness
 				// for the flusher (the PTE D bit alone is invisible to it).
 				m.fc.MarkDirty(vpn)
@@ -374,7 +381,21 @@ func (m *Manager) raOutcome(vpn pagetable.VPN, hit bool) {
 // time.
 func (m *Manager) Fault(v *sim.Env, vpn pagetable.VPN, write bool) {
 	if m.table.IsPresent(vpn) {
-		return // raced with another thread's fault-in
+		if m.fc != nil && write && m.table.FileBacked(vpn) && m.fc.NeedsWriteThrottle(vpn) {
+			// TryTouch refused the fast path: this write would dirty one
+			// more page past the hard dirty wall. Stall, then complete the
+			// write if the page survived the throttle; if reclaim evicted
+			// it meanwhile, fall through to a fresh file fault.
+			m.throttleWrite(v, vpn)
+			if m.table.IsPresent(vpn) {
+				if _, ok := m.table.Walk(vpn, true); ok {
+					m.fc.MarkDirty(vpn)
+				}
+				return
+			}
+		} else {
+			return // raced with another thread's fault-in
+		}
 	}
 	if m.fc != nil && m.table.FileBacked(vpn) {
 		m.fileFault(v, vpn, write)
@@ -503,6 +524,14 @@ func (m *Manager) readahead(v *sim.Env, at pagetable.VPN, slot int32) {
 // page's shadow entry, if one survives from a prior eviction, feeds the
 // policy's refault detection exactly like the anon path.
 func (m *Manager) fileFault(v *sim.Env, vpn pagetable.VPN, write bool) {
+	if m.fc.Poisoned(vpn) {
+		// The page's backing read previously exhausted its retry budget:
+		// hwpoison-style, the fault fails fast — a SIGBUS delivery, not a
+		// trial abort — without touching the device again.
+		m.fc.NotePoisonedFault()
+		v.Charge(m.cfg.MinorFaultOverhead)
+		return
+	}
 	start := v.Now()
 	defer func() { m.faultLat.Record(int64(v.Now() - start)) }()
 	if m.tr != nil {
@@ -515,7 +544,15 @@ func (m *Manager) fileFault(v *sim.Env, vpn pagetable.VPN, write bool) {
 	m.counters.FileFaults++
 	*m.faultsAt.At(int(vpn))++
 	v.Charge(m.cfg.MajorFaultOverhead)
-	m.fc.ReadPage(v, vpn)
+	if !m.fc.ReadPage(v, vpn) {
+		// The demand read exhausted the device's retry budget. The cache
+		// has poisoned the page and accounted a FileIOError; this fault
+		// fails SIGBUS-fashion — frame released, nothing installed, no
+		// readahead anchored — and the trial keeps running. Any surviving
+		// shadow entry stays put: the page never came back.
+		m.memry.Free(f)
+		return
+	}
 
 	if m.table.IsPresent(vpn) {
 		// Another thread faulted the page in while we were blocked on
@@ -540,7 +577,24 @@ func (m *Manager) fileFault(v *sim.Env, vpn pagetable.VPN, write bool) {
 	}
 	m.pol.PageIn(v, f, sh)
 
+	if write && m.fc.OverHardLimit() {
+		// This write pushed the dirty set to the hard wall; stall the
+		// writer (balance_dirty_pages runs after the dirtying write).
+		m.throttleWrite(v, vpn)
+	}
+
 	m.fileReadahead(v, vpn)
+}
+
+// throttleWrite stalls a writer at the hard dirty limit (vm.dirty_ratio)
+// until the flusher drains the dirty set, with a span on the proc's own
+// track so throttle stalls are attributable in traces.
+func (m *Manager) throttleWrite(v *sim.Env, vpn pagetable.VPN) {
+	if m.tr != nil {
+		sp := m.tr.Begin(m.tr.Track(v.Proc().Name()), "dirty-throttle")
+		defer sp.EndArg(int64(vpn))
+	}
+	m.fc.ThrottleWriter(v)
 }
 
 // fileReadahead pulls the pages sequentially ahead of the fault within
@@ -565,6 +619,11 @@ func (m *Manager) fileReadahead(v *sim.Env, at pagetable.VPN) {
 		if m.table.IsPresent(vpn2) {
 			continue
 		}
+		if m.fc.Poisoned(vpn2) {
+			// Never speculate into a poisoned page; its read would just
+			// fail again.
+			continue
+		}
 		f := m.memry.Alloc()
 		if f == mem.NilFrame {
 			return
@@ -585,7 +644,26 @@ func (m *Manager) fileReadahead(v *sim.Env, at pagetable.VPN) {
 			m.audit.FilePrefetchIn(v, vpn2, hadShadow)
 		}
 		m.counters.ReadaheadIn++
-		m.fc.PrefetchPage(v, vpn2)
+		if !m.fc.PrefetchPage(v, vpn2) {
+			// The speculative read failed. Speculative I/O never fails
+			// anything: if the page is still an untouched prefetch, tear
+			// it back out as though the readahead had never happened and
+			// stop the cluster there. Reclaim cannot have evicted it —
+			// the policy only learns about the page at PageIn — but a
+			// thread may have touched it mid-read (clearing FlagPrefetch);
+			// that demand access absorbs the error and the page stays.
+			if fr.Flags&mem.FlagPrefetch != 0 {
+				m.table.Evict(vpn2, pagetable.NilSwap)
+				m.counters.ReadaheadIn--
+				m.fc.AbandonResident(vpn2)
+				if m.audit != nil {
+					m.audit.FilePrefetchAbandoned(v, vpn2)
+				}
+				fr.VPN = -1
+				m.memry.Free(f)
+				return
+			}
+		}
 		m.pol.PageIn(v, f, nil)
 	}
 }
